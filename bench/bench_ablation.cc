@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end ablations of Hippocrates's three fix-computation phases
+ * (§4.1 Step 3) on the flush-free KV store: what each phase buys in
+ * fix count, inserted operations, code growth, and throughput.
+ *
+ *   full       = phase 1 + reduction + hoisting (the shipping tool)
+ *   no-reduce  = phase 2 disabled
+ *   intra-only = phase 3 disabled (the RedisH-intra configuration)
+ *
+ * Knobs: HIPPO_ABL_OPS (default 600), HIPPO_ABL_TRIALS (5).
+ */
+
+#include <cstdio>
+
+#include "apps/kv_driver.hh"
+#include "bench_util.hh"
+#include "support/stats.hh"
+
+namespace
+{
+
+using namespace hippo;
+
+struct Config
+{
+    const char *name;
+    bool reduction;
+    bool hoisting;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace hippo;
+    bench::banner("Ablation — Hippocrates phases on flush-free pmkv");
+
+    uint64_t ops = bench::envKnob("HIPPO_ABL_OPS", 600);
+    uint64_t trials = bench::envKnob("HIPPO_ABL_TRIALS", 5);
+
+    // One shared bug-finding run.
+    auto traced = apps::buildPmkv({});
+    pmem::PmPool tpool(64u << 20);
+    vm::VmConfig tvc;
+    tvc.traceEnabled = true;
+    apps::KvDriver tracer(traced.get(), &tpool, tvc);
+    tracer.init();
+    tracer.run(ycsb::Workload::Load, 24, 24, 7);
+    tracer.run(ycsb::Workload::A, 24, 24, 11);
+    tracer.run(ycsb::Workload::F, 24, 8, 13);
+    tracer.run(ycsb::Workload::E, 24, 4, 17);
+    auto report = pmcheck::analyze(tracer.vm().trace());
+    std::printf("bugs in flush-free pmkv: %zu\n\n",
+                report.bugs.size());
+
+    const Config configs[] = {
+        {"full", true, true},
+        {"no-reduce", false, true},
+        {"intra-only", true, false},
+    };
+
+    bench::Table table({"config", "fixes", "inter", "flushes",
+                        "fences", "clones", "IR growth",
+                        "YCSB-A ops/s", "YCSB-C ops/s"});
+
+    for (const Config &c : configs) {
+        auto m = apps::buildPmkv({});
+        size_t before = m->instrCount();
+        core::FixerConfig fc;
+        fc.enableReduction = c.reduction;
+        fc.enableHoisting = c.hoisting;
+        core::Fixer fixer(m.get(), fc);
+        auto summary = fixer.fix(report, tracer.vm().trace(),
+                                 &tracer.vm().dynPointsTo());
+
+        SampleStats a_stats, c_stats;
+        for (uint64_t t = 0; t < trials; t++) {
+            for (auto *stats : {&a_stats, &c_stats}) {
+                ycsb::Workload w = stats == &a_stats
+                                       ? ycsb::Workload::A
+                                       : ycsb::Workload::C;
+                pmem::PmPool pool(32u << 20);
+                apps::KvDriver driver(m.get(), &pool);
+                driver.init();
+                driver.run(ycsb::Workload::Load, ops, ops,
+                           100 + t);
+                stats->add(
+                    driver.run(w, ops, ops, 200 + t).throughput());
+            }
+        }
+
+        table.addRow(
+            {c.name, format("%zu", summary.fixes.size()),
+             format("%zu", summary.interproceduralCount()),
+             format("%u", summary.flushesInserted),
+             format("%u", summary.fencesInserted),
+             format("%u", summary.functionsCloned),
+             format("+%zu", m->instrCount() - before),
+             format("%.0f", a_stats.mean()),
+             format("%.0f", c_stats.mean())});
+    }
+    table.print();
+
+    std::printf(
+        "\nReading: hoisting is the performance phase (intra-only "
+        "collapses read throughput by poisoning the shared copy "
+        "loop); reduction is the fix-count phase (disabling it "
+        "plans per-bug instead of per-site, with the same final "
+        "binary thanks to apply-time dedup).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates the §6.4 code-bloat measurement: how much the
+ * persistent subprogram transformation grows the program. The paper
+ * reports +105 lines of LLVM IR on flush-free Redis (+0.013%),
+ * yielding a binary only 0.05% (4 kB) larger than Redis-pmem, thanks
+ * to clone reuse (one _PM clone per function, shared across fixes).
+ */
+
+#include <cstdio>
+
+#include "apps/kv_driver.hh"
+#include "bench_util.hh"
+#include "ir/printer.hh"
+
+int
+main()
+{
+    using namespace hippo;
+    bench::banner("§6.4 — Impact of fixes on program size");
+
+    auto baseline = apps::buildPmkv({});
+    size_t base_instrs = baseline->instrCount();
+    size_t base_funcs = baseline->functions().size();
+    size_t base_text = ir::moduleToString(*baseline).size();
+
+    auto variants = apps::buildRedisVariants();
+
+    auto report = [&](const char *name, ir::Module *m,
+                      const core::FixSummary &s) {
+        size_t instrs = m->instrCount();
+        size_t text = ir::moduleToString(*m).size();
+        std::printf("%-13s: %5zu IR instrs (+%zu, +%.3f%%), "
+                    "%zu functions (+%zu clones+helpers), "
+                    "text %.1f KB (+%.2f%%)\n",
+                    name, instrs, instrs - base_instrs,
+                    100.0 * (instrs - base_instrs) / base_instrs,
+                    m->functions().size(),
+                    m->functions().size() - base_funcs,
+                    text / 1024.0,
+                    100.0 * ((double)text - base_text) / base_text);
+        if (s.functionsCloned) {
+            std::printf("               clones: %u (reused across "
+                        "%zu interprocedural fixes)\n",
+                        s.functionsCloned,
+                        s.interproceduralCount());
+        }
+    };
+
+    std::printf("baseline (flush-free pmkv): %zu IR instrs, "
+                "%zu functions\n\n",
+                base_instrs, base_funcs);
+    report("RedisH-full", variants.hippoFull.get(),
+           variants.fullSummary);
+    report("RedisH-intra", variants.hippoIntra.get(),
+           variants.intraSummary);
+
+    auto manual = apps::buildPmkv(
+        [] {
+            apps::PmkvConfig c;
+            c.variant = apps::PmkvVariant::Manual;
+            return c;
+        }());
+    std::printf("Redis-pm     : %5zu IR instrs (manual baseline)\n",
+                manual->instrCount());
+
+    size_t full_added =
+        variants.hippoFull->instrCount() - base_instrs;
+    std::printf("\nRedisH-full adds %zu IR instructions over the "
+                "flush-free build.\n",
+                full_added);
+    std::printf("Paper reference: +105 LLVM IR lines (+0.013%%), "
+                "binary +4 kB (+0.05%%) over Redis-pmem.\n");
+    std::printf("Note: the *absolute* growth is the comparable "
+                "number (tens of IR instructions, bounded by clone "
+                "reuse); the percentage is not, because pmkv is ~3 "
+                "orders of magnitude smaller than Redis.\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Regenerates Fig. 1 of the paper: the 26 studied PMDK durability
+ * bugs grouped by kind and tracker-data availability, with average
+ * commits to a passing build and days from open to close.
+ *
+ * Paper values: group means 17 commits / 33 days (max 66) for the
+ * documented core-library bugs and 2 commits / 15 days (max 38) for
+ * the documented API-misuse bugs; overall average 13 commits /
+ * 28 days / max 66.
+ */
+
+#include <cstdio>
+
+#include "apps/bugstudy.hh"
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace hippo;
+    bench::banner(
+        "Fig. 1 — Study of 26 PMDK durability bugs and their fixes");
+
+    bench::Table table({"Issue #s", "Avg Commits",
+                        "Avg Days Open->Close", "Max Days", "Kind"});
+    for (const auto &row : apps::bugStudyTable()) {
+        table.addRow(
+            {row.issues,
+             row.hasData ? format("%.0f", row.avgCommits) : "-",
+             row.hasData ? format("%.0f", row.avgDays) : "-",
+             row.hasData ? format("%d", row.maxDays) : "-",
+             row.kind});
+    }
+    table.print();
+
+    std::printf("\nPaper reference: 17 core-library/tool bugs, "
+                "9 API-misuse bugs; documented fixes took 13 commits "
+                "and 28 days on average (max 66 days).\n");
+    return 0;
+}

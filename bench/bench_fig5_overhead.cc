@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Regenerates Fig. 5: Hippocrates's offline overhead per target —
+ * target size, wall-clock time of the repair, and peak memory.
+ *
+ * Paper values (on the authors' 203-KLOC targets): at most ~5 min
+ * and <1 GB; the largest target (Redis) dominates. Our targets are
+ * PMIR programs, so size is reported as functions / IR instructions
+ * alongside the wall time and memory of running the full pipeline.
+ */
+
+#include <cstdio>
+
+#include "apps/bugsuite.hh"
+#include "apps/kv_driver.hh"
+#include "apps/pclht.hh"
+#include "apps/pmcache.hh"
+#include "bench_util.hh"
+#include "support/stopwatch.hh"
+
+namespace
+{
+
+using namespace hippo;
+
+struct Overhead
+{
+    std::string target;
+    size_t functions = 0;
+    size_t instrs = 0;
+    size_t traceEvents = 0;
+    double seconds = 0;
+    uint64_t peakRss = 0;
+};
+
+Overhead
+measure(const std::string &name, ir::Module *m,
+        const std::string &entry, std::vector<uint64_t> args)
+{
+    Overhead o;
+    o.target = name;
+    o.functions = m->functions().size();
+    o.instrs = m->instrCount();
+
+    pmem::PmPool pool(64u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m, &pool, vc);
+    machine.run(entry, std::move(args));
+    o.traceEvents = machine.trace().size();
+
+    auto report = pmcheck::analyze(machine.trace());
+    Stopwatch watch;
+    core::Fixer fixer(m, {});
+    fixer.fix(report, machine.trace(), &machine.dynPointsTo());
+    o.seconds = watch.elapsedSeconds();
+    o.peakRss = peakRssBytes();
+    return o;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hippo;
+    bench::banner(
+        "Fig. 5 — Offline overhead of running Hippocrates");
+
+    std::vector<Overhead> rows;
+
+    // PMDK unit tests: the 11 reproducers, accumulated.
+    {
+        Overhead pmdk;
+        pmdk.target = "PMDK (unit tests)";
+        for (const auto &c : apps::pmdkBugCases()) {
+            auto m = c.build(false);
+            Overhead one = measure(c.id, m.get(), c.entry, {});
+            pmdk.functions += one.functions;
+            pmdk.instrs += one.instrs;
+            pmdk.traceEvents += one.traceEvents;
+            pmdk.seconds += one.seconds;
+            pmdk.peakRss = std::max(pmdk.peakRss, one.peakRss);
+        }
+        rows.push_back(pmdk);
+    }
+    {
+        auto m = apps::buildPclht({});
+        rows.push_back(measure("P-CLHT (RECIPE)", m.get(),
+                               "clht_example", {64}));
+    }
+    {
+        auto m = apps::buildPmcache({});
+        rows.push_back(
+            measure("memcached-pm", m.get(), "mc_example", {64}));
+    }
+    {
+        // Redis: the flush-free pmkv repaired from a full coverage
+        // trace, the biggest trace of the four targets.
+        auto m = apps::buildPmkv({});
+        pmem::PmPool pool(128u << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        apps::KvDriver driver(m.get(), &pool, vc);
+        driver.init();
+        uint64_t n = bench::envKnob("HIPPO_FIG5_OPS", 400);
+        driver.run(ycsb::Workload::Load, n, n, 3);
+        driver.run(ycsb::Workload::A, n, n, 5);
+
+        Overhead o;
+        o.target = "Redis-pmem (pmkv)";
+        o.functions = m->functions().size();
+        o.instrs = m->instrCount();
+        o.traceEvents = driver.vm().trace().size();
+        auto report = pmcheck::analyze(driver.vm().trace());
+        Stopwatch watch;
+        core::Fixer fixer(m.get(), {});
+        fixer.fix(report, driver.vm().trace(),
+                  &driver.vm().dynPointsTo());
+        o.seconds = watch.elapsedSeconds();
+        o.peakRss = peakRssBytes();
+        rows.push_back(o);
+    }
+
+    bench::Table table({"Target", "Functions", "IR instrs",
+                        "Trace events", "Fix time", "Peak memory"});
+    for (const auto &o : rows) {
+        table.addRow({o.target, format("%zu", o.functions),
+                      format("%zu", o.instrs),
+                      format("%zu", o.traceEvents),
+                      format("%.3fs", o.seconds),
+                      formatBytes(o.peakRss)});
+    }
+    table.print();
+
+    std::printf("\nPaper reference (203 combined KLOC): 6s/345MB "
+                "(PMDK), 2s/148MB (P-CLHT), 2.2s/147MB "
+                "(memcached-pm), 5m09s/870MB (Redis) — low enough "
+                "to integrate into a development workflow.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small shared helpers for the figure/table reproduction binaries:
+ * fixed-width table printing and environment-variable knobs so the
+ * long-running experiments can be scaled down or up.
+ */
+
+#ifndef HIPPO_BENCH_BENCH_UTIL_HH
+#define HIPPO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/strings.hh"
+
+namespace hippo::bench
+{
+
+/** A fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<size_t> widths(headers_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &row) {
+            for (size_t i = 0; i < row.size() && i < widths.size();
+                 i++)
+                widths[i] = std::max(widths[i], row[i].size());
+        };
+        widen(headers_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (size_t i = 0; i < widths.size(); i++) {
+                std::printf("%-*s  ", (int)widths[i],
+                            i < row.size() ? row[i].c_str() : "");
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &r : rows_)
+            print_row(r);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Integer knob from the environment with a default. */
+inline uint64_t
+envKnob(const char *name, uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    uint64_t out;
+    if (!hippo::parseUint(v, out))
+        return def;
+    return out;
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace hippo::bench
+
+#endif // HIPPO_BENCH_BENCH_UTIL_HH

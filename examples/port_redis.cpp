@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Example: automatically porting an application to persistent memory
+ * (§6.3 / §7 of the paper). Starting from a Redis-like store whose
+ * developer only wrote the *ordering points* (memory fences) and no
+ * flushes at all, Hippocrates injects every required cache-line
+ * flush — producing RedisH-full, which matches the hand-tuned
+ * Redis-pm port on YCSB while the heuristic-less RedisH-intra build
+ * shows what naive fix placement costs.
+ */
+
+#include <cstdio>
+
+#include "apps/kv_driver.hh"
+
+using namespace hippo;
+
+static double
+throughput(ir::Module *m, ycsb::Workload w)
+{
+    pmem::PmPool pool(32u << 20);
+    apps::KvDriver driver(m, &pool);
+    driver.init();
+    driver.run(ycsb::Workload::Load, 500, 500, 7);
+    return driver.run(w, 500, 500, 11).throughput();
+}
+
+int
+main()
+{
+    std::printf("building the three Redis variants "
+                "(trace -> detect -> repair twice)...\n");
+    auto variants = apps::buildRedisVariants();
+
+    std::printf("\nflush-free build had %zu durability bugs; "
+                "all repaired and re-checked clean.\n",
+                variants.flushFreeReport.bugs.size());
+    std::printf("RedisH-full : %s\n",
+                variants.fullSummary.str().c_str());
+    std::printf("RedisH-intra: %s\n\n",
+                variants.intraSummary.str().c_str());
+
+    std::printf("%-10s %14s %14s %14s\n", "workload", "RedisH-intra",
+                "Redis-pm", "RedisH-full");
+    for (auto w : {ycsb::Workload::Load, ycsb::Workload::A,
+                   ycsb::Workload::C}) {
+        std::printf("%-10s %14.0f %14.0f %14.0f\n",
+                    ycsb::workloadName(w),
+                    throughput(variants.hippoIntra.get(), w),
+                    throughput(variants.manual.get(), w),
+                    throughput(variants.hippoFull.get(), w));
+    }
+    std::printf("\n(ops/sec of simulated time; RedisH-full rivals "
+                "the manual port, RedisH-intra shows the cost of "
+                "fixing memcpy-style helpers in-line.)\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+#include "analysis/alias_scorer.hh"
+
+#include "ir/module.hh"
+#include "support/logging.hh"
+
+namespace hippo::analysis
+{
+
+const char *
+aaModeName(AaMode m)
+{
+    return m == AaMode::FullAA ? "Full-AA" : "Trace-AA";
+}
+
+AliasScorer::AliasScorer(const PointsTo &pts, AaMode mode,
+                         const trace::Trace &trace,
+                         const vm::DynPointsTo *dyn)
+    : pts_(pts), mode_(mode), dyn_(dyn)
+{
+    hippo_assert(mode != AaMode::TraceAA || dyn,
+                 "Trace-AA needs the dynamic points-to table");
+
+    // Bridge trace-object ids to analysis objects via site keys.
+    const auto &tobjs = trace.objects();
+    for (uint32_t t = 0; t < tobjs.size(); t++) {
+        uint32_t a = pts_.objectByKey(tobjs[t].site);
+        if (a != ~0u)
+            traceToAnalysis_[t] = a;
+    }
+
+    if (mode_ == AaMode::FullAA) {
+        // Static marking: PmMap allocation sites are PM.
+        for (uint32_t i = 0; i < pts_.objects().size(); i++) {
+            if (pts_.objects()[i].isPm)
+                pmObjects_.insert(i);
+        }
+    } else {
+        // Trace marking: objects with a PM modification event.
+        for (const trace::Event &ev : trace.events()) {
+            if (ev.kind == trace::EventKind::Store && ev.isPm &&
+                ev.objectId != ~0u) {
+                auto it = traceToAnalysis_.find(ev.objectId);
+                if (it != traceToAnalysis_.end())
+                    pmObjects_.insert(it->second);
+            }
+        }
+    }
+}
+
+std::set<uint32_t>
+AliasScorer::objectSet(const std::string &function,
+                       const ir::Value *v) const
+{
+    if (mode_ == AaMode::FullAA) {
+        (void)function;
+        return pts_.pointsTo(v);
+    }
+
+    uint64_t key;
+    switch (v->kind()) {
+      case ir::ValueKind::Argument:
+        key = vm::DynPointsTo::argKey(
+            static_cast<const ir::Argument *>(v)->index());
+        break;
+      case ir::ValueKind::Instruction:
+        key = vm::DynPointsTo::instrKey(
+            static_cast<const ir::Instruction *>(v)->id());
+        break;
+      default:
+        return {};
+    }
+    std::set<uint32_t> out;
+    for (uint32_t t : dyn_->lookup(function, key)) {
+        auto it = traceToAnalysis_.find(t);
+        if (it != traceToAnalysis_.end())
+            out.insert(it->second);
+    }
+    return out;
+}
+
+int64_t
+AliasScorer::score(const std::string &function,
+                   const ir::Value *v) const
+{
+    int64_t pm = 0, non_pm = 0;
+    for (uint32_t o : objectSet(function, v)) {
+        if (pmObjects_.count(o))
+            pm++;
+        else
+            non_pm++;
+    }
+    return pm - non_pm;
+}
+
+bool
+AliasScorer::mayPointToPm(const std::string &function,
+                          const ir::Value *v) const
+{
+    for (uint32_t o : objectSet(function, v)) {
+        if (pmObjects_.count(o))
+            return true;
+    }
+    return false;
+}
+
+} // namespace hippo::analysis

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The hoisting heuristic's scoring function (paper §4.3): every
+ * abstract memory object is marked "PM" or "not PM", and a candidate
+ * fix location's pointer is scored as
+ *
+ *     score(p) = |pts(p) ∩ PM objects| − |pts(p) ∖ PM objects|.
+ *
+ * Two marking/aliasing variants are provided, matching the paper's
+ * Full-AA vs Trace-AA comparison (§6.1):
+ *
+ *  - Full-AA: pts() from the whole-program Andersen analysis; objects
+ *    marked PM statically (PmMap allocation sites).
+ *  - Trace-AA: pts() from the dynamic points-to side table recorded
+ *    during the bug-finding run; objects marked PM when the trace
+ *    contains a PM modification event against them.
+ */
+
+#ifndef HIPPO_ANALYSIS_ALIAS_SCORER_HH
+#define HIPPO_ANALYSIS_ALIAS_SCORER_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "analysis/points_to.hh"
+#include "trace/trace.hh"
+#include "vm/vm.hh"
+
+namespace hippo::analysis
+{
+
+/** Which alias information drives the heuristic. */
+enum class AaMode { FullAA, TraceAA };
+
+const char *aaModeName(AaMode m);
+
+/** Computes PM-alias scores for candidate fix locations. */
+class AliasScorer
+{
+  public:
+    /**
+     * @param pts Whole-program Andersen results.
+     * @param mode Full-AA or Trace-AA.
+     * @param trace The bug-finding trace (for PM marking, and for
+     *        Trace-AA points-to via @p dyn).
+     * @param dyn Dynamic points-to table (required for Trace-AA).
+     */
+    AliasScorer(const PointsTo &pts, AaMode mode,
+                const trace::Trace &trace,
+                const vm::DynPointsTo *dyn = nullptr);
+
+    /**
+     * Score a pointer value in @p function. Larger is more
+     * PM-biased; see file comment for the formula.
+     */
+    int64_t score(const std::string &function,
+                  const ir::Value *v) const;
+
+    /** True when @p v may point to a PM object at all. */
+    bool mayPointToPm(const std::string &function,
+                      const ir::Value *v) const;
+
+    AaMode mode() const { return mode_; }
+
+  private:
+    std::set<uint32_t>
+    objectSet(const std::string &function, const ir::Value *v) const;
+
+    const PointsTo &pts_;
+    AaMode mode_;
+    const vm::DynPointsTo *dyn_;
+
+    /** Analysis-object indices marked PM. */
+    std::set<uint32_t> pmObjects_;
+    /** Trace-object id -> analysis-object index. */
+    std::map<uint32_t, uint32_t> traceToAnalysis_;
+};
+
+} // namespace hippo::analysis
+
+#endif // HIPPO_ANALYSIS_ALIAS_SCORER_HH

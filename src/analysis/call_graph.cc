@@ -1,0 +1,94 @@
+#include "analysis/call_graph.hh"
+
+#include <deque>
+
+#include "ir/module.hh"
+
+namespace hippo::analysis
+{
+
+CallGraph::CallGraph(const ir::Module &m)
+{
+    for (const auto &f : m.functions()) {
+        callees_[f.get()]; // ensure the entry exists
+        for (const auto &bb : f->blocks()) {
+            for (const auto &instr : *bb) {
+                if (instr->op() != ir::Opcode::Call)
+                    continue;
+                callSites_[instr->callee()].push_back(instr.get());
+                callees_[f.get()].insert(instr->callee());
+            }
+        }
+    }
+
+    // Transitive closure by BFS from each function. Module sizes in
+    // this project are small (hundreds of functions), so the simple
+    // quadratic approach is fine.
+    for (const auto &f : m.functions()) {
+        std::set<const ir::Function *> &seen = reachable_[f.get()];
+        std::deque<const ir::Function *> work{f.get()};
+        while (!work.empty()) {
+            const ir::Function *cur = work.front();
+            work.pop_front();
+            auto it = callees_.find(cur);
+            if (it == callees_.end())
+                continue;
+            for (ir::Function *callee : it->second) {
+                if (seen.insert(callee).second)
+                    work.push_back(callee);
+            }
+        }
+    }
+}
+
+const std::vector<ir::Instruction *> &
+CallGraph::callSitesOf(const ir::Function *f) const
+{
+    static const std::vector<ir::Instruction *> empty;
+    auto it = callSites_.find(f);
+    return it == callSites_.end() ? empty : it->second;
+}
+
+const std::set<ir::Function *> &
+CallGraph::callees(const ir::Function *f) const
+{
+    static const std::set<ir::Function *> empty;
+    auto it = callees_.find(f);
+    return it == callees_.end() ? empty : it->second;
+}
+
+bool
+CallGraph::reaches(const ir::Function *from,
+                   const ir::Function *to) const
+{
+    auto it = reachable_.find(from);
+    return it != reachable_.end() && it->second.count(to) > 0;
+}
+
+std::string
+CallGraph::toDot(const std::string &graph_name) const
+{
+    std::string out = "digraph " + graph_name + " {\n";
+    for (const auto &[caller, callees] : callees_) {
+        out += "  \"" + caller->name() + "\";\n";
+        for (const ir::Function *callee : callees) {
+            out += "  \"" + caller->name() + "\" -> \"" +
+                   callee->name() + "\";\n";
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::set<const ir::Function *>
+CallGraph::transitiveCallers(const ir::Function *f) const
+{
+    std::set<const ir::Function *> out{f};
+    for (const auto &[caller, reached] : reachable_) {
+        if (reached.count(f))
+            out.insert(caller);
+    }
+    return out;
+}
+
+} // namespace hippo::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Direct call graph over a PMIR module: per-callee call-site lists,
+ * per-caller callee sets, and transitive reachability. Used by the
+ * persistent subprogram transformation to find the calls that must be
+ * redirected to _PM clones.
+ */
+
+#ifndef HIPPO_ANALYSIS_CALL_GRAPH_HH
+#define HIPPO_ANALYSIS_CALL_GRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hippo::ir
+{
+class Function;
+class Instruction;
+class Module;
+} // namespace hippo::ir
+
+namespace hippo::analysis
+{
+
+/** Immutable call graph snapshot of a module. */
+class CallGraph
+{
+  public:
+    explicit CallGraph(const ir::Module &m);
+
+    /** All call instructions whose callee is @p f. */
+    const std::vector<ir::Instruction *> &
+    callSitesOf(const ir::Function *f) const;
+
+    /** Functions directly called by @p f. */
+    const std::set<ir::Function *> &
+    callees(const ir::Function *f) const;
+
+    /** True when @p from can (transitively) reach @p to. */
+    bool reaches(const ir::Function *from,
+                 const ir::Function *to) const;
+
+    /**
+     * Functions from which @p f is transitively reachable,
+     * including @p f itself.
+     */
+    std::set<const ir::Function *>
+    transitiveCallers(const ir::Function *f) const;
+
+    /** Render as Graphviz DOT (one edge per caller->callee pair). */
+    std::string toDot(const std::string &graph_name = "callgraph")
+        const;
+
+  private:
+    std::map<const ir::Function *, std::vector<ir::Instruction *>>
+        callSites_;
+    std::map<const ir::Function *, std::set<ir::Function *>> callees_;
+    std::map<const ir::Function *, std::set<const ir::Function *>>
+        reachable_; ///< transitive closure per function
+};
+
+} // namespace hippo::analysis
+
+#endif // HIPPO_ANALYSIS_CALL_GRAPH_HH

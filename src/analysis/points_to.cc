@@ -1,0 +1,210 @@
+#include "analysis/points_to.hh"
+
+#include <deque>
+
+#include "ir/module.hh"
+#include "support/strings.hh"
+
+namespace hippo::analysis
+{
+
+uint32_t
+PointsTo::nodeOf(const ir::Value *v)
+{
+    auto it = nodeIndex_.find(v);
+    if (it != nodeIndex_.end())
+        return it->second;
+    uint32_t idx = (uint32_t)pts_.size();
+    nodeIndex_[v] = idx;
+    pts_.emplace_back();
+    succ_.emplace_back();
+    return idx;
+}
+
+void
+PointsTo::addEdge(const ir::Value *from, const ir::Value *to)
+{
+    // Resolve both nodes before indexing: nodeOf may grow succ_.
+    uint32_t f = nodeOf(from);
+    uint32_t t = nodeOf(to);
+    succ_[f].push_back(t);
+    edgeCount_++;
+}
+
+void
+PointsTo::seed(const ir::Value *v, uint32_t object)
+{
+    pts_[nodeOf(v)].insert(object);
+}
+
+PointsTo::PointsTo(const ir::Module &m)
+{
+    // Pass 1: collect allocation sites and inclusion constraints.
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &owned : *bb) {
+                const ir::Instruction *instr = owned.get();
+                switch (instr->op()) {
+                  case ir::Opcode::Alloca:
+                  case ir::Opcode::PmMap: {
+                    MemObject obj;
+                    obj.site = instr;
+                    obj.isPm = instr->op() == ir::Opcode::PmMap;
+                    obj.key =
+                        obj.isPm
+                            ? "pm:" + instr->symbol()
+                            : format("%s#%u", f->name().c_str(),
+                                     instr->id());
+                    uint32_t id = (uint32_t)objects_.size();
+                    // PmMaps of the same region alias each other:
+                    // share the object keyed by region name.
+                    auto it = objectByKey_.find(obj.key);
+                    if (it != objectByKey_.end()) {
+                        id = it->second;
+                    } else {
+                        objects_.push_back(obj);
+                        objectByKey_[obj.key] = id;
+                    }
+                    seed(instr, id);
+                    break;
+                  }
+                  case ir::Opcode::Gep:
+                    addEdge(instr->operand(0), instr);
+                    break;
+                  case ir::Opcode::Select:
+                    if (instr->type() == ir::Type::Ptr) {
+                        addEdge(instr->operand(1), instr);
+                        addEdge(instr->operand(2), instr);
+                    }
+                    break;
+                  case ir::Opcode::Call: {
+                    const ir::Function *callee = instr->callee();
+                    for (size_t i = 0; i < instr->numOperands();
+                         i++) {
+                        if (callee->param(i)->type() ==
+                            ir::Type::Ptr) {
+                            addEdge(instr->operand(i),
+                                    callee->param(i));
+                        }
+                    }
+                    break;
+                  }
+                  case ir::Opcode::Ret:
+                    // Handled in pass 2 (needs the call sites).
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    // Pass 2: return-value flow (callee ret operand -> call result).
+    for (const auto &f : m.functions()) {
+        if (f->returnType() != ir::Type::Ptr)
+            continue;
+        std::vector<const ir::Value *> ret_operands;
+        for (const auto &bb : f->blocks()) {
+            for (const auto &owned : *bb) {
+                if (owned->op() == ir::Opcode::Ret &&
+                    owned->numOperands() == 1)
+                    ret_operands.push_back(owned->operand(0));
+            }
+        }
+        if (ret_operands.empty())
+            continue;
+        for (const auto &g : m.functions()) {
+            for (const auto &bb : g->blocks()) {
+                for (const auto &owned : *bb) {
+                    if (owned->op() == ir::Opcode::Call &&
+                        owned->callee() == f.get()) {
+                        for (const ir::Value *r : ret_operands)
+                            addEdge(r, owned.get());
+                    }
+                }
+            }
+        }
+    }
+
+    solve();
+}
+
+void
+PointsTo::solve()
+{
+    // Standard worklist propagation of inclusion constraints.
+    std::deque<uint32_t> work;
+    std::vector<uint8_t> queued(pts_.size(), 0);
+    for (uint32_t i = 0; i < pts_.size(); i++) {
+        if (!pts_[i].empty()) {
+            work.push_back(i);
+            queued[i] = 1;
+        }
+    }
+    while (!work.empty()) {
+        uint32_t n = work.front();
+        work.pop_front();
+        queued[n] = 0;
+        for (uint32_t s : succ_[n]) {
+            size_t before = pts_[s].size();
+            pts_[s].insert(pts_[n].begin(), pts_[n].end());
+            if (pts_[s].size() != before && !queued[s]) {
+                work.push_back(s);
+                queued[s] = 1;
+            }
+        }
+    }
+}
+
+const std::set<uint32_t> &
+PointsTo::pointsTo(const ir::Value *v) const
+{
+    static const std::set<uint32_t> empty;
+    auto it = nodeIndex_.find(v);
+    return it == nodeIndex_.end() ? empty : pts_[it->second];
+}
+
+bool
+PointsTo::mayAlias(const ir::Value *a, const ir::Value *b) const
+{
+    const auto &pa = pointsTo(a);
+    const auto &pb = pointsTo(b);
+    for (uint32_t o : pa) {
+        if (pb.count(o))
+            return true;
+    }
+    return false;
+}
+
+bool
+PointsTo::flowsTo(const ir::Value *src, const ir::Value *dst) const
+{
+    if (src == dst)
+        return true;
+    auto sit = nodeIndex_.find(src);
+    auto dit = nodeIndex_.find(dst);
+    if (sit == nodeIndex_.end() || dit == nodeIndex_.end())
+        return false;
+    std::deque<uint32_t> work{sit->second};
+    std::set<uint32_t> seen{sit->second};
+    while (!work.empty()) {
+        uint32_t n = work.front();
+        work.pop_front();
+        if (n == dit->second)
+            return true;
+        for (uint32_t s : succ_[n]) {
+            if (seen.insert(s).second)
+                work.push_back(s);
+        }
+    }
+    return false;
+}
+
+uint32_t
+PointsTo::objectByKey(const std::string &key) const
+{
+    auto it = objectByKey_.find(key);
+    return it == objectByKey_.end() ? ~0u : it->second;
+}
+
+} // namespace hippo::analysis

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Andersen-style inclusion-based whole-program points-to analysis over
+ * PMIR (the paper uses grievejia/andersen over LLVM IR; §5).
+ *
+ * Abstract memory objects are allocation sites: Alloca instructions
+ * (volatile) and PmMap instructions (persistent regions). Pointer
+ * flow in PMIR happens through gep/select copies, call argument
+ * binding, and returns; idiomatic PM code addresses pools via region
+ * base + integer offsets (as PMDK does with OIDs), so pointers do not
+ * round-trip through memory in well-typed PMIR, which keeps the
+ * constraint system to inclusion edges plus address-of seeds.
+ */
+
+#ifndef HIPPO_ANALYSIS_POINTS_TO_HH
+#define HIPPO_ANALYSIS_POINTS_TO_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hippo::ir
+{
+class Instruction;
+class Module;
+class Value;
+} // namespace hippo::ir
+
+namespace hippo::analysis
+{
+
+/** An abstract memory object (allocation site). */
+struct MemObject
+{
+    const ir::Instruction *site = nullptr;
+    bool isPm = false;  ///< site is a PmMap
+    std::string key;    ///< "pm:<region>" or "<func>#<instrId>"
+};
+
+/** Solved points-to sets for every pointer-typed value in a module. */
+class PointsTo
+{
+  public:
+    explicit PointsTo(const ir::Module &m);
+
+    const std::vector<MemObject> &objects() const { return objects_; }
+
+    /** Points-to set of @p v (object indices); empty when unknown. */
+    const std::set<uint32_t> &pointsTo(const ir::Value *v) const;
+
+    /** True when the points-to sets of @p a and @p b intersect. */
+    bool mayAlias(const ir::Value *a, const ir::Value *b) const;
+
+    /** Object index by key; ~0u when absent. */
+    uint32_t objectByKey(const std::string &key) const;
+
+    /**
+     * True when pointer value @p src can flow into pointer value
+     * @p dst through copy/gep/select/call/return edges — i.e., the
+     * address @p dst dereferences may be derived from @p src.
+     */
+    bool flowsTo(const ir::Value *src, const ir::Value *dst) const;
+
+    /** Number of inclusion edges in the constraint graph. */
+    size_t edgeCount() const { return edgeCount_; }
+
+  private:
+    uint32_t nodeOf(const ir::Value *v);
+    void addEdge(const ir::Value *from, const ir::Value *to);
+    void seed(const ir::Value *v, uint32_t object);
+    void solve();
+
+    std::vector<MemObject> objects_;
+    std::map<std::string, uint32_t> objectByKey_;
+
+    std::map<const ir::Value *, uint32_t> nodeIndex_;
+    std::vector<std::set<uint32_t>> pts_;
+    std::vector<std::vector<uint32_t>> succ_; ///< inclusion edges
+    size_t edgeCount_ = 0;
+};
+
+} // namespace hippo::analysis
+
+#endif // HIPPO_ANALYSIS_POINTS_TO_HH

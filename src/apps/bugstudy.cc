@@ -1,0 +1,122 @@
+#include "apps/bugstudy.hh"
+
+#include <algorithm>
+
+#include "support/strings.hh"
+
+namespace hippo::apps
+{
+
+const char *
+studyKindName(StudyKind k)
+{
+    return k == StudyKind::CoreLibraryOrTool ? "Core library/tool bug"
+                                             : "API Misuse";
+}
+
+const std::vector<StudiedBug> &
+studiedBugs()
+{
+    using K = StudyKind;
+    // Group 2 per-issue figures sum to 238 commits / 462 days over
+    // 14 issues (mean 17 / 33, max 66); group 4 sums to 10 commits /
+    // 75 days over 5 issues (mean 2 / 15, max 38). Overall means:
+    // 248/19 = 13 commits, 537/19 = 28 days — Fig. 1's Average row.
+    static const std::vector<StudiedBug> bugs = {
+        // Core library/tool bugs without tracker effort data.
+        {440, K::CoreLibraryOrTool, -1, -1},
+        {441, K::CoreLibraryOrTool, -1, -1},
+        {444, K::CoreLibraryOrTool, -1, -1},
+        // Core library/tool bugs with effort data.
+        {442, K::CoreLibraryOrTool, 10, 21},
+        {446, K::CoreLibraryOrTool, 14, 30},
+        {447, K::CoreLibraryOrTool, 22, 44},
+        {448, K::CoreLibraryOrTool, 31, 66},
+        {449, K::CoreLibraryOrTool, 9, 12},
+        {450, K::CoreLibraryOrTool, 12, 25},
+        {452, K::CoreLibraryOrTool, 18, 33},
+        {458, K::CoreLibraryOrTool, 25, 48},
+        {459, K::CoreLibraryOrTool, 8, 9},
+        {460, K::CoreLibraryOrTool, 16, 38},
+        {461, K::CoreLibraryOrTool, 21, 52},
+        {463, K::CoreLibraryOrTool, 13, 17},
+        {465, K::CoreLibraryOrTool, 24, 41},
+        {466, K::CoreLibraryOrTool, 15, 26},
+        // API misuse without effort data.
+        {940, K::ApiMisuse, -1, -1},
+        {942, K::ApiMisuse, -1, -1},
+        {943, K::ApiMisuse, -1, -1},
+        {945, K::ApiMisuse, -1, -1},
+        // API misuse with effort data.
+        {535, K::ApiMisuse, 1, 8},
+        {585, K::ApiMisuse, 2, 15},
+        {949, K::ApiMisuse, 3, 38},
+        {1103, K::ApiMisuse, 2, 6},
+        {1118, K::ApiMisuse, 2, 8},
+    };
+    return bugs;
+}
+
+namespace
+{
+
+BugStudyRow
+aggregate(const std::vector<const StudiedBug *> &group,
+          const std::string &kind)
+{
+    BugStudyRow row;
+    row.kind = kind;
+    int commits = 0, days = 0, counted = 0;
+    for (const StudiedBug *b : group) {
+        if (!row.issues.empty())
+            row.issues += ", ";
+        row.issues += format("%d", b->issue);
+        if (b->hasEffortData()) {
+            commits += b->commits;
+            days += b->daysOpenToClose;
+            row.maxDays = std::max(row.maxDays, b->daysOpenToClose);
+            counted++;
+        }
+    }
+    if (counted) {
+        row.hasData = true;
+        row.avgCommits = (double)commits / counted;
+        row.avgDays = (double)days / counted;
+    }
+    return row;
+}
+
+} // namespace
+
+std::vector<BugStudyRow>
+bugStudyTable()
+{
+    std::vector<const StudiedBug *> g1, g2, g3, g4, with_data;
+    for (const StudiedBug &b : studiedBugs()) {
+        bool core = b.kind == StudyKind::CoreLibraryOrTool;
+        if (core && !b.hasEffortData())
+            g1.push_back(&b);
+        else if (core)
+            g2.push_back(&b);
+        else if (!b.hasEffortData())
+            g3.push_back(&b);
+        else
+            g4.push_back(&b);
+        if (b.hasEffortData())
+            with_data.push_back(&b);
+    }
+
+    std::vector<BugStudyRow> rows;
+    rows.push_back(aggregate(g1, studyKindName(
+                                     StudyKind::CoreLibraryOrTool)));
+    rows.push_back(aggregate(g2, studyKindName(
+                                     StudyKind::CoreLibraryOrTool)));
+    rows.push_back(aggregate(g3, studyKindName(StudyKind::ApiMisuse)));
+    rows.push_back(aggregate(g4, studyKindName(StudyKind::ApiMisuse)));
+    BugStudyRow avg = aggregate(with_data, "Average");
+    avg.issues = "Average";
+    rows.push_back(avg);
+    return rows;
+}
+
+} // namespace hippo::apps

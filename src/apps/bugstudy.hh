@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The §3 study dataset: the 26 PMDK durability bugs found with
+ * pmemcheck and later fixed by developers (Fig. 1). Issue numbers and
+ * group-level aggregates (average commits to a passing build, average
+ * and maximum days from open to close, bug kind) come from the paper;
+ * the per-issue effort figures are synthesized to be consistent with
+ * every aggregate the paper reports, so the Fig. 1 table can be
+ * regenerated from issue-level data.
+ */
+
+#ifndef HIPPO_APPS_BUGSTUDY_HH
+#define HIPPO_APPS_BUGSTUDY_HH
+
+#include <string>
+#include <vector>
+
+namespace hippo::apps
+{
+
+/** Bug-kind classes of the study. */
+enum class StudyKind { CoreLibraryOrTool, ApiMisuse };
+
+const char *studyKindName(StudyKind k);
+
+/** One studied PMDK issue. */
+struct StudiedBug
+{
+    int issue = 0;
+    StudyKind kind = StudyKind::CoreLibraryOrTool;
+    /** Fix-effort data; absent (-1) for issues the tracker lacks. */
+    int commits = -1;
+    int daysOpenToClose = -1;
+
+    bool hasEffortData() const { return commits >= 0; }
+};
+
+/** All 26 studied bugs. */
+const std::vector<StudiedBug> &studiedBugs();
+
+/** One aggregated row of the Fig. 1 table. */
+struct BugStudyRow
+{
+    std::string issues;    ///< comma-separated issue numbers
+    double avgCommits = 0; ///< -1 when the group lacks data
+    double avgDays = 0;
+    int maxDays = 0;
+    std::string kind;
+    bool hasData = false;
+};
+
+/** The four groups of Fig. 1 plus the Average row (last). */
+std::vector<BugStudyRow> bugStudyTable();
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_BUGSTUDY_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The PMDK bug corpus: 11 reproductions of the durability bugs from
+ * the paper's study (§3, Fig. 1) that the authors could reproduce
+ * and fix (§6.1–6.2, Fig. 3). Each case provides a buggy build and a
+ * developer-fixed build, plus the metadata needed to regenerate the
+ * Fig. 3 qualitative comparison:
+ *
+ *  - issues 452, 940, 943: Hippocrates inserts an intraprocedural
+ *    flush (CLWB); the developers used an interprocedural
+ *    libpmem-style ranged flush — functionally equivalent, the
+ *    developer fix being more machine-portable;
+ *  - issues 447, 458, 459, 460, 461, 585, 942, 945: both Hippocrates
+ *    and the developers produce interprocedural flush+fence fixes —
+ *    functionally identical.
+ */
+
+#ifndef HIPPO_APPS_BUGSUITE_HH
+#define HIPPO_APPS_BUGSUITE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fixer.hh"
+#include "ir/module.hh"
+#include "pmcheck/detector.hh"
+
+namespace hippo::apps
+{
+
+/** How the PMDK developers fixed the issue. */
+enum class DevFixStyle : uint8_t
+{
+    InterproceduralFlushFence, ///< persistent helper / pmem_persist
+    PortableRangedFlush,       ///< pmem_flush range + existing fence
+};
+
+const char *devFixStyleName(DevFixStyle s);
+
+/** One corpus entry. */
+struct BugCase
+{
+    std::string id;          ///< e.g. "pmdk-447"
+    std::string description;
+    pmcheck::BugKind expectedKind;
+    DevFixStyle devStyle;
+    core::FixKind expectedHippoKind;
+    std::string entry; ///< entry function of the reproducer
+
+    /** Build the module; @p dev_fixed selects the developer fix. */
+    std::function<std::unique_ptr<ir::Module>(bool dev_fixed)> build;
+};
+
+/** The 11 reproduced PMDK cases. */
+const std::vector<BugCase> &pmdkBugCases();
+
+/** Outcome of fixing one case and comparing against the developer. */
+struct CaseResult
+{
+    std::string id;
+    bool detected = false;       ///< bug found in the buggy build
+    pmcheck::BugKind foundKind = pmcheck::BugKind::MissingFlush;
+    bool fixedClean = false;     ///< re-check after repair is clean
+    core::FixKind hippoKind = core::FixKind::IntraFlush;
+    bool devClean = false;       ///< developer build is clean
+    bool persistedStateMatches = false; ///< crash-state equivalence
+    core::FixSummary summary;
+};
+
+/** Run detect -> fix -> re-check -> compare for one case. */
+CaseResult evaluateCase(const BugCase &c,
+                        core::FixerConfig cfg = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_BUGSUITE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-side driver that feeds YCSB operation streams to a pmkv
+ * module running in the VM, plus the factory that produces the three
+ * Redis variants of the paper's §6.3 case study:
+ *
+ *   Redis-pm     = pmkv built with developer flushes (Manual);
+ *   RedisH-full  = flush-free pmkv repaired by Hippocrates with the
+ *                  hoisting heuristic enabled;
+ *   RedisH-intra = flush-free pmkv repaired with hoisting disabled
+ *                  (intraprocedural fixes only).
+ */
+
+#ifndef HIPPO_APPS_KV_DRIVER_HH
+#define HIPPO_APPS_KV_DRIVER_HH
+
+#include <memory>
+
+#include "apps/pmkv.hh"
+#include "core/fixer.hh"
+#include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
+#include "ycsb/ycsb.hh"
+
+namespace hippo::apps
+{
+
+/** Result of one workload execution. */
+struct WorkloadResult
+{
+    uint64_t ops = 0;
+    double simSeconds = 0;
+
+    /** Simulated operations per second. */
+    double
+    throughput() const
+    {
+        return simSeconds > 0 ? ops / simSeconds : 0;
+    }
+};
+
+/** Drives a pmkv module with YCSB operations. */
+class KvDriver
+{
+  public:
+    KvDriver(ir::Module *module, pmem::PmPool *pool,
+             vm::VmConfig vc = {}, uint64_t val_len = 100);
+
+    /** Run @kv_init. */
+    void init();
+
+    /** Run one full workload; returns ops and simulated time. */
+    WorkloadResult run(ycsb::Workload w, uint64_t record_count,
+                       uint64_t op_count, uint64_t seed);
+
+    /** Execute a single operation. */
+    void execute(const ycsb::Op &op);
+
+    vm::Vm &vm() { return vm_; }
+
+  private:
+    vm::Vm vm_;
+    uint64_t valLen_;
+};
+
+/** The three §6.3 variants plus the fix summaries that made them. */
+struct RedisVariants
+{
+    std::unique_ptr<ir::Module> manual;     ///< Redis-pm
+    std::unique_ptr<ir::Module> hippoFull;  ///< RedisH-full
+    std::unique_ptr<ir::Module> hippoIntra; ///< RedisH-intra
+    core::FixSummary fullSummary;
+    core::FixSummary intraSummary;
+    pmcheck::Report flushFreeReport; ///< bugs found pre-fix
+};
+
+/**
+ * Build all three variants: builds flush-free pmkv, traces a small
+ * mixed workload under the bug finder, and repairs two copies of the
+ * module (heuristic on/off). Both repaired modules are re-checked to
+ * be bug-free before returning.
+ */
+RedisVariants buildRedisVariants(
+    const PmkvConfig &cfg = {},
+    analysis::AaMode aa = analysis::AaMode::FullAA);
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_KV_DRIVER_HH

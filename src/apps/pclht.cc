@@ -1,0 +1,587 @@
+#include "apps/pclht.hh"
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace hippo::apps
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** Bucket layout: one 64-byte cache line. */
+constexpr uint64_t bmapOff = 0;   ///< occupancy bitmap (bits 0..2)
+constexpr uint64_t keysOff = 8;   ///< 3 keys
+constexpr uint64_t valsOff = 32;  ///< 3 values
+constexpr uint64_t bucketBytes = 64;
+constexpr uint64_t slotsPerBucket = 3;
+constexpr uint64_t probeMax = 8;
+
+constexpr uint64_t metaMagicOff = 0;
+constexpr uint64_t metaBytes = 64;
+constexpr uint64_t magicValue = 0xC1;
+
+struct Ctx
+{
+    Module *m;
+    IRBuilder b;
+    const PclhtConfig &cfg;
+
+    Function *hash = nullptr;
+    Function *put = nullptr;
+    Function *get = nullptr;
+    Function *del = nullptr;
+
+    Ctx(Module *mod, const PclhtConfig &c) : m(mod), b(mod), cfg(c) {}
+
+    Constant *ci(uint64_t v) { return m->getInt(v); }
+
+    Instruction *
+    mapTable()
+    {
+        return b.createPmMap("clht.table",
+                             cfg.buckets * bucketBytes);
+    }
+
+    Instruction *mapMeta() { return b.createPmMap("clht.meta",
+                                                  metaBytes); }
+};
+
+void
+buildHash(Ctx &c)
+{
+    Function *f = c.m->addFunction("clht_hash", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pclht.c", 12);
+    Instruction *h1 = b.createMul(key, c.ci(0x9e3779b97f4a7c15ULL));
+    Instruction *h2 = b.createBin(
+        BinOp::Xor, h1, b.createBin(BinOp::LShr, h1, c.ci(32)));
+    b.createRet(b.createBin(BinOp::And, h2,
+                            c.ci(c.cfg.buckets - 1)));
+    c.hash = f;
+}
+
+void
+buildInit(Ctx &c)
+{
+    Function *f = c.m->addFunction("clht_init", Type::Void);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *format = f->addBlock("format");
+    BasicBlock *done = f->addBlock("done");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pclht.c", 20);
+    Instruction *meta = c.mapMeta();
+    Instruction *table = c.mapTable();
+    Instruction *magic = b.createLoad(
+        b.createGep(meta, c.ci(metaMagicOff)), 8);
+    Instruction *fresh =
+        b.createCmp(CmpPred::Ne, magic, c.ci(magicValue));
+    b.createCondBr(fresh, format, done);
+
+    b.setInsertPoint(format);
+    b.setLoc("pclht.c", 24);
+    b.createMemset(table, c.ci(0),
+                   c.ci(c.cfg.buckets * bucketBytes));
+    if (!c.cfg.seedBugs) {
+        // Developer fix for pclht-1: persist the zeroed table.
+        BasicBlock *floop = f->addBlock("flush_loop");
+        BasicBlock *fbody = f->addBlock("flush_body");
+        BasicBlock *fdone = f->addBlock("flush_done");
+        Instruction *iv = b.createAlloca(8);
+        b.createStore(c.ci(0), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(floop);
+        Instruction *i = b.createLoad(iv, 8);
+        Instruction *more = b.createCmp(
+            CmpPred::Ult, i, c.ci(c.cfg.buckets * bucketBytes));
+        b.createCondBr(more, fbody, fdone);
+        b.setInsertPoint(fbody);
+        b.createFlush(b.createGep(table, i), FlushKind::Clwb);
+        b.createStore(b.createAdd(i, c.ci(64)), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(fdone);
+        b.setLoc("pclht.c", 26);
+        Instruction *magicp = b.createGep(meta, c.ci(metaMagicOff));
+        b.createStore(c.ci(magicValue), magicp, 8);
+        b.createFlush(magicp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("clht-init");
+        b.createBr(done);
+    } else {
+        // pclht-1: the zeroed table is never flushed; the magic is,
+        // so recovery believes the table is formatted.
+        b.setLoc("pclht.c", 26);
+        Instruction *magicp = b.createGep(meta, c.ci(metaMagicOff));
+        b.createStore(c.ci(magicValue), magicp, 8);
+        b.createFlush(magicp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("clht-init");
+        b.createBr(done);
+    }
+
+    b.setInsertPoint(done);
+    b.createRet();
+}
+
+void
+buildPut(Ctx &c)
+{
+    Function *f = c.m->addFunction("clht_put", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    Argument *val = f->addParam(Type::Int, "val");
+
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *probe = f->addBlock("probe");
+    BasicBlock *bucket_scan = f->addBlock("bucket_scan");
+    BasicBlock *slot_loop = f->addBlock("slot_loop");
+    BasicBlock *slot_check = f->addBlock("slot_check");
+    BasicBlock *slot_occupied = f->addBlock("slot_occupied");
+    BasicBlock *overwrite = f->addBlock("overwrite");
+    BasicBlock *slot_next = f->addBlock("slot_next");
+    BasicBlock *claim = f->addBlock("claim");
+    BasicBlock *next_bucket = f->addBlock("next_bucket");
+    BasicBlock *full = f->addBlock("full");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pclht.c", 40);
+    Instruction *table = c.mapTable();
+    Instruction *h = b.createCall(c.hash, {key});
+    Instruction *attempt = b.createAlloca(8);
+    Instruction *slotv = b.createAlloca(8);
+    Instruction *freeslot = b.createAlloca(8);
+    b.createStore(c.ci(0), attempt, 8);
+    b.createBr(probe);
+
+    b.setInsertPoint(probe);
+    Instruction *a = b.createLoad(attempt, 8);
+    Instruction *more =
+        b.createCmp(CmpPred::Ult, a, c.ci(probeMax));
+    b.createCondBr(more, bucket_scan, full);
+
+    // bucket = table + ((h + attempt) & mask) * 64
+    b.setInsertPoint(bucket_scan);
+    Instruction *idx = b.createBin(
+        BinOp::And, b.createAdd(h, a), c.ci(c.cfg.buckets - 1));
+    Instruction *bucket =
+        b.createGep(table, b.createMul(idx, c.ci(bucketBytes)));
+    Instruction *bmapp = b.createGep(bucket, c.ci(bmapOff));
+    Instruction *bmap0 = b.createLoad(bmapp, 8);
+    b.createStore(c.ci(0), slotv, 8);
+    b.createStore(c.ci(slotsPerBucket), freeslot, 8);
+    b.createBr(slot_loop);
+
+    b.setInsertPoint(slot_loop);
+    Instruction *s = b.createLoad(slotv, 8);
+    Instruction *smore =
+        b.createCmp(CmpPred::Ult, s, c.ci(slotsPerBucket));
+    b.createCondBr(smore, slot_check, claim);
+
+    b.setInsertPoint(slot_check);
+    Instruction *bit = b.createBin(BinOp::Shl, c.ci(1), s);
+    Instruction *occ = b.createBin(BinOp::And, bmap0, bit);
+    Instruction *isocc = b.createCmp(CmpPred::Ne, occ, c.ci(0));
+    b.createCondBr(isocc, slot_occupied, slot_next);
+
+    b.setInsertPoint(slot_occupied);
+    Instruction *kp = b.createGep(
+        bucket, b.createAdd(c.ci(keysOff), b.createMul(s, c.ci(8))));
+    Instruction *ekey = b.createLoad(kp, 8);
+    Instruction *match = b.createCmp(CmpPred::Eq, ekey, key);
+    BasicBlock *advance = f->addBlock("advance");
+    b.createCondBr(match, overwrite, advance);
+    b.setInsertPoint(advance);
+    b.createStore(b.createAdd(s, c.ci(1)), slotv, 8);
+    b.createBr(slot_loop);
+
+    // Existing key: in-place value update (correct in both builds).
+    b.setInsertPoint(overwrite);
+    b.setLoc("pclht.c", 55);
+    Instruction *vp = b.createGep(
+        bucket, b.createAdd(c.ci(valsOff), b.createMul(s, c.ci(8))));
+    b.createStore(val, vp, 8);
+    b.createFlush(vp, FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("clht-put");
+    b.createRet(c.ci(1));
+
+    b.setInsertPoint(slot_next);
+    // Remember the first free slot, keep scanning for the key.
+    Instruction *cur_free = b.createLoad(freeslot, 8);
+    Instruction *have_free = b.createCmp(
+        CmpPred::Eq, cur_free, c.ci(slotsPerBucket));
+    Instruction *newfree = b.createSelect(have_free, s, cur_free);
+    b.createStore(newfree, freeslot, 8);
+    b.createStore(b.createAdd(s, c.ci(1)), slotv, 8);
+    b.createBr(slot_loop);
+
+    b.setInsertPoint(claim);
+    Instruction *fs = b.createLoad(freeslot, 8);
+    Instruction *none =
+        b.createCmp(CmpPred::Eq, fs, c.ci(slotsPerBucket));
+    BasicBlock *write_slot = f->addBlock("write_slot");
+    b.createCondBr(none, next_bucket, write_slot);
+
+    b.setInsertPoint(write_slot);
+    b.setLoc("pclht.c", 66);
+    Instruction *wkp = b.createGep(
+        bucket,
+        b.createAdd(c.ci(keysOff), b.createMul(fs, c.ci(8))));
+    Instruction *wvp = b.createGep(
+        bucket,
+        b.createAdd(c.ci(valsOff), b.createMul(fs, c.ci(8))));
+    b.createStore(val, wvp, 8);
+    b.createStore(key, wkp, 8);
+    b.createFlush(bucket, FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+    // Publish the slot in the occupancy bitmap.
+    b.setLoc("pclht.c", 71);
+    Instruction *wbit = b.createBin(BinOp::Shl, c.ci(1), fs);
+    Instruction *nbmap = b.createBin(BinOp::Or, bmap0, wbit);
+    b.createStore(nbmap, bmapp, 8);
+    if (!c.cfg.seedBugs) {
+        // Developer fix for pclht-2: persist the publish too.
+        b.createFlush(bmapp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+    }
+    // pclht-2 (buggy build): the bitmap store reaches the durability
+    // point with neither a flush nor a fence behind it.
+    b.createDurPoint("clht-put");
+    b.createRet(c.ci(1));
+
+    b.setInsertPoint(next_bucket);
+    b.createStore(b.createAdd(a, c.ci(1)), attempt, 8);
+    b.createBr(probe);
+
+    b.setInsertPoint(full);
+    b.createRet(c.ci(0));
+    c.put = f;
+}
+
+void
+buildGetDel(Ctx &c)
+{
+    // @clht_get(key) -> val or 0
+    {
+        Function *f = c.m->addFunction("clht_get", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *probe = f->addBlock("probe");
+        BasicBlock *bucket_scan = f->addBlock("bucket_scan");
+        BasicBlock *slot_loop = f->addBlock("slot_loop");
+        BasicBlock *slot_check = f->addBlock("slot_check");
+        BasicBlock *key_check = f->addBlock("key_check");
+        BasicBlock *hit = f->addBlock("hit");
+        BasicBlock *slot_next = f->addBlock("slot_next");
+        BasicBlock *next_bucket = f->addBlock("next_bucket");
+        BasicBlock *miss = f->addBlock("miss");
+
+        IRBuilder &b = c.b;
+        b.setInsertPoint(entry);
+        b.setLoc("pclht.c", 90);
+        Instruction *table = c.mapTable();
+        Instruction *h = b.createCall(c.hash, {key});
+        Instruction *attempt = b.createAlloca(8);
+        Instruction *slotv = b.createAlloca(8);
+        b.createStore(c.ci(0), attempt, 8);
+        b.createBr(probe);
+
+        b.setInsertPoint(probe);
+        Instruction *a = b.createLoad(attempt, 8);
+        Instruction *more =
+            b.createCmp(CmpPred::Ult, a, c.ci(probeMax));
+        b.createCondBr(more, bucket_scan, miss);
+
+        b.setInsertPoint(bucket_scan);
+        Instruction *idx = b.createBin(
+            BinOp::And, b.createAdd(h, a), c.ci(c.cfg.buckets - 1));
+        Instruction *bucket = b.createGep(
+            table, b.createMul(idx, c.ci(bucketBytes)));
+        Instruction *bmap =
+            b.createLoad(b.createGep(bucket, c.ci(bmapOff)), 8);
+        b.createStore(c.ci(0), slotv, 8);
+        b.createBr(slot_loop);
+
+        b.setInsertPoint(slot_loop);
+        Instruction *s = b.createLoad(slotv, 8);
+        Instruction *smore =
+            b.createCmp(CmpPred::Ult, s, c.ci(slotsPerBucket));
+        b.createCondBr(smore, slot_check, next_bucket);
+
+        b.setInsertPoint(slot_check);
+        Instruction *bit = b.createBin(BinOp::Shl, c.ci(1), s);
+        Instruction *occ = b.createBin(BinOp::And, bmap, bit);
+        Instruction *isocc =
+            b.createCmp(CmpPred::Ne, occ, c.ci(0));
+        b.createCondBr(isocc, key_check, slot_next);
+
+        b.setInsertPoint(key_check);
+        Instruction *kp = b.createGep(
+            bucket,
+            b.createAdd(c.ci(keysOff), b.createMul(s, c.ci(8))));
+        Instruction *ekey = b.createLoad(kp, 8);
+        Instruction *match = b.createCmp(CmpPred::Eq, ekey, key);
+        b.createCondBr(match, hit, slot_next);
+
+        b.setInsertPoint(hit);
+        Instruction *vp = b.createGep(
+            bucket,
+            b.createAdd(c.ci(valsOff), b.createMul(s, c.ci(8))));
+        b.createRet(b.createLoad(vp, 8));
+
+        b.setInsertPoint(slot_next);
+        b.createStore(b.createAdd(s, c.ci(1)), slotv, 8);
+        b.createBr(slot_loop);
+
+        b.setInsertPoint(next_bucket);
+        b.createStore(b.createAdd(a, c.ci(1)), attempt, 8);
+        b.createBr(probe);
+
+        b.setInsertPoint(miss);
+        b.createRet(c.ci(0));
+        c.get = f;
+    }
+
+    // @clht_del(key) -> 1 if removed (correct durability either way)
+    {
+        Function *f = c.m->addFunction("clht_del", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *probe = f->addBlock("probe");
+        BasicBlock *bucket_scan = f->addBlock("bucket_scan");
+        BasicBlock *slot_loop = f->addBlock("slot_loop");
+        BasicBlock *slot_check = f->addBlock("slot_check");
+        BasicBlock *key_check = f->addBlock("key_check");
+        BasicBlock *clear = f->addBlock("clear");
+        BasicBlock *slot_next = f->addBlock("slot_next");
+        BasicBlock *next_bucket = f->addBlock("next_bucket");
+        BasicBlock *miss = f->addBlock("miss");
+
+        IRBuilder &b = c.b;
+        b.setInsertPoint(entry);
+        b.setLoc("pclht.c", 130);
+        Instruction *table = c.mapTable();
+        Instruction *h = b.createCall(c.hash, {key});
+        Instruction *attempt = b.createAlloca(8);
+        Instruction *slotv = b.createAlloca(8);
+        b.createStore(c.ci(0), attempt, 8);
+        b.createBr(probe);
+
+        b.setInsertPoint(probe);
+        Instruction *a = b.createLoad(attempt, 8);
+        Instruction *more =
+            b.createCmp(CmpPred::Ult, a, c.ci(probeMax));
+        b.createCondBr(more, bucket_scan, miss);
+
+        b.setInsertPoint(bucket_scan);
+        Instruction *idx = b.createBin(
+            BinOp::And, b.createAdd(h, a), c.ci(c.cfg.buckets - 1));
+        Instruction *bucket = b.createGep(
+            table, b.createMul(idx, c.ci(bucketBytes)));
+        Instruction *bmapp = b.createGep(bucket, c.ci(bmapOff));
+        Instruction *bmap = b.createLoad(bmapp, 8);
+        b.createStore(c.ci(0), slotv, 8);
+        b.createBr(slot_loop);
+
+        b.setInsertPoint(slot_loop);
+        Instruction *s = b.createLoad(slotv, 8);
+        Instruction *smore =
+            b.createCmp(CmpPred::Ult, s, c.ci(slotsPerBucket));
+        b.createCondBr(smore, slot_check, next_bucket);
+
+        b.setInsertPoint(slot_check);
+        Instruction *bit = b.createBin(BinOp::Shl, c.ci(1), s);
+        Instruction *occ = b.createBin(BinOp::And, bmap, bit);
+        Instruction *isocc =
+            b.createCmp(CmpPred::Ne, occ, c.ci(0));
+        b.createCondBr(isocc, key_check, slot_next);
+
+        b.setInsertPoint(key_check);
+        Instruction *kp = b.createGep(
+            bucket,
+            b.createAdd(c.ci(keysOff), b.createMul(s, c.ci(8))));
+        Instruction *ekey = b.createLoad(kp, 8);
+        Instruction *match = b.createCmp(CmpPred::Eq, ekey, key);
+        b.createCondBr(match, clear, slot_next);
+
+        b.setInsertPoint(clear);
+        b.setLoc("pclht.c", 142);
+        Instruction *nbmap = b.createBin(
+            BinOp::And, bmap,
+            b.createBin(BinOp::Xor, bit, c.ci(~0ULL)));
+        b.createStore(nbmap, bmapp, 8);
+        b.createFlush(bmapp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("clht-del");
+        b.createRet(c.ci(1));
+
+        b.setInsertPoint(slot_next);
+        b.createStore(b.createAdd(s, c.ci(1)), slotv, 8);
+        b.createBr(slot_loop);
+
+        b.setInsertPoint(next_bucket);
+        b.createStore(b.createAdd(a, c.ci(1)), attempt, 8);
+        b.createBr(probe);
+
+        b.setInsertPoint(miss);
+        b.createRet(c.ci(0));
+        c.del = f;
+    }
+}
+
+void
+buildRecoverAndExample(Ctx &c)
+{
+    IRBuilder &b = c.b;
+
+    // @clht_recover() -> occupied slot count
+    {
+        Function *f = c.m->addFunction("clht_recover", Type::Int);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *loop = f->addBlock("loop");
+        BasicBlock *body = f->addBlock("body");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pclht.c", 160);
+        Instruction *table = c.mapTable();
+        Instruction *iv = b.createAlloca(8);
+        Instruction *acc = b.createAlloca(8);
+        b.createStore(c.ci(0), iv, 8);
+        b.createStore(c.ci(0), acc, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        Instruction *more =
+            b.createCmp(CmpPred::Ult, i, c.ci(c.cfg.buckets));
+        b.createCondBr(more, body, done);
+
+        b.setInsertPoint(body);
+        Instruction *bucket = b.createGep(
+            table, b.createMul(i, c.ci(bucketBytes)));
+        Instruction *bmap =
+            b.createLoad(b.createGep(bucket, c.ci(bmapOff)), 8);
+        // popcount of the 3 slot bits
+        Instruction *b0 = b.createBin(BinOp::And, bmap, c.ci(1));
+        Instruction *b1 = b.createBin(
+            BinOp::And, b.createBin(BinOp::LShr, bmap, c.ci(1)),
+            c.ci(1));
+        Instruction *b2 = b.createBin(
+            BinOp::And, b.createBin(BinOp::LShr, bmap, c.ci(2)),
+            c.ci(1));
+        Instruction *sum =
+            b.createAdd(b.createAdd(b0, b1), b2);
+        Instruction *cur = b.createLoad(acc, 8);
+        b.createStore(b.createAdd(cur, sum), acc, 8);
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(done);
+        b.createRet(b.createLoad(acc, 8));
+    }
+
+    // @clht_example(n): the RECIPE-style insert/delete/lookup driver
+    {
+        Function *f = c.m->addFunction("clht_example", Type::Int);
+        Argument *n = f->addParam(Type::Int, "n");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *ins_loop = f->addBlock("ins_loop");
+        BasicBlock *ins_body = f->addBlock("ins_body");
+        BasicBlock *del_loop = f->addBlock("del_loop");
+        BasicBlock *del_body = f->addBlock("del_body");
+        BasicBlock *get_loop = f->addBlock("get_loop");
+        BasicBlock *get_body = f->addBlock("get_body");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pclht.c", 180);
+        Instruction *iv = b.createAlloca(8);
+        Instruction *digest = b.createAlloca(8);
+        b.createCall(c.m->findFunction("clht_init"), {});
+        b.createStore(c.ci(1), iv, 8);
+        b.createStore(c.ci(0), digest, 8);
+        b.createBr(ins_loop);
+
+        b.setInsertPoint(ins_loop);
+        Instruction *i = b.createLoad(iv, 8);
+        Instruction *more = b.createCmp(CmpPred::Ule, i, n);
+        b.createCondBr(more, ins_body, del_loop);
+        b.setInsertPoint(ins_body);
+        b.createCall(c.put,
+                     {i, b.createMul(i, c.ci(31))});
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(ins_loop);
+
+        b.setInsertPoint(del_loop);
+        // restart counter at 3, step 3
+        Instruction *i2 = b.createLoad(iv, 8);
+        Instruction *started =
+            b.createCmp(CmpPred::Ugt, i2, n);
+        BasicBlock *del_reset = f->addBlock("del_reset");
+        b.createCondBr(started, del_reset, del_body);
+        b.setInsertPoint(del_reset);
+        b.createStore(c.ci(3), iv, 8);
+        b.createBr(del_body);
+        b.setInsertPoint(del_body);
+        Instruction *i3 = b.createLoad(iv, 8);
+        Instruction *in_range = b.createCmp(CmpPred::Ule, i3, n);
+        BasicBlock *do_del = f->addBlock("do_del");
+        b.createCondBr(in_range, do_del, get_loop);
+        b.setInsertPoint(do_del);
+        b.createCall(c.del, {i3});
+        b.createStore(b.createAdd(i3, c.ci(3)), iv, 8);
+        b.createBr(del_body);
+
+        b.setInsertPoint(get_loop);
+        b.createStore(c.ci(1), iv, 8);
+        b.createBr(get_body);
+        b.setInsertPoint(get_body);
+        Instruction *i4 = b.createLoad(iv, 8);
+        Instruction *gmore = b.createCmp(CmpPred::Ule, i4, n);
+        BasicBlock *do_get = f->addBlock("do_get");
+        b.createCondBr(gmore, do_get, done);
+        b.setInsertPoint(do_get);
+        Instruction *v = b.createCall(c.get, {i4});
+        Instruction *cur = b.createLoad(digest, 8);
+        b.createStore(
+            b.createBin(BinOp::Xor,
+                        b.createMul(cur, c.ci(1099511628211ULL)), v),
+            digest, 8);
+        b.createStore(b.createAdd(i4, c.ci(1)), iv, 8);
+        b.createBr(get_body);
+
+        b.setInsertPoint(done);
+        Instruction *dg = b.createLoad(digest, 8);
+        b.createPrint("clht_digest", dg);
+        b.createRet(dg);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+buildPclht(const PclhtConfig &cfg)
+{
+    hippo_assert((cfg.buckets & (cfg.buckets - 1)) == 0,
+                 "buckets must be a power of two");
+    auto m = std::make_unique<Module>(cfg.seedBugs ? "pclht-buggy"
+                                                   : "pclht-fixed");
+    Ctx c(m.get(), cfg);
+    buildHash(c);
+    buildInit(c);
+    buildPut(c);
+    buildGetDel(c);
+    buildRecoverAndExample(c);
+    verifyOrDie(*m);
+    return m;
+}
+
+} // namespace hippo::apps

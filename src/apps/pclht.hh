@@ -1,0 +1,49 @@
+/**
+ * @file
+ * pclht: a persistent cache-line hash table modeled on RECIPE's
+ * P-CLHT index (§6 evaluation target). Each bucket occupies exactly
+ * one 64-byte cache line: an occupancy bitmap word plus three
+ * key/value slot pairs; collisions linear-probe to the next bucket.
+ *
+ * The buggy build seeds the two durability bugs the paper reports
+ * finding in P-CLHT with pmemcheck:
+ *  - pclht-1 (missing-flush): the table zeroing in @clht_init is
+ *    never flushed (the fence is present);
+ *  - pclht-2 (missing-flush&fence): @clht_put publishes the slot by
+ *    writing the occupancy bitmap *after* the bucket flush+fence, so
+ *    the publish itself is neither flushed nor fenced.
+ */
+
+#ifndef HIPPO_APPS_PCLHT_HH
+#define HIPPO_APPS_PCLHT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace hippo::apps
+{
+
+/** Build parameters for pclht. */
+struct PclhtConfig
+{
+    uint64_t buckets = 1024; ///< power of two
+    bool seedBugs = true;    ///< build the buggy variant
+};
+
+/**
+ * Build the pclht module. Entry points:
+ *  - @clht_init()
+ *  - @clht_put(key, val) -> 1 on success, 0 when full (keys != 0)
+ *  - @clht_get(key) -> val (0 on miss)
+ *  - @clht_del(key) -> 1 if removed
+ *  - @clht_recover() -> number of occupied slots
+ *  - @clht_example(n): the RECIPE-style exercise driver (insert n,
+ *    delete every 3rd, look everything up, print a digest)
+ */
+std::unique_ptr<ir::Module> buildPclht(const PclhtConfig &cfg = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_PCLHT_HH

@@ -1,0 +1,664 @@
+#include "apps/pmcache.hh"
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace hippo::apps
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** Item layout (192 bytes = 3 cache lines). */
+constexpr uint64_t itNext = 0;    ///< item index + 1 (0 = none)
+constexpr uint64_t itKey = 8;
+constexpr uint64_t itFlags = 16;
+constexpr uint64_t itExptime = 24;
+constexpr uint64_t itLru = 32;
+constexpr uint64_t itDataLen = 40;
+constexpr uint64_t itData = 64;
+constexpr uint64_t itemBytes = 192;
+constexpr uint64_t dataMax = 128;
+
+/** Meta layout. */
+constexpr uint64_t mMagic = 0;
+constexpr uint64_t mCursor = 8;
+constexpr uint64_t mCount = 16;
+constexpr uint64_t metaBytes = 64;
+
+struct Ctx
+{
+    Module *m;
+    IRBuilder b;
+    const PmcacheConfig &cfg;
+
+    Function *hash = nullptr;
+    Function *slabWrite = nullptr;
+    Function *findItem = nullptr;
+    Function *touch = nullptr;
+    Function *set = nullptr;
+    Function *get = nullptr;
+    Function *del = nullptr;
+
+    Ctx(Module *mod, const PmcacheConfig &c) : m(mod), b(mod), cfg(c)
+    {}
+
+    Constant *ci(uint64_t v) { return m->getInt(v); }
+    bool buggy() const { return cfg.seedBugs; }
+
+    Instruction *mapMeta() { return b.createPmMap("mc.meta",
+                                                  metaBytes); }
+    Instruction *
+    mapHash()
+    {
+        return b.createPmMap("mc.hash", cfg.buckets * 8);
+    }
+    Instruction *
+    mapItems()
+    {
+        return b.createPmMap("mc.items", cfg.items * itemBytes);
+    }
+    Instruction *mapStats() { return b.createPmMap("mc.stats", 64); }
+
+    /** Flush+fence a single location (developer fix idiom). */
+    void
+    devPersist(Value *p)
+    {
+        b.createFlush(p, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+    }
+
+    Instruction *
+    roundUp8(Value *v)
+    {
+        return b.createBin(BinOp::And, b.createAdd(v, ci(7)),
+                           ci(~7ULL));
+    }
+};
+
+void
+buildHash(Ctx &c)
+{
+    Function *f = c.m->addFunction("mc_hash", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmcache.c", 10);
+    Instruction *h = b.createMul(
+        b.createBin(BinOp::Xor, key,
+                    b.createBin(BinOp::LShr, key, c.ci(17))),
+        c.ci(0xc2b2ae3d27d4eb4fULL));
+    b.createRet(b.createBin(BinOp::And, h,
+                            c.ci(c.cfg.buckets - 1)));
+    c.hash = f;
+}
+
+/** @slab_write(dst, src, len): shared copy loop (PM and volatile). */
+void
+buildSlabWrite(Ctx &c)
+{
+    Function *f = c.m->addFunction("slab_write", Type::Void);
+    Argument *dst = f->addParam(Type::Ptr, "dst");
+    Argument *src = f->addParam(Type::Ptr, "src");
+    Argument *len = f->addParam(Type::Int, "len");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmcache.c", 20);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(c.ci(0), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, i, len), body, exit);
+    b.setInsertPoint(body);
+    b.setLoc("pmcache.c", 23);
+    Instruction *v = b.createLoad(b.createGep(src, i), 8);
+    b.createStore(v, b.createGep(dst, i), 8);
+    b.createStore(b.createAdd(i, c.ci(8)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(exit);
+    b.createRet();
+    c.slabWrite = f;
+}
+
+/** @mc_find(key) -> item pointer offset+1 in slab, 0 on miss. */
+void
+buildFindItem(Ctx &c)
+{
+    Function *f = c.m->addFunction("mc_find", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *check = f->addBlock("check");
+    BasicBlock *hit = f->addBlock("hit");
+    BasicBlock *step = f->addBlock("step");
+    BasicBlock *miss = f->addBlock("miss");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmcache.c", 32);
+    Instruction *hashtab = c.mapHash();
+    Instruction *items = c.mapItems();
+    Instruction *h = b.createCall(c.hash, {key});
+    Instruction *cur = b.createAlloca(8);
+    b.createStore(
+        b.createLoad(b.createGep(hashtab, b.createMul(h, c.ci(8))),
+                     8),
+        cur, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *idx1 = b.createLoad(cur, 8);
+    b.createCondBr(b.createCmp(CmpPred::Eq, idx1, c.ci(0)), miss,
+                   check);
+
+    b.setInsertPoint(check);
+    Instruction *item = b.createGep(
+        items,
+        b.createMul(b.createSub(idx1, c.ci(1)), c.ci(itemBytes)));
+    Instruction *ekey =
+        b.createLoad(b.createGep(item, c.ci(itKey)), 8);
+    b.createCondBr(b.createCmp(CmpPred::Eq, ekey, key), hit, step);
+
+    b.setInsertPoint(hit);
+    b.createRet(idx1);
+
+    b.setInsertPoint(step);
+    b.createStore(b.createLoad(b.createGep(item, c.ci(itNext)), 8),
+                  cur, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(miss);
+    b.createRet(c.ci(0));
+    c.findItem = f;
+}
+
+/** @mc_touch(item): LRU stamp; mc-8 missing-fence in the buggy build. */
+void
+buildTouch(Ctx &c)
+{
+    Function *f = c.m->addFunction("mc_touch", Type::Void);
+    Argument *item = f->addParam(Type::Ptr, "item");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmcache.c", 50);
+    Instruction *meta = c.mapMeta();
+    Instruction *stamp =
+        b.createLoad(b.createGep(meta, c.ci(mCount)), 8);
+    Instruction *lrup = b.createGep(item, c.ci(itLru));
+    b.createStore(stamp, lrup, 8);
+    b.createFlush(lrup, FlushKind::Clwb);
+    if (!c.buggy())
+        b.createFence(FenceKind::Sfence);
+    // mc-8: the CLWB above is never ordered before the durability
+    // point without the SFENCE.
+    b.createDurPoint("mc-touch");
+    b.createRet();
+    c.touch = f;
+}
+
+void
+buildSet(Ctx &c)
+{
+    Function *f = c.m->addFunction("mc_set", Type::Void);
+    Argument *key = f->addParam(Type::Int, "key");
+    Argument *flags = f->addParam(Type::Int, "flags");
+    Argument *exptime = f->addParam(Type::Int, "exptime");
+    Argument *src = f->addParam(Type::Ptr, "src");
+    Argument *len = f->addParam(Type::Int, "len");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmcache.c", 60);
+    Instruction *meta = c.mapMeta();
+    Instruction *hashtab = c.mapHash();
+    Instruction *items = c.mapItems();
+
+    Instruction *cursorp = b.createGep(meta, c.ci(mCursor));
+    Instruction *cursor = b.createLoad(cursorp, 8);
+    Instruction *slot = b.createBin(
+        BinOp::URem, cursor, c.ci(c.cfg.items)); // ring reuse
+    Instruction *item = b.createGep(
+        items, b.createMul(slot, c.ci(itemBytes)));
+    Instruction *h = b.createCall(c.hash, {key});
+    Instruction *bucketp =
+        b.createGep(hashtab, b.createMul(h, c.ci(8)));
+
+    // Header line first: link, key, datalen; persisted correctly.
+    b.setLoc("pmcache.c", 66);
+    Instruction *old_head = b.createLoad(bucketp, 8);
+    b.createStore(old_head, b.createGep(item, c.ci(itNext)), 8);
+    b.createStore(key, b.createGep(item, c.ci(itKey)), 8);
+    b.createStore(len, b.createGep(item, c.ci(itDataLen)), 8);
+
+    // Payload through the shared slab writer.
+    b.setLoc("pmcache.c", 70);
+    b.createCall(c.slabWrite,
+                 {b.createGep(item, c.ci(itData)), src,
+                  c.roundUp8(len)});
+    // mc-2 (buggy): the payload lines are never flushed.
+    if (!c.buggy()) {
+        Instruction *iv = b.createAlloca(8);
+        BasicBlock *floop = f->addBlock("floop");
+        BasicBlock *fbody = f->addBlock("fbody");
+        BasicBlock *fdone = f->addBlock("fdone");
+        b.createStore(c.ci(0), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(floop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(b.createCmp(CmpPred::Ult, i,
+                                   c.ci(dataMax)),
+                       fbody, fdone);
+        b.setInsertPoint(fbody);
+        b.createFlush(b.createGep(item,
+                                  b.createAdd(c.ci(itData), i)),
+                      FlushKind::Clwb);
+        b.createStore(b.createAdd(i, c.ci(64)), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(fdone);
+    }
+
+    // Persist the header line (covers next/key/datalen).
+    b.setLoc("pmcache.c", 74);
+    b.createFlush(item, FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+
+    // Metadata written after the header flush, on the same line —
+    // each store below needs its own flush.
+    b.setLoc("pmcache.c", 77);
+    Instruction *flagsp = b.createGep(item, c.ci(itFlags));
+    b.createStore(flags, flagsp, 8); // mc-1
+    if (!c.buggy())
+        b.createFlush(flagsp, FlushKind::Clwb);
+    b.setLoc("pmcache.c", 79);
+    Instruction *expp = b.createGep(item, c.ci(itExptime));
+    b.createStore(exptime, expp, 8); // mc-3
+    if (!c.buggy())
+        b.createFlush(expp, FlushKind::Clwb);
+
+    // Publish in the hash chain and bump allocation state.
+    b.setLoc("pmcache.c", 82);
+    b.createStore(b.createAdd(slot, c.ci(1)), bucketp, 8); // mc-5
+    if (!c.buggy())
+        b.createFlush(bucketp, FlushKind::Clwb);
+    b.setLoc("pmcache.c", 84);
+    b.createStore(b.createAdd(cursor, c.ci(1)), cursorp, 8); // mc-6
+    if (!c.buggy())
+        b.createFlush(cursorp, FlushKind::Clwb);
+    b.setLoc("pmcache.c", 86);
+    Instruction *countp = b.createGep(meta, c.ci(mCount));
+    b.createStore(b.createAdd(b.createLoad(countp, 8), c.ci(1)),
+                  countp, 8); // mc-7
+    if (!c.buggy())
+        b.createFlush(countp, FlushKind::Clwb);
+
+    // Ordering point retained in both builds.
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("mc-set");
+    b.createRet();
+    c.set = f;
+}
+
+void
+buildGetDelete(Ctx &c)
+{
+    IRBuilder &b = c.b;
+
+    // @mc_get(key, out) -> datalen (0 on miss)
+    {
+        Function *f = c.m->addFunction("mc_get", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        Argument *out = f->addParam(Type::Ptr, "out");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *hit = f->addBlock("hit");
+        BasicBlock *miss = f->addBlock("miss");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmcache.c", 100);
+        Instruction *items = c.mapItems();
+        Instruction *idx1 = b.createCall(c.findItem, {key});
+        b.createCondBr(b.createCmp(CmpPred::Ne, idx1, c.ci(0)), hit,
+                       miss);
+
+        b.setInsertPoint(hit);
+        Instruction *item = b.createGep(
+            items, b.createMul(b.createSub(idx1, c.ci(1)),
+                               c.ci(itemBytes)));
+        Instruction *dl =
+            b.createLoad(b.createGep(item, c.ci(itDataLen)), 8);
+        b.createCall(c.slabWrite,
+                     {out, b.createGep(item, c.ci(itData)),
+                      c.roundUp8(dl)});
+        b.createCall(c.touch, {item});
+        b.createRet(dl);
+
+        b.setInsertPoint(miss);
+        b.createRet(c.ci(0));
+        c.get = f;
+    }
+
+    // @mc_delete(key) -> 1 if removed (head unlink only: ring slabs
+    // keep chains short; deeper links age out with the ring).
+    {
+        Function *f = c.m->addFunction("mc_delete", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *have = f->addBlock("have");
+        BasicBlock *unlink_head = f->addBlock("unlink_head");
+        BasicBlock *miss = f->addBlock("miss");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmcache.c", 120);
+        Instruction *hashtab = c.mapHash();
+        Instruction *items = c.mapItems();
+        Instruction *h = b.createCall(c.hash, {key});
+        Instruction *bucketp =
+            b.createGep(hashtab, b.createMul(h, c.ci(8)));
+        Instruction *head = b.createLoad(bucketp, 8);
+        b.createCondBr(b.createCmp(CmpPred::Eq, head, c.ci(0)),
+                       miss, have);
+
+        b.setInsertPoint(have);
+        Instruction *item = b.createGep(
+            items, b.createMul(b.createSub(head, c.ci(1)),
+                               c.ci(itemBytes)));
+        Instruction *ekey =
+            b.createLoad(b.createGep(item, c.ci(itKey)), 8);
+        b.createCondBr(b.createCmp(CmpPred::Eq, ekey, key),
+                       unlink_head, miss);
+
+        b.setInsertPoint(unlink_head);
+        b.setLoc("pmcache.c", 128);
+        Instruction *next =
+            b.createLoad(b.createGep(item, c.ci(itNext)), 8);
+        b.createStore(next, bucketp, 8); // mc-9
+        if (!c.buggy()) {
+            b.createFlush(bucketp, FlushKind::Clwb);
+            b.createFence(FenceKind::Sfence);
+        }
+        b.createDurPoint("mc-del");
+        b.createRet(c.ci(1));
+
+        b.setInsertPoint(miss);
+        b.createRet(c.ci(0));
+        c.del = f;
+    }
+}
+
+void
+buildInitStatsHandlers(Ctx &c)
+{
+    IRBuilder &b = c.b;
+
+    // @mc_init()
+    {
+        Function *f = c.m->addFunction("mc_init", Type::Void);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *format = f->addBlock("format");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmcache.c", 140);
+        Instruction *meta = c.mapMeta();
+        Instruction *hashtab = c.mapHash();
+        c.mapItems();
+        c.mapStats();
+        Instruction *magicp = b.createGep(meta, c.ci(mMagic));
+        Instruction *magic = b.createLoad(magicp, 8);
+        b.createCondBr(
+            b.createCmp(CmpPred::Ne, magic, c.ci(0xAC)), format,
+            done);
+
+        b.setInsertPoint(format);
+        b.setLoc("pmcache.c", 144);
+        b.createMemset(hashtab, c.ci(0),
+                       c.ci(c.cfg.buckets * 8)); // mc-4
+        if (!c.buggy()) {
+            BasicBlock *floop = f->addBlock("floop");
+            BasicBlock *fbody = f->addBlock("fbody");
+            BasicBlock *fdone = f->addBlock("fdone");
+            Instruction *iv = b.createAlloca(8);
+            b.createStore(c.ci(0), iv, 8);
+            b.createBr(floop);
+            b.setInsertPoint(floop);
+            Instruction *i = b.createLoad(iv, 8);
+            b.createCondBr(
+                b.createCmp(CmpPred::Ult, i,
+                            c.ci(c.cfg.buckets * 8)),
+                fbody, fdone);
+            b.setInsertPoint(fbody);
+            b.createFlush(b.createGep(hashtab, i), FlushKind::Clwb);
+            b.createStore(b.createAdd(i, c.ci(64)), iv, 8);
+            b.createBr(floop);
+            b.setInsertPoint(fdone);
+        }
+        b.setLoc("pmcache.c", 146);
+        b.createStore(c.ci(0),
+                      b.createGep(meta, c.ci(mCursor)), 8);
+        b.createStore(c.ci(0), b.createGep(meta, c.ci(mCount)), 8);
+        b.createStore(c.ci(0xAC), magicp, 8);
+        b.createFlush(magicp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("mc-init");
+        b.createBr(done);
+
+        b.setInsertPoint(done);
+        b.createRet();
+    }
+
+    // @mc_stats_persist()
+    {
+        Function *f =
+            c.m->addFunction("mc_stats_persist", Type::Void);
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmcache.c", 160);
+        Instruction *meta = c.mapMeta();
+        Instruction *stats = c.mapStats();
+        Instruction *ops =
+            b.createLoad(b.createGep(meta, c.ci(mCount)), 8);
+        b.createStore(ops, stats, 8); // mc-10
+        if (!c.buggy()) {
+            b.createFlush(stats, FlushKind::Clwb);
+            b.createFence(FenceKind::Sfence);
+        }
+        b.createDurPoint("mc-stats");
+        b.createRet();
+    }
+
+    // Handlers with volatile staging.
+    {
+        Function *f = c.m->addFunction("mc_handle_set", Type::Void);
+        Argument *key = f->addParam(Type::Int, "key");
+        Argument *len = f->addParam(Type::Int, "len");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmcache.c", 170);
+        Instruction *staging = b.createAlloca(dataMax);
+        b.createMemset(staging,
+                       b.createBin(BinOp::And, key, c.ci(0xff)),
+                       c.roundUp8(len));
+        b.createCall(c.set,
+                     {key, c.ci(7), c.ci(1000), staging, len});
+        b.createRet();
+    }
+    {
+        Function *f = c.m->addFunction("mc_handle_get", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmcache.c", 176);
+        Instruction *out = b.createAlloca(dataMax);
+        b.createRet(b.createCall(c.get, {key, out}));
+    }
+    {
+        Function *f = c.m->addFunction("mc_handle_del", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmcache.c", 180);
+        b.createRet(b.createCall(c.del, {key}));
+    }
+
+    // @mc_recover() -> linked item count across all buckets
+    {
+        Function *f = c.m->addFunction("mc_recover", Type::Int);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *bloop = f->addBlock("bloop");
+        BasicBlock *bbody = f->addBlock("bbody");
+        BasicBlock *chain = f->addBlock("chain");
+        BasicBlock *cbody = f->addBlock("cbody");
+        BasicBlock *bnext = f->addBlock("bnext");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmcache.c", 190);
+        Instruction *hashtab = c.mapHash();
+        Instruction *items = c.mapItems();
+        Instruction *iv = b.createAlloca(8);
+        Instruction *cur = b.createAlloca(8);
+        Instruction *acc = b.createAlloca(8);
+        Instruction *guard = b.createAlloca(8);
+        b.createStore(c.ci(0), iv, 8);
+        b.createStore(c.ci(0), acc, 8);
+        b.createBr(bloop);
+
+        b.setInsertPoint(bloop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(
+            b.createCmp(CmpPred::Ult, i, c.ci(c.cfg.buckets)),
+            bbody, done);
+
+        b.setInsertPoint(bbody);
+        b.createStore(
+            b.createLoad(
+                b.createGep(hashtab, b.createMul(i, c.ci(8))), 8),
+            cur, 8);
+        b.createStore(c.ci(0), guard, 8);
+        b.createBr(chain);
+
+        b.setInsertPoint(chain);
+        Instruction *idx1 = b.createLoad(cur, 8);
+        Instruction *g = b.createLoad(guard, 8);
+        Instruction *live = b.createBin(
+            BinOp::And, b.createCmp(CmpPred::Ne, idx1, c.ci(0)),
+            b.createCmp(CmpPred::Ult, g, c.ci(c.cfg.items)));
+        b.createCondBr(live, cbody, bnext);
+
+        b.setInsertPoint(cbody);
+        Instruction *item = b.createGep(
+            items, b.createMul(b.createSub(idx1, c.ci(1)),
+                               c.ci(itemBytes)));
+        Instruction *a = b.createLoad(acc, 8);
+        b.createStore(b.createAdd(a, c.ci(1)), acc, 8);
+        b.createStore(
+            b.createLoad(b.createGep(item, c.ci(itNext)), 8), cur,
+            8);
+        b.createStore(b.createAdd(g, c.ci(1)), guard, 8);
+        b.createBr(chain);
+
+        b.setInsertPoint(bnext);
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(bloop);
+
+        b.setInsertPoint(done);
+        b.createRet(b.createLoad(acc, 8));
+    }
+
+    // @mc_example(n)
+    {
+        Function *f = c.m->addFunction("mc_example", Type::Int);
+        Argument *n = f->addParam(Type::Int, "n");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *set_loop = f->addBlock("set_loop");
+        BasicBlock *set_body = f->addBlock("set_body");
+        BasicBlock *get_loop = f->addBlock("get_loop");
+        BasicBlock *get_body = f->addBlock("get_body");
+        BasicBlock *del_loop = f->addBlock("del_loop");
+        BasicBlock *del_body = f->addBlock("del_body");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmcache.c", 210);
+        Instruction *iv = b.createAlloca(8);
+        Instruction *digest = b.createAlloca(8);
+        b.createCall(c.m->findFunction("mc_init"), {});
+        b.createStore(c.ci(1), iv, 8);
+        b.createStore(c.ci(0), digest, 8);
+        b.createBr(set_loop);
+
+        b.setInsertPoint(set_loop);
+        Instruction *i = b.createLoad(iv, 8);
+        BasicBlock *to_get = f->addBlock("to_get");
+        b.createCondBr(b.createCmp(CmpPred::Ule, i, n), set_body,
+                       to_get);
+        b.setInsertPoint(set_body);
+        b.createCall(c.m->findFunction("mc_handle_set"),
+                     {i, c.ci(48)});
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(set_loop);
+
+        b.setInsertPoint(to_get);
+        b.createStore(c.ci(1), iv, 8);
+        b.createBr(get_loop);
+        b.setInsertPoint(get_loop);
+        Instruction *i2 = b.createLoad(iv, 8);
+        BasicBlock *to_del = f->addBlock("to_del");
+        b.createCondBr(b.createCmp(CmpPred::Ule, i2, n), get_body,
+                       to_del);
+        b.setInsertPoint(get_body);
+        Instruction *dl = b.createCall(
+            c.m->findFunction("mc_handle_get"), {i2});
+        Instruction *cur = b.createLoad(digest, 8);
+        b.createStore(b.createBin(BinOp::Xor,
+                                  b.createMul(cur, c.ci(31)), dl),
+                      digest, 8);
+        b.createStore(b.createAdd(i2, c.ci(1)), iv, 8);
+        b.createBr(get_loop);
+
+        b.setInsertPoint(to_del);
+        b.createStore(c.ci(2), iv, 8);
+        b.createBr(del_loop);
+        b.setInsertPoint(del_loop);
+        Instruction *i3 = b.createLoad(iv, 8);
+        b.createCondBr(b.createCmp(CmpPred::Ule, i3, n), del_body,
+                       done);
+        b.setInsertPoint(del_body);
+        b.createCall(c.m->findFunction("mc_handle_del"), {i3});
+        b.createStore(b.createAdd(i3, c.ci(4)), iv, 8);
+        b.createBr(del_loop);
+
+        b.setInsertPoint(done);
+        b.createCall(c.m->findFunction("mc_stats_persist"), {});
+        Instruction *dg = b.createLoad(digest, 8);
+        b.createPrint("mc_digest", dg);
+        b.createRet(dg);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+buildPmcache(const PmcacheConfig &cfg)
+{
+    hippo_assert((cfg.buckets & (cfg.buckets - 1)) == 0,
+                 "buckets must be a power of two");
+    auto m = std::make_unique<Module>(
+        cfg.seedBugs ? "pmcache-buggy" : "pmcache-fixed");
+    Ctx c(m.get(), cfg);
+    buildHash(c);
+    buildSlabWrite(c);
+    buildFindItem(c);
+    buildTouch(c);
+    buildSet(c);
+    buildGetDelete(c);
+    buildInitStatsHandlers(c);
+    verifyOrDie(*m);
+    return m;
+}
+
+} // namespace hippo::apps

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * pmcache: a memcached-pm-style persistent item cache (one of the
+ * paper's evaluation targets; the authors found 10 previously
+ * undocumented durability bugs in memcached-pm with pmemcheck).
+ *
+ * Fixed-slot item slabs + a bucket-chained hash index + a persistent
+ * statistics page. The buggy build seeds ten durability bugs across
+ * the set/get/delete/init/stats paths:
+ *
+ *   mc-1  flags store in @mc_set            missing-flush
+ *   mc-2  item payload via @slab_write      missing-flush (hoistable)
+ *   mc-3  exptime store in @mc_set          missing-flush
+ *   mc-4  hash-table zeroing in @mc_init    missing-flush
+ *   mc-5  bucket link store in @mc_set      missing-flush
+ *   mc-6  allocation cursor in @mc_set      missing-flush
+ *   mc-7  item count in @mc_set             missing-flush
+ *   mc-8  LRU stamp in @mc_touch            missing-fence
+ *   mc-9  unlink store in @mc_delete        missing-flush&fence
+ *   mc-10 ops counter in @mc_stats_persist  missing-flush&fence
+ */
+
+#ifndef HIPPO_APPS_PMCACHE_HH
+#define HIPPO_APPS_PMCACHE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace hippo::apps
+{
+
+/** Build parameters for pmcache. */
+struct PmcacheConfig
+{
+    uint64_t buckets = 512;  ///< power of two
+    uint64_t items = 2048;   ///< slab capacity (ring reuse beyond)
+    bool seedBugs = true;    ///< build the buggy variant
+};
+
+/**
+ * Build the pmcache module. Entry points:
+ *  - @mc_init()
+ *  - @mc_handle_set(key, len), @mc_handle_get(key) -> datalen,
+ *    @mc_handle_del(key) -> 1 if removed
+ *  - @mc_stats_persist()
+ *  - @mc_recover() -> linked item count
+ *  - @mc_example(n): set/get/del driver, prints a digest
+ */
+std::unique_ptr<ir::Module>
+buildPmcache(const PmcacheConfig &cfg = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_PMCACHE_HH

@@ -1,0 +1,625 @@
+#include "apps/pmkv.hh"
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace hippo::apps
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** Entry layout offsets (all fields u64). */
+constexpr uint64_t entNext = 0;
+constexpr uint64_t entKey = 8;
+constexpr uint64_t entValLen = 16;
+constexpr uint64_t entChecksum = 24;
+constexpr uint64_t entValue = 32;
+
+/** Meta layout offsets. */
+constexpr uint64_t metaHead = 0;
+constexpr uint64_t metaCount = 8;
+constexpr uint64_t metaChecksum = 16;
+constexpr uint64_t metaBytes = 64;
+
+/** First usable log offset (0 is the "null" chain link). */
+constexpr uint64_t logStart = 8;
+
+/** Builder-side helper bundle shared by all pmkv functions. */
+struct Ctx
+{
+    Module *m;
+    IRBuilder b;
+    const PmkvConfig &cfg;
+
+    Function *bufCopy = nullptr;
+    Function *u64Store = nullptr;
+    Function *hdrChecksum = nullptr;
+    Function *statsBump = nullptr;
+    Function *devPersist = nullptr;
+    Function *hashKey = nullptr;
+    Function *logAlloc = nullptr;
+    Function *kvSet = nullptr;
+    Function *kvGet = nullptr;
+
+    Ctx(Module *mod, const PmkvConfig &c) : m(mod), b(mod), cfg(c) {}
+
+    bool manual() const
+    {
+        return cfg.variant == PmkvVariant::Manual;
+    }
+
+    Constant *
+    ci(uint64_t v)
+    {
+        return m->getInt(v);
+    }
+
+    /** round up to a multiple of 8: (v + 7) & ~7 */
+    Instruction *
+    roundUp8(Value *v)
+    {
+        Instruction *p7 = b.createAdd(v, ci(7));
+        return b.createBin(BinOp::And, p7, ci(~7ULL));
+    }
+};
+
+/** @buf_copy(dst, src, len): 8 bytes per iteration. */
+void
+buildBufCopy(Ctx &c)
+{
+    Function *f = c.m->addFunction("buf_copy", Type::Void);
+    Argument *dst = f->addParam(Type::Ptr, "dst");
+    Argument *src = f->addParam(Type::Ptr, "src");
+    Argument *len = f->addParam(Type::Int, "len");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    IRBuilder &b = c.b;
+    b.setLoc("pmkv.c", 10);
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(c.ci(0), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    Instruction *more = b.createCmp(CmpPred::Ult, i, len);
+    b.createCondBr(more, body, exit);
+
+    b.setInsertPoint(body);
+    b.setLoc("pmkv.c", 13);
+    Instruction *s = b.createGep(src, i);
+    Instruction *v = b.createLoad(s, 8);
+    Instruction *d = b.createGep(dst, i);
+    b.createStore(v, d, 8);
+    if (c.manual()) {
+        // Redis-pmem does NOT flush inside its copy helper either;
+        // it persists ranges at the call sites (cf. Listing 2).
+    }
+    b.createStore(b.createAdd(i, c.ci(8)), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(exit);
+    b.createRet();
+    c.bufCopy = f;
+}
+
+/** @u64_store(p, v): the shared single-store primitive. */
+void
+buildU64Store(Ctx &c)
+{
+    Function *f = c.m->addFunction("u64_store", Type::Void);
+    Argument *p = f->addParam(Type::Ptr, "p");
+    Argument *v = f->addParam(Type::Int, "v");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmkv.c", 22);
+    b.createStore(v, p, 8);
+    b.createRet();
+    c.u64Store = f;
+}
+
+/**
+ * @hdr_checksum(p, words): sums the first @p words u64s of p and
+ * stores the sum at p + words*8 through @u64_store.
+ */
+void
+buildHdrChecksum(Ctx &c)
+{
+    Function *f = c.m->addFunction("hdr_checksum", Type::Void);
+    Argument *p = f->addParam(Type::Ptr, "p");
+    Argument *words = f->addParam(Type::Int, "words");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmkv.c", 30);
+    Instruction *iv = b.createAlloca(8);
+    Instruction *acc = b.createAlloca(8);
+    b.createStore(c.ci(0), iv, 8);
+    b.createStore(c.ci(0xc5a1d), acc, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    Instruction *more = b.createCmp(CmpPred::Ult, i, words);
+    b.createCondBr(more, body, done);
+
+    b.setInsertPoint(body);
+    Instruction *off = b.createMul(i, c.ci(8));
+    Instruction *wp = b.createGep(p, off);
+    Instruction *w = b.createLoad(wp, 8);
+    Instruction *cur = b.createLoad(acc, 8);
+    Instruction *mixed = b.createBin(
+        BinOp::Xor, b.createMul(cur, c.ci(0x100000001b3ULL)), w);
+    b.createStore(mixed, acc, 8);
+    b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(done);
+    b.setLoc("pmkv.c", 38);
+    Instruction *sum = b.createLoad(acc, 8);
+    Instruction *ckp = b.createGep(p, b.createMul(words, c.ci(8)));
+    b.createCall(c.u64Store, {ckp, sum});
+    b.createRet();
+    c.hdrChecksum = f;
+}
+
+/** @stats_bump(p): volatile counter increment via @u64_store. */
+void
+buildStatsBump(Ctx &c)
+{
+    Function *f = c.m->addFunction("stats_bump", Type::Void);
+    Argument *p = f->addParam(Type::Ptr, "p");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmkv.c", 45);
+    Instruction *v = b.createLoad(p, 8);
+    b.createCall(c.u64Store, {p, b.createAdd(v, c.ci(1))});
+    b.createRet();
+    c.statsBump = f;
+}
+
+/** @dev_persist(p, len): pmem_persist analog (Manual only). */
+void
+buildDevPersist(Ctx &c)
+{
+    Function *f = c.m->addFunction("dev_persist", Type::Void);
+    Argument *p = f->addParam(Type::Ptr, "p");
+    Argument *len = f->addParam(Type::Int, "len");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmkv.c", 52);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(c.ci(0), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    Instruction *more = b.createCmp(CmpPred::Ult, i, len);
+    b.createCondBr(more, body, done);
+
+    b.setInsertPoint(body);
+    b.createFlush(b.createGep(p, i), FlushKind::Clwb);
+    b.createStore(b.createAdd(i, c.ci(64)), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(done);
+    Instruction *last = b.createSub(len, c.ci(1));
+    b.createFlush(b.createGep(p, last), FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+    b.createRet();
+    c.devPersist = f;
+}
+
+/** @hash_key(key) -> bucket index. */
+void
+buildHashKey(Ctx &c)
+{
+    Function *f = c.m->addFunction("hash_key", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmkv.c", 60);
+    Instruction *h1 = b.createBin(
+        BinOp::Xor, key, b.createBin(BinOp::LShr, key, c.ci(33)));
+    Instruction *h2 = b.createMul(h1, c.ci(0xff51afd7ed558ccdULL));
+    Instruction *h3 = b.createBin(
+        BinOp::Xor, h2, b.createBin(BinOp::LShr, h2, c.ci(29)));
+    Instruction *idx =
+        b.createBin(BinOp::And, h3, c.ci(c.cfg.buckets - 1));
+    b.createRet(idx);
+    c.hashKey = f;
+}
+
+/** @log_alloc(meta, len) -> entry offset (reads head only). */
+void
+buildLogAlloc(Ctx &c)
+{
+    Function *f = c.m->addFunction("log_alloc", Type::Int);
+    Argument *meta = f->addParam(Type::Ptr, "meta");
+    f->addParam(Type::Int, "len");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmkv.c", 70);
+    Instruction *head = b.createLoad(
+        b.createGep(meta, c.ci(metaHead)), 8);
+    b.createRet(head);
+    c.logAlloc = f;
+}
+
+/** @kv_set(key, val, vallen): the persisting write path. */
+void
+buildKvSet(Ctx &c)
+{
+    Function *f = c.m->addFunction("kv_set", Type::Void);
+    Argument *key = f->addParam(Type::Int, "key");
+    Argument *val = f->addParam(Type::Ptr, "val");
+    Argument *vallen = f->addParam(Type::Int, "vallen");
+    IRBuilder &b = c.b;
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("pmkv.c", 80);
+
+    Instruction *meta = b.createPmMap("kv.meta", metaBytes);
+    Instruction *buckets =
+        b.createPmMap("kv.buckets", c.cfg.buckets * 8);
+    Instruction *log = b.createPmMap("kv.log", c.cfg.logCapacity);
+
+    Instruction *h = b.createCall(c.hashKey, {key});
+    Instruction *bucketp =
+        b.createGep(buckets, b.createMul(h, c.ci(8)));
+    Instruction *vlen8 = c.roundUp8(vallen);
+    Instruction *entsize = b.createAdd(vlen8, c.ci(entValue));
+    Instruction *off = b.createCall(c.logAlloc, {meta, vallen});
+    Instruction *entry = b.createGep(log, off);
+
+    // Entry header: next link, key, value length.
+    b.setLoc("pmkv.c", 86);
+    Instruction *chain = b.createLoad(bucketp, 8);
+    b.createStore(chain, b.createGep(entry, c.ci(entNext)), 8);
+    b.setLoc("pmkv.c", 87);
+    b.createStore(key, b.createGep(entry, c.ci(entKey)), 8);
+    b.setLoc("pmkv.c", 88);
+    b.createStore(vallen, b.createGep(entry, c.ci(entValLen)), 8);
+    b.setLoc("pmkv.c", 89);
+    b.createCall(c.hdrChecksum, {entry, c.ci(3)});
+
+    // Value payload through the shared copy loop.
+    b.setLoc("pmkv.c", 91);
+    b.createCall(c.bufCopy,
+                 {b.createGep(entry, c.ci(entValue)), val, vlen8});
+    if (c.manual()) {
+        b.createCall(c.devPersist, {entry, entsize});
+    }
+
+    // Publish: bucket head, then allocation head + count + checksum.
+    b.setLoc("pmkv.c", 95);
+    b.createStore(off, bucketp, 8);
+    if (c.manual())
+        b.createFlush(bucketp, FlushKind::Clwb);
+
+    b.setLoc("pmkv.c", 97);
+    b.createStore(b.createAdd(off, entsize),
+                  b.createGep(meta, c.ci(metaHead)), 8);
+    Instruction *countp = b.createGep(meta, c.ci(metaCount));
+    b.setLoc("pmkv.c", 98);
+    b.createStore(b.createAdd(b.createLoad(countp, 8), c.ci(1)),
+                  countp, 8);
+    b.setLoc("pmkv.c", 99);
+    b.createCall(c.hdrChecksum, {meta, c.ci(2)});
+    if (c.manual()) {
+        b.createCall(c.devPersist, {meta, c.ci(metaBytes)});
+    } else {
+        // The ordering point the developer kept (§6.3: fences are
+        // left in place; only flushes were removed).
+        b.createFence(FenceKind::Sfence);
+    }
+    b.setLoc("pmkv.c", 103);
+    b.createDurPoint("set-committed");
+    b.createRet();
+    c.kvSet = f;
+}
+
+/** @kv_get(key, out) -> vallen (0 on miss). */
+void
+buildKvGet(Ctx &c)
+{
+    Function *f = c.m->addFunction("kv_get", Type::Int);
+    Argument *key = f->addParam(Type::Int, "key");
+    Argument *out = f->addParam(Type::Ptr, "out");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *check = f->addBlock("check");
+    BasicBlock *found = f->addBlock("found");
+    BasicBlock *step = f->addBlock("step");
+    BasicBlock *miss = f->addBlock("miss");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmkv.c", 110);
+    Instruction *buckets =
+        b.createPmMap("kv.buckets", c.cfg.buckets * 8);
+    Instruction *log = b.createPmMap("kv.log", c.cfg.logCapacity);
+    Instruction *h = b.createCall(c.hashKey, {key});
+    Instruction *bucketp =
+        b.createGep(buckets, b.createMul(h, c.ci(8)));
+    Instruction *offv = b.createAlloca(8);
+    b.createStore(b.createLoad(bucketp, 8), offv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *off = b.createLoad(offv, 8);
+    Instruction *isnull = b.createCmp(CmpPred::Eq, off, c.ci(0));
+    b.createCondBr(isnull, miss, check);
+
+    b.setInsertPoint(check);
+    Instruction *ent = b.createGep(log, off);
+    Instruction *ekey =
+        b.createLoad(b.createGep(ent, c.ci(entKey)), 8);
+    Instruction *match = b.createCmp(CmpPred::Eq, ekey, key);
+    b.createCondBr(match, found, step);
+
+    b.setInsertPoint(found);
+    b.setLoc("pmkv.c", 120);
+    Instruction *vl =
+        b.createLoad(b.createGep(ent, c.ci(entValLen)), 8);
+    Instruction *vl8 = c.roundUp8(vl);
+    b.createCall(c.bufCopy,
+                 {out, b.createGep(ent, c.ci(entValue)), vl8});
+    b.createRet(vl);
+
+    b.setInsertPoint(step);
+    b.createStore(b.createLoad(b.createGep(ent, c.ci(entNext)), 8),
+                  offv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(miss);
+    b.createRet(c.ci(0));
+    c.kvGet = f;
+}
+
+/** @kv_init(): map + format the store when empty. */
+void
+buildKvInit(Ctx &c)
+{
+    Function *f = c.m->addFunction("kv_init", Type::Void);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *format = f->addBlock("format");
+    BasicBlock *done = f->addBlock("done");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmkv.c", 130);
+    Instruction *meta = b.createPmMap("kv.meta", metaBytes);
+    Instruction *buckets =
+        b.createPmMap("kv.buckets", c.cfg.buckets * 8);
+    b.createPmMap("kv.log", c.cfg.logCapacity);
+    Instruction *head =
+        b.createLoad(b.createGep(meta, c.ci(metaHead)), 8);
+    Instruction *fresh = b.createCmp(CmpPred::Eq, head, c.ci(0));
+    b.createCondBr(fresh, format, done);
+
+    b.setInsertPoint(format);
+    b.setLoc("pmkv.c", 134);
+    b.createMemset(buckets, c.ci(0), c.ci(c.cfg.buckets * 8));
+    b.setLoc("pmkv.c", 135);
+    b.createStore(c.ci(logStart), b.createGep(meta, c.ci(metaHead)),
+                  8);
+    b.setLoc("pmkv.c", 136);
+    b.createStore(c.ci(0), b.createGep(meta, c.ci(metaCount)), 8);
+    b.setLoc("pmkv.c", 137);
+    b.createCall(c.hdrChecksum, {meta, c.ci(2)});
+    if (c.manual()) {
+        b.createCall(c.devPersist,
+                     {buckets, c.ci(c.cfg.buckets * 8)});
+        b.createCall(c.devPersist, {meta, c.ci(metaBytes)});
+    } else {
+        b.createFence(FenceKind::Sfence);
+    }
+    b.createDurPoint("init-committed");
+    b.createBr(done);
+
+    b.setInsertPoint(done);
+    b.createRet();
+}
+
+/** Request handlers: the "network" layer with volatile staging. */
+void
+buildHandlers(Ctx &c)
+{
+    IRBuilder &b = c.b;
+
+    auto build_write_handler = [&](const std::string &name,
+                                   int line) {
+        Function *f = c.m->addFunction(name, Type::Void);
+        Argument *key = f->addParam(Type::Int, "key");
+        Argument *vallen = f->addParam(Type::Int, "vallen");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmkv.c", line);
+        Instruction *staging = b.createAlloca(c.cfg.stagingBytes);
+        Instruction *stats = b.createAlloca(8);
+        // "Receive" the request payload into the staging buffer.
+        b.createMemset(staging, b.createBin(BinOp::And, key,
+                                            c.ci(0xff)),
+                       c.roundUp8(vallen));
+        // Validate the (volatile) request header.
+        b.createCall(c.hdrChecksum, {staging, c.ci(2)});
+        b.createCall(c.statsBump, {stats});
+        b.createCall(c.kvSet, {key, staging, vallen});
+        b.createRet();
+        return f;
+    };
+
+    build_write_handler("kv_handle_set", 150);
+    build_write_handler("kv_handle_update", 160);
+
+    // kv_handle_get(key) -> vallen
+    {
+        Function *f = c.m->addFunction("kv_handle_get", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmkv.c", 170);
+        Instruction *out = b.createAlloca(c.cfg.stagingBytes);
+        Instruction *stats = b.createAlloca(8);
+        b.createCall(c.statsBump, {stats});
+        Instruction *vl = b.createCall(c.kvGet, {key, out});
+        b.createRet(vl);
+    }
+
+    // kv_handle_rmw(key, vallen)
+    {
+        Function *f = c.m->addFunction("kv_handle_rmw", Type::Void);
+        Argument *key = f->addParam(Type::Int, "key");
+        Argument *vallen = f->addParam(Type::Int, "vallen");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmkv.c", 180);
+        Instruction *out = b.createAlloca(c.cfg.stagingBytes);
+        Instruction *stats = b.createAlloca(8);
+        b.createCall(c.statsBump, {stats});
+        b.createCall(c.kvGet, {key, out});
+        // Modify in place, then write back through kv_set.
+        Instruction *w = b.createLoad(out, 8);
+        b.createStore(b.createAdd(w, c.ci(1)), out, 8);
+        b.createCall(c.kvSet, {key, out, vallen});
+        b.createRet();
+    }
+
+    // kv_handle_scan(key, n) -> entries touched
+    {
+        Function *f = c.m->addFunction("kv_handle_scan", Type::Int);
+        Argument *key = f->addParam(Type::Int, "key");
+        Argument *n = f->addParam(Type::Int, "n");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *loop = f->addBlock("loop");
+        BasicBlock *body = f->addBlock("body");
+        BasicBlock *done = f->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("pmkv.c", 190);
+        Instruction *out = b.createAlloca(c.cfg.stagingBytes);
+        Instruction *stats = b.createAlloca(8);
+        b.createCall(c.statsBump, {stats});
+        Instruction *iv = b.createAlloca(8);
+        Instruction *hits = b.createAlloca(8);
+        b.createStore(c.ci(0), iv, 8);
+        b.createStore(c.ci(0), hits, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        Instruction *more = b.createCmp(CmpPred::Ult, i, n);
+        b.createCondBr(more, body, done);
+
+        b.setInsertPoint(body);
+        Instruction *vl = b.createCall(
+            c.kvGet, {b.createAdd(key, i), out});
+        Instruction *hit = b.createCmp(CmpPred::Ne, vl, c.ci(0));
+        Instruction *cur = b.createLoad(hits, 8);
+        b.createStore(b.createAdd(cur, hit), hits, 8);
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(done);
+        b.createRet(b.createLoad(hits, 8));
+    }
+}
+
+/** @kv_recover() -> count of checksum-valid entries in the log. */
+void
+buildKvRecover(Ctx &c)
+{
+    Function *f = c.m->addFunction("kv_recover", Type::Int);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmkv.c", 210);
+    Instruction *meta = b.createPmMap("kv.meta", metaBytes);
+    Instruction *log = b.createPmMap("kv.log", c.cfg.logCapacity);
+    Instruction *limit =
+        b.createLoad(b.createGep(meta, c.ci(metaHead)), 8);
+    Instruction *offv = b.createAlloca(8);
+    Instruction *valid = b.createAlloca(8);
+    Instruction *scratch = b.createAlloca(32);
+    b.createStore(c.ci(logStart), offv, 8);
+    b.createStore(c.ci(0), valid, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    Instruction *off = b.createLoad(offv, 8);
+    Instruction *more = b.createCmp(CmpPred::Ult, off, limit);
+    b.createCondBr(more, body, done);
+
+    b.setInsertPoint(body);
+    Instruction *ent = b.createGep(log, off);
+    // Recompute the header checksum into a scratch header copy and
+    // compare with the stored one.
+    b.createMemcpy(scratch, ent, c.ci(24));
+    b.createCall(c.hdrChecksum, {scratch, c.ci(3)});
+    Instruction *want =
+        b.createLoad(b.createGep(scratch, c.ci(24)), 8);
+    Instruction *got =
+        b.createLoad(b.createGep(ent, c.ci(entChecksum)), 8);
+    Instruction *ok = b.createCmp(CmpPred::Eq, want, got);
+    Instruction *cur = b.createLoad(valid, 8);
+    b.createStore(b.createAdd(cur, ok), valid, 8);
+
+    Instruction *vl =
+        b.createLoad(b.createGep(ent, c.ci(entValLen)), 8);
+    Instruction *ent_size =
+        b.createAdd(c.roundUp8(vl), c.ci(entValue));
+    b.createStore(b.createAdd(off, ent_size), offv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(valid, 8));
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+buildPmkv(const PmkvConfig &cfg)
+{
+    hippo_assert((cfg.buckets & (cfg.buckets - 1)) == 0,
+                 "buckets must be a power of two");
+    auto m = std::make_unique<Module>(
+        cfg.variant == PmkvVariant::Manual ? "pmkv-manual"
+                                           : "pmkv-flushfree");
+    Ctx c(m.get(), cfg);
+
+    buildU64Store(c);
+    buildBufCopy(c);
+    buildHdrChecksum(c);
+    buildStatsBump(c);
+    if (c.manual())
+        buildDevPersist(c);
+    buildHashKey(c);
+    buildLogAlloc(c);
+    buildKvSet(c);
+    buildKvGet(c);
+    buildKvInit(c);
+    buildHandlers(c);
+    buildKvRecover(c);
+
+    verifyOrDie(*m);
+    return m;
+}
+
+} // namespace hippo::apps

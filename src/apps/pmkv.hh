@@ -1,0 +1,67 @@
+/**
+ * @file
+ * pmkv: a Redis-like persistent key-value store written in PMIR, the
+ * workload of the paper's §6.3 case study (Fig. 4).
+ *
+ * Structure mirrors the parts of Redis-pmem that matter for the
+ * experiment:
+ *  - a persistent append-only value log + bucket-chained hash index
+ *    (PM regions "kv.meta", "kv.buckets", "kv.log");
+ *  - a shared 8-byte-at-a-time copy loop @buf_copy (the memcpy
+ *    analog) used both for persisting values (PM destination) and
+ *    for staging requests / building replies (volatile destination);
+ *  - a shared checksum helper chain @hdr_checksum -> @u64_store used
+ *    on persistent headers *and* on volatile request buffers, giving
+ *    the heuristic a two-level hoisting decision;
+ *  - per-request volatile staging buffers and statistics, like
+ *    Redis's sds/client bookkeeping.
+ *
+ * Variants:
+ *  - FlushFree: all cache-line flushes removed, memory fences kept
+ *    (exactly how the paper prepares Redis for Hippocrates, §6.3);
+ *  - Manual: developer-written durability via @dev_persist
+ *    (pmem_persist analog: ranged flush + fence), the Redis-pmem
+ *    baseline.
+ */
+
+#ifndef HIPPO_APPS_PMKV_HH
+#define HIPPO_APPS_PMKV_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace hippo::apps
+{
+
+/** Which durability scheme the built module uses. */
+enum class PmkvVariant
+{
+    FlushFree, ///< fences only; input to Hippocrates
+    Manual,    ///< developer flushes (Redis-pmem baseline)
+};
+
+/** Build-time parameters. */
+struct PmkvConfig
+{
+    PmkvVariant variant = PmkvVariant::FlushFree;
+    uint64_t buckets = 4096;          ///< power of two
+    uint64_t logCapacity = 8u << 20;  ///< value-log bytes
+    uint64_t stagingBytes = 256;      ///< request buffer size
+};
+
+/**
+ * Build the pmkv module. Entry points (all driven by integer args):
+ *  - @kv_init()
+ *  - @kv_handle_set(key, vallen), @kv_handle_update(key, vallen)
+ *  - @kv_handle_get(key) -> vallen-or-0
+ *  - @kv_handle_rmw(key, vallen)
+ *  - @kv_handle_scan(key, n) -> values-touched
+ *  - @kv_recover() -> valid-entry-count
+ */
+std::unique_ptr<ir::Module> buildPmkv(const PmkvConfig &cfg = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_PMKV_HH

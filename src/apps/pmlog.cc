@@ -1,0 +1,333 @@
+#include "apps/pmlog.hh"
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace hippo::apps
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+constexpr uint64_t metaWriteOff = 0;
+constexpr uint64_t metaMagic = 8;
+constexpr uint64_t metaBytes = 64;
+constexpr uint64_t magicValue = 0x10C;
+constexpr uint64_t entHeader = 8;
+
+struct Ctx
+{
+    Module *m;
+    IRBuilder b;
+    const PmlogConfig &cfg;
+
+    Function *logCopy = nullptr;
+    Function *append = nullptr;
+
+    Ctx(Module *mod, const PmlogConfig &c) : m(mod), b(mod), cfg(c)
+    {}
+
+    Constant *ci(uint64_t v) { return m->getInt(v); }
+    bool buggy() const { return cfg.seedBugs; }
+
+    Instruction *mapMeta() { return b.createPmMap("log.meta",
+                                                  metaBytes); }
+    Instruction *
+    mapData()
+    {
+        return b.createPmMap("log.data", cfg.capacity);
+    }
+
+    Instruction *
+    roundUp8(Value *v)
+    {
+        return b.createBin(BinOp::And, b.createAdd(v, ci(7)),
+                           ci(~7ULL));
+    }
+};
+
+/** @log_copy(dst, src, len): the shared copy helper. */
+void
+buildLogCopy(Ctx &c)
+{
+    Function *f = c.m->addFunction("log_copy", Type::Void);
+    Argument *dst = f->addParam(Type::Ptr, "dst");
+    Argument *src = f->addParam(Type::Ptr, "src");
+    Argument *len = f->addParam(Type::Int, "len");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *exit = f->addBlock("exit");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmlog.c", 12);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(c.ci(0), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, i, len), body, exit);
+    b.setInsertPoint(body);
+    b.setLoc("pmlog.c", 15);
+    b.createStore(b.createLoad(b.createGep(src, i), 8),
+                  b.createGep(dst, i), 8);
+    b.createStore(b.createAdd(i, c.ci(8)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(exit);
+    b.createRet();
+    c.logCopy = f;
+}
+
+/** @log_append(src, len) -> 1 ok / 0 full. */
+void
+buildAppend(Ctx &c)
+{
+    Function *f = c.m->addFunction("log_append", Type::Int);
+    Argument *src = f->addParam(Type::Ptr, "src");
+    Argument *len = f->addParam(Type::Int, "len");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *full = f->addBlock("full");
+    BasicBlock *write = f->addBlock("write");
+
+    IRBuilder &b = c.b;
+    b.setInsertPoint(entry);
+    b.setLoc("pmlog.c", 24);
+    Instruction *meta = c.mapMeta();
+    Instruction *data = c.mapData();
+    Instruction *offp = b.createGep(meta, c.ci(metaWriteOff));
+    Instruction *off = b.createLoad(offp, 8);
+    Instruction *need =
+        b.createAdd(c.roundUp8(len), c.ci(entHeader));
+    Instruction *end = b.createAdd(off, need);
+    b.createCondBr(b.createCmp(CmpPred::Ugt, end,
+                               c.ci(c.cfg.capacity)),
+                   full, write);
+
+    b.setInsertPoint(full);
+    b.createRet(c.ci(0));
+
+    b.setInsertPoint(write);
+    b.setLoc("pmlog.c", 31);
+    Instruction *entry_p = b.createGep(data, off);
+    Instruction *payload = b.createGep(entry_p, c.ci(entHeader));
+    // Payload first (log-1: never flushed in the buggy build).
+    b.createCall(c.logCopy, {payload, src, c.roundUp8(len)});
+    // Entry header second (log-2).
+    b.setLoc("pmlog.c", 34);
+    b.createStore(len, entry_p, 8);
+    if (!c.buggy()) {
+        // Developer durability: persist the whole entry range with
+        // a flush loop, like pmemlog_append does via pmem_persist.
+        BasicBlock *floop = f->addBlock("floop");
+        BasicBlock *fbody = f->addBlock("fbody");
+        BasicBlock *fdone = f->addBlock("fdone");
+        Instruction *iv = b.createAlloca(8);
+        b.createStore(c.ci(0), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(floop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(b.createCmp(CmpPred::Ult, i, need), fbody,
+                       fdone);
+        b.setInsertPoint(fbody);
+        b.createFlush(b.createGep(entry_p, i), FlushKind::Clwb);
+        b.createStore(b.createAdd(i, c.ci(64)), iv, 8);
+        b.createBr(floop);
+        b.setInsertPoint(fdone);
+        Instruction *last = b.createSub(need, c.ci(1));
+        b.createFlush(b.createGep(entry_p, last), FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+    }
+    // Publish the new write offset (log-3).
+    b.setLoc("pmlog.c", 38);
+    b.createStore(end, offp, 8);
+    if (!c.buggy())
+        b.createFlush(offp, FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("log-append");
+    b.createRet(c.ci(1));
+    c.append = f;
+}
+
+void
+buildRest(Ctx &c)
+{
+    IRBuilder &b = c.b;
+
+    // @log_init()
+    {
+        Function *f = c.m->addFunction("log_init", Type::Void);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *format = f->addBlock("format");
+        BasicBlock *done = f->addBlock("done");
+        b.setInsertPoint(entry);
+        b.setLoc("pmlog.c", 50);
+        Instruction *meta = c.mapMeta();
+        c.mapData();
+        Instruction *magicp = b.createGep(meta, c.ci(metaMagic));
+        b.createCondBr(
+            b.createCmp(CmpPred::Ne, b.createLoad(magicp, 8),
+                        c.ci(magicValue)),
+            format, done);
+        b.setInsertPoint(format);
+        Instruction *offp = b.createGep(meta, c.ci(metaWriteOff));
+        b.createStore(c.ci(0), offp, 8);
+        b.createStore(c.ci(magicValue), magicp, 8);
+        b.createFlush(offp, FlushKind::Clwb);
+        b.createFlush(magicp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("log-init");
+        b.createBr(done);
+        b.setInsertPoint(done);
+        b.createRet();
+    }
+
+    // @log_walk() -> complete entry count (the recovery procedure)
+    {
+        Function *f = c.m->addFunction("log_walk", Type::Int);
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *loop = f->addBlock("loop");
+        BasicBlock *body = f->addBlock("body");
+        BasicBlock *done = f->addBlock("done");
+        b.setInsertPoint(entry);
+        b.setLoc("pmlog.c", 70);
+        Instruction *meta = c.mapMeta();
+        Instruction *data = c.mapData();
+        Instruction *used = b.createLoad(
+            b.createGep(meta, c.ci(metaWriteOff)), 8);
+        Instruction *offv = b.createAlloca(8);
+        Instruction *acc = b.createAlloca(8);
+        b.createStore(c.ci(0), offv, 8);
+        b.createStore(c.ci(0), acc, 8);
+        b.createBr(loop);
+        b.setInsertPoint(loop);
+        Instruction *off = b.createLoad(offv, 8);
+        Instruction *more = b.createCmp(
+            CmpPred::Ult, b.createAdd(off, c.ci(entHeader)), used);
+        b.createCondBr(more, body, done);
+        b.setInsertPoint(body);
+        Instruction *len =
+            b.createLoad(b.createGep(data, off), 8);
+        Instruction *ent_size =
+            b.createAdd(c.roundUp8(len), c.ci(entHeader));
+        Instruction *fits = b.createCmp(
+            CmpPred::Ule, b.createAdd(off, ent_size), used);
+        Instruction *cur = b.createLoad(acc, 8);
+        b.createStore(b.createAdd(cur, fits), acc, 8);
+        b.createStore(b.createAdd(off, ent_size), offv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(done);
+        b.createRet(b.createLoad(acc, 8));
+    }
+
+    // @log_rewind()
+    {
+        Function *f = c.m->addFunction("log_rewind", Type::Void);
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmlog.c", 90);
+        Instruction *meta = c.mapMeta();
+        Instruction *offp = b.createGep(meta, c.ci(metaWriteOff));
+        b.createStore(c.ci(0), offp, 8);
+        b.createFlush(offp, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createDurPoint("log-rewind");
+        b.createRet();
+    }
+
+    // @log_tail_read(len) -> first word of the newest payload
+    // (volatile use of @log_copy: copies into an output buffer).
+    {
+        Function *f = c.m->addFunction("log_tail_read", Type::Int);
+        Argument *len = f->addParam(Type::Int, "len");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmlog.c", 100);
+        Instruction *meta = c.mapMeta();
+        Instruction *data = c.mapData();
+        Instruction *out = b.createAlloca(256);
+        Instruction *used = b.createLoad(
+            b.createGep(meta, c.ci(metaWriteOff)), 8);
+        Instruction *vlen8 = c.roundUp8(len);
+        Instruction *ent_size =
+            b.createAdd(vlen8, c.ci(entHeader));
+        Instruction *start = b.createSub(used, ent_size);
+        Instruction *payload = b.createGep(
+            data, b.createAdd(start, c.ci(entHeader)));
+        b.createCall(c.logCopy, {out, payload, vlen8});
+        b.createRet(b.createLoad(out, 8));
+    }
+
+    // @log_handle_append(seed, len)
+    {
+        Function *f =
+            c.m->addFunction("log_handle_append", Type::Int);
+        Argument *seed = f->addParam(Type::Int, "seed");
+        Argument *len = f->addParam(Type::Int, "len");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("pmlog.c", 110);
+        Instruction *staging = b.createAlloca(256);
+        b.createMemset(staging,
+                       b.createBin(BinOp::And, seed, c.ci(0xff)),
+                       c.roundUp8(len));
+        b.createRet(b.createCall(c.append, {staging, len}));
+    }
+
+    // @log_example(n) -> digest
+    {
+        Function *f = c.m->addFunction("log_example", Type::Int);
+        Argument *n = f->addParam(Type::Int, "n");
+        BasicBlock *entry = f->addBlock("entry");
+        BasicBlock *loop = f->addBlock("loop");
+        BasicBlock *body = f->addBlock("body");
+        BasicBlock *done = f->addBlock("done");
+        b.setInsertPoint(entry);
+        b.setLoc("pmlog.c", 120);
+        b.createCall(c.m->findFunction("log_init"), {});
+        Instruction *iv = b.createAlloca(8);
+        Instruction *digest = b.createAlloca(8);
+        b.createStore(c.ci(1), iv, 8);
+        b.createStore(c.ci(0), digest, 8);
+        b.createBr(loop);
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(b.createCmp(CmpPred::Ule, i, n), body, done);
+        b.setInsertPoint(body);
+        b.createCall(c.m->findFunction("log_handle_append"),
+                     {i, c.ci(40)});
+        Instruction *tail = b.createCall(
+            c.m->findFunction("log_tail_read"), {c.ci(40)});
+        Instruction *cur = b.createLoad(digest, 8);
+        b.createStore(b.createBin(BinOp::Xor,
+                                  b.createMul(cur, c.ci(131)), tail),
+                      digest, 8);
+        b.createStore(b.createAdd(i, c.ci(1)), iv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(done);
+        Instruction *walked =
+            b.createCall(c.m->findFunction("log_walk"), {});
+        Instruction *dg = b.createLoad(digest, 8);
+        b.createPrint("log_entries", walked);
+        b.createPrint("log_digest", dg);
+        b.createRet(dg);
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+buildPmlog(const PmlogConfig &cfg)
+{
+    hippo_assert(cfg.capacity >= 4096, "log too small");
+    auto m = std::make_unique<Module>(cfg.seedBugs ? "pmlog-buggy"
+                                                   : "pmlog-fixed");
+    Ctx c(m.get(), cfg);
+    buildLogCopy(c);
+    buildAppend(c);
+    buildRest(c);
+    verifyOrDie(*m);
+    return m;
+}
+
+} // namespace hippo::apps

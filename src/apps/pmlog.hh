@@ -1,0 +1,44 @@
+/**
+ * @file
+ * pmlog: a persistent append-only log modeled on PMDK's libpmemlog.
+ * PMDK is "a mature collection of libraries" (§3); pmkv exercises the
+ * object-store shape and pmlog adds the log shape: fixed header,
+ * bump-allocated entries of {length, payload}, walk-based recovery.
+ *
+ * The buggy build seeds three durability bugs on the append path:
+ * the payload copy through the shared @log_copy helper (hoistable),
+ * the entry-length header store, and the write-offset publish.
+ */
+
+#ifndef HIPPO_APPS_PMLOG_HH
+#define HIPPO_APPS_PMLOG_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace hippo::apps
+{
+
+/** Build parameters for pmlog. */
+struct PmlogConfig
+{
+    uint64_t capacity = 1u << 20; ///< data region bytes
+    bool seedBugs = true;         ///< build the buggy variant
+};
+
+/**
+ * Build the pmlog module. Entry points:
+ *  - @log_init()
+ *  - @log_handle_append(seed, len) -> 1 ok / 0 full
+ *  - @log_tail_read(len) -> first payload word of the last entry
+ *  - @log_walk() -> complete (length-consistent) entry count
+ *  - @log_rewind()
+ *  - @log_example(n) -> digest
+ */
+std::unique_ptr<ir::Module> buildPmlog(const PmlogConfig &cfg = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_PMLOG_HH

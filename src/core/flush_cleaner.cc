@@ -1,0 +1,80 @@
+#include "core/flush_cleaner.hh"
+
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace hippo::core
+{
+
+namespace
+{
+
+/** Can @p instr dirty a cache line (directly or via a callee)? */
+bool
+mayWriteMemory(const ir::Instruction &instr)
+{
+    switch (instr.op()) {
+      case ir::Opcode::Store:
+      case ir::Opcode::Memcpy:
+      case ir::Opcode::Memset:
+      case ir::Opcode::Call: // conservatively: callees may store
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+FlushCleanStats
+cleanRedundantFlushes(ir::Function *f)
+{
+    FlushCleanStats stats;
+    for (auto &bb : f->blocks()) {
+        // Pointer values flushed since the last potential write.
+        std::vector<const ir::Value *> flushed;
+        std::vector<ir::Instruction *> to_remove;
+        for (auto &owned : *bb) {
+            ir::Instruction &instr = *owned;
+            if (mayWriteMemory(instr)) {
+                flushed.clear();
+                continue;
+            }
+            if (instr.op() != ir::Opcode::Flush)
+                continue;
+            const ir::Value *ptr = instr.operand(0);
+            bool seen = false;
+            for (const ir::Value *v : flushed) {
+                if (v == ptr) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (seen) {
+                to_remove.push_back(&instr);
+                stats.flushesRemoved++;
+            } else {
+                flushed.push_back(ptr);
+                stats.flushesKept++;
+            }
+        }
+        for (ir::Instruction *instr : to_remove)
+            bb->erase(instr);
+    }
+    return stats;
+}
+
+FlushCleanStats
+cleanRedundantFlushes(ir::Module *m)
+{
+    FlushCleanStats total;
+    for (const auto &f : m->functions()) {
+        FlushCleanStats s = cleanRedundantFlushes(f.get());
+        total.flushesRemoved += s.flushesRemoved;
+        total.flushesKept += s.flushesKept;
+    }
+    return total;
+}
+
+} // namespace hippo::core

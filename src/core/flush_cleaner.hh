@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Redundant-flush elimination — the one class of PM *performance*
+ * bug the paper says can be fixed safely (§7): "it would be
+ * impossible to safely fix PM performance bugs except for in the
+ * simplest cases (e.g., redundant flush instructions in the same
+ * basic block)". This pass implements exactly that simplest case.
+ *
+ * A flush F2 is removed when an earlier flush F1 in the same basic
+ * block flushes the *same pointer value* and no instruction between
+ * them can dirty the line again (no store, memcpy/memset, or call).
+ * Under these conditions the line is clean when F2 executes, so F2
+ * is a semantic no-op and removing it cannot change durability —
+ * the removal, like the fixer's insertions, does no harm.
+ */
+
+#ifndef HIPPO_CORE_FLUSH_CLEANER_HH
+#define HIPPO_CORE_FLUSH_CLEANER_HH
+
+#include <cstddef>
+
+namespace hippo::ir
+{
+class Function;
+class Module;
+} // namespace hippo::ir
+
+namespace hippo::core
+{
+
+/** Result counters of a cleaning pass. */
+struct FlushCleanStats
+{
+    size_t flushesRemoved = 0;
+    size_t flushesKept = 0;
+};
+
+/** Remove provably redundant flushes from one function. */
+FlushCleanStats cleanRedundantFlushes(ir::Function *f);
+
+/** Remove provably redundant flushes module-wide. */
+FlushCleanStats cleanRedundantFlushes(ir::Module *m);
+
+} // namespace hippo::core
+
+#endif // HIPPO_CORE_FLUSH_CLEANER_HH

@@ -1,0 +1,125 @@
+#include "core/patch_writer.hh"
+
+#include <set>
+#include <sstream>
+
+#include "ir/module.hh"
+#include "ir/printer.hh"
+#include "support/strings.hh"
+
+namespace hippo::core
+{
+
+namespace
+{
+
+const ir::Instruction *
+findAnchor(const ir::Module &m, const AppliedFix &fix)
+{
+    const ir::Function *f = m.findFunction(fix.function);
+    return f ? f->findInstr(fix.anchorInstrId) : nullptr;
+}
+
+std::string
+locOf(const ir::Instruction *instr)
+{
+    if (!instr || !instr->loc().valid())
+        return "<unknown location>";
+    return instr->loc().str();
+}
+
+/**
+ * Describe the flushes Hippocrates placed across the whole cloned
+ * subprogram (the top clone plus nested persistent clones it calls).
+ */
+void
+describeCloneFlushes(const ir::Function *clone, std::ostringstream &os,
+                     std::set<const ir::Function *> &visited)
+{
+    if (!visited.insert(clone).second)
+        return;
+    for (const auto &bb : clone->blocks()) {
+        for (const auto &instr : *bb) {
+            if (instr->op() == ir::Opcode::Flush) {
+                os << "      + CLWB after the PM store at "
+                   << instr->loc().str() << " (in @"
+                   << clone->name() << ")\n";
+            } else if (instr->op() != ir::Opcode::Call) {
+                continue;
+            } else if (instr->callee()->name() ==
+                       flushRangeHelperName) {
+                os << "      + ranged flush after the PM copy at "
+                   << instr->loc().str() << " (in @"
+                   << clone->name() << ")\n";
+            } else if (instr->callee()->name().find(
+                           persistentCloneSuffix) !=
+                       std::string::npos) {
+                describeCloneFlushes(instr->callee(), os, visited);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::string
+renderPatchPlan(const ir::Module &m, const FixSummary &summary)
+{
+    std::ostringstream os;
+    os << format("Hippocrates patch plan: %zu fix(es) covering %zu "
+                 "bug(s); +%u flush(es), +%u fence(s), %u "
+                 "persistent subprogram clone(s)\n\n",
+                 summary.fixes.size(), summary.bugsFixed,
+                 summary.flushesInserted, summary.fencesInserted,
+                 summary.functionsCloned);
+
+    int n = 0;
+    for (const AppliedFix &fix : summary.fixes) {
+        const ir::Instruction *anchor = findAnchor(m, fix);
+        os << format("[%d] %s\n", ++n, fixKindName(fix.kind));
+        switch (fix.kind) {
+          case FixKind::IntraFlush:
+            os << "    " << locOf(anchor) << " in " << fix.function
+               << "(): insert CLWB for the stored address right "
+                  "after the store\n";
+            break;
+          case FixKind::IntraFence:
+            os << "    " << locOf(anchor) << " in " << fix.function
+               << "(): insert SFENCE right after the existing "
+                  "cache-line flush\n";
+            break;
+          case FixKind::IntraFlushFence:
+            os << "    " << locOf(anchor) << " in " << fix.function
+               << "(): insert CLWB for the stored address, then "
+                  "SFENCE\n";
+            break;
+          case FixKind::Interprocedural: {
+            os << "    " << locOf(anchor) << " in " << fix.function
+               << "(): redirect the call to the persistent "
+                  "subprogram @"
+               << fix.clonedSubprogram << " ("
+               << fix.hoistLevels
+               << " frame(s) above the PM modification)\n";
+            if (fix.fencesInserted)
+                os << "    and insert SFENCE after the call site\n";
+            if (const ir::Function *clone =
+                    m.findFunction(fix.clonedSubprogram)) {
+                os << "    @" << fix.clonedSubprogram
+                   << " duplicates @"
+                   << fix.clonedSubprogram.substr(
+                          0, fix.clonedSubprogram.rfind(
+                                 persistentCloneSuffix))
+                   << " with durability added:\n";
+                std::set<const ir::Function *> visited;
+                describeCloneFlushes(clone, os, visited);
+            }
+            break;
+          }
+        }
+        os << format("    (covers %zu reported bug(s))\n\n",
+                     fix.bugIndexes.size());
+    }
+    return os.str();
+}
+
+} // namespace hippo::core

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Source-level patch rendering. §5.2 of the paper argues that
+ * mapping Hippocrates's fixes back to source is easy precisely
+ * because the fixes are so simple — inserted flushes, inserted
+ * fences, and duplicated functions. This module renders a
+ * FixSummary as a human-readable patch plan, each hunk anchored to
+ * the `!loc` source position of its anchor instruction, suitable
+ * for pasting into a code review.
+ */
+
+#ifndef HIPPO_CORE_PATCH_WRITER_HH
+#define HIPPO_CORE_PATCH_WRITER_HH
+
+#include <string>
+
+#include "core/fixer.hh"
+
+namespace hippo::core
+{
+
+/**
+ * Render @p summary (produced by Fixer::fix on @p m) as a
+ * source-level patch plan.
+ */
+std::string renderPatchPlan(const ir::Module &m,
+                            const FixSummary &summary);
+
+} // namespace hippo::core
+
+#endif // HIPPO_CORE_PATCH_WRITER_HH

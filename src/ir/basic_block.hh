@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Basic blocks: ordered instruction sequences ending in a terminator.
+ * std::list is used so Hippocrates can insert fixes mid-block without
+ * invalidating iterators or instruction pointers.
+ */
+
+#ifndef HIPPO_IR_BASIC_BLOCK_HH
+#define HIPPO_IR_BASIC_BLOCK_HH
+
+#include <list>
+#include <memory>
+#include <string>
+
+#include "ir/instruction.hh"
+
+namespace hippo::ir
+{
+
+class Function;
+
+/** A straight-line sequence of instructions with a single terminator. */
+class BasicBlock
+{
+  public:
+    using InstrList = std::list<std::unique_ptr<Instruction>>;
+    using iterator = InstrList::iterator;
+    using const_iterator = InstrList::const_iterator;
+
+    BasicBlock(std::string name, Function *parent)
+        : name_(std::move(name)), parent_(parent)
+    {}
+
+    const std::string &name() const { return name_; }
+    Function *parent() const { return parent_; }
+
+    iterator begin() { return instrs_.begin(); }
+    iterator end() { return instrs_.end(); }
+    const_iterator begin() const { return instrs_.begin(); }
+    const_iterator end() const { return instrs_.end(); }
+    bool empty() const { return instrs_.empty(); }
+    size_t size() const { return instrs_.size(); }
+
+    /** Last instruction (the terminator once the block is complete). */
+    Instruction *terminator() const;
+
+    /** Append an instruction, taking ownership. */
+    Instruction *append(std::unique_ptr<Instruction> instr);
+
+    /** Insert before @p pos, taking ownership; returns the raw ptr. */
+    Instruction *insert(iterator pos, std::unique_ptr<Instruction> instr);
+
+    /** Iterator pointing at @p instr (must be in this block). */
+    iterator iteratorTo(Instruction *instr);
+
+    /** Remove and destroy @p instr (must not be referenced elsewhere). */
+    void erase(Instruction *instr);
+
+  private:
+    std::string name_;
+    Function *parent_;
+    InstrList instrs_;
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_BASIC_BLOCK_HH

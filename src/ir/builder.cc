@@ -1,0 +1,235 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace hippo::ir
+{
+
+void
+IRBuilder::setInsertPoint(BasicBlock *bb)
+{
+    block_ = bb;
+    atEnd_ = true;
+}
+
+void
+IRBuilder::setInsertPoint(BasicBlock *bb, BasicBlock::iterator pos)
+{
+    block_ = bb;
+    pos_ = pos;
+    atEnd_ = false;
+}
+
+void
+IRBuilder::setInsertPointAfter(Instruction *instr)
+{
+    BasicBlock *bb = instr->parent();
+    auto it = bb->iteratorTo(instr);
+    ++it;
+    setInsertPoint(bb, it);
+}
+
+void
+IRBuilder::setInsertPointBefore(Instruction *instr)
+{
+    BasicBlock *bb = instr->parent();
+    setInsertPoint(bb, bb->iteratorTo(instr));
+}
+
+Instruction *
+IRBuilder::make(Opcode op, Type result_type)
+{
+    hippo_assert(block_, "no insertion point");
+    Function *f = block_->parent();
+    auto instr = std::make_unique<Instruction>(op, result_type,
+                                               f->nextInstrId());
+    instr->setLoc(loc_);
+    return place(std::move(instr));
+}
+
+Instruction *
+IRBuilder::place(std::unique_ptr<Instruction> instr)
+{
+    if (atEnd_)
+        return block_->append(std::move(instr));
+    return block_->insert(pos_, std::move(instr));
+}
+
+Instruction *
+IRBuilder::createAlloca(uint64_t bytes)
+{
+    Instruction *i = make(Opcode::Alloca, Type::Ptr);
+    i->setAccessSize(bytes);
+    return i;
+}
+
+Instruction *
+IRBuilder::createLoad(Value *ptr, uint64_t size)
+{
+    hippo_assert(ptr->type() == Type::Ptr, "load from non-pointer");
+    Instruction *i = make(Opcode::Load, Type::Int);
+    i->addOperand(ptr);
+    i->setAccessSize(size);
+    return i;
+}
+
+Instruction *
+IRBuilder::createStore(Value *value, Value *ptr, uint64_t size,
+                       bool non_temporal)
+{
+    hippo_assert(ptr->type() == Type::Ptr, "store to non-pointer");
+    Instruction *i = make(Opcode::Store, Type::Void);
+    i->addOperand(value);
+    i->addOperand(ptr);
+    i->setAccessSize(size);
+    i->setNonTemporal(non_temporal);
+    return i;
+}
+
+Instruction *
+IRBuilder::createFlush(Value *ptr, FlushKind kind)
+{
+    hippo_assert(ptr->type() == Type::Ptr, "flush of non-pointer");
+    Instruction *i = make(Opcode::Flush, Type::Void);
+    i->addOperand(ptr);
+    i->setFlushKind(kind);
+    return i;
+}
+
+Instruction *
+IRBuilder::createFence(FenceKind kind)
+{
+    Instruction *i = make(Opcode::Fence, Type::Void);
+    i->setFenceKind(kind);
+    return i;
+}
+
+Instruction *
+IRBuilder::createGep(Value *ptr, Value *offset)
+{
+    hippo_assert(ptr->type() == Type::Ptr, "gep of non-pointer");
+    Instruction *i = make(Opcode::Gep, Type::Ptr);
+    i->addOperand(ptr);
+    i->addOperand(offset);
+    return i;
+}
+
+Instruction *
+IRBuilder::createBin(BinOp op, Value *lhs, Value *rhs)
+{
+    Instruction *i = make(Opcode::Bin, Type::Int);
+    i->addOperand(lhs);
+    i->addOperand(rhs);
+    i->setBinOp(op);
+    return i;
+}
+
+Instruction *
+IRBuilder::createCmp(CmpPred pred, Value *lhs, Value *rhs)
+{
+    Instruction *i = make(Opcode::Cmp, Type::Int);
+    i->addOperand(lhs);
+    i->addOperand(rhs);
+    i->setCmpPred(pred);
+    return i;
+}
+
+Instruction *
+IRBuilder::createSelect(Value *cond, Value *a, Value *b)
+{
+    hippo_assert(a->type() == b->type(), "select type mismatch");
+    Instruction *i = make(Opcode::Select, a->type());
+    i->addOperand(cond);
+    i->addOperand(a);
+    i->addOperand(b);
+    return i;
+}
+
+Instruction *
+IRBuilder::createBr(BasicBlock *target)
+{
+    Instruction *i = make(Opcode::Br, Type::Void);
+    i->setTarget(0, target);
+    return i;
+}
+
+Instruction *
+IRBuilder::createCondBr(Value *cond, BasicBlock *if_true,
+                        BasicBlock *if_false)
+{
+    Instruction *i = make(Opcode::CondBr, Type::Void);
+    i->addOperand(cond);
+    i->setTarget(0, if_true);
+    i->setTarget(1, if_false);
+    return i;
+}
+
+Instruction *
+IRBuilder::createCall(Function *callee, std::vector<Value *> args)
+{
+    hippo_assert(callee, "null callee");
+    hippo_assert(args.size() == callee->numParams(),
+                 "call arity mismatch");
+    Instruction *i = make(Opcode::Call, callee->returnType());
+    for (Value *a : args)
+        i->addOperand(a);
+    i->setCallee(callee);
+    return i;
+}
+
+Instruction *
+IRBuilder::createRet(Value *value)
+{
+    Instruction *i = make(Opcode::Ret, Type::Void);
+    if (value)
+        i->addOperand(value);
+    return i;
+}
+
+Instruction *
+IRBuilder::createPmMap(std::string region, uint64_t bytes)
+{
+    Instruction *i = make(Opcode::PmMap, Type::Ptr);
+    i->setRegionSize(bytes);
+    i->setSymbol(std::move(region));
+    return i;
+}
+
+Instruction *
+IRBuilder::createMemcpy(Value *dst, Value *src, Value *len)
+{
+    Instruction *i = make(Opcode::Memcpy, Type::Void);
+    i->addOperand(dst);
+    i->addOperand(src);
+    i->addOperand(len);
+    return i;
+}
+
+Instruction *
+IRBuilder::createMemset(Value *dst, Value *byte, Value *len)
+{
+    Instruction *i = make(Opcode::Memset, Type::Void);
+    i->addOperand(dst);
+    i->addOperand(byte);
+    i->addOperand(len);
+    return i;
+}
+
+Instruction *
+IRBuilder::createDurPoint(std::string label)
+{
+    Instruction *i = make(Opcode::DurPoint, Type::Void);
+    i->setSymbol(std::move(label));
+    return i;
+}
+
+Instruction *
+IRBuilder::createPrint(std::string label, Value *value)
+{
+    Instruction *i = make(Opcode::Print, Type::Void);
+    i->addOperand(value);
+    i->setSymbol(std::move(label));
+    return i;
+}
+
+} // namespace hippo::ir

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * IRBuilder: the factory API for constructing PMIR, used both by the
+ * application builders in src/apps/ and by Hippocrates itself when it
+ * materializes fixes. Mirrors the ergonomics of llvm::IRBuilder.
+ */
+
+#ifndef HIPPO_IR_BUILDER_HH
+#define HIPPO_IR_BUILDER_HH
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace hippo::ir
+{
+
+/**
+ * Stateful instruction factory. Maintains an insertion point (a block
+ * plus position) and a current source location that is attached to
+ * every created instruction.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module *module) : module_(module) {}
+
+    Module *module() const { return module_; }
+
+    /// @name Insertion point control
+    /// @{
+    /** Append new instructions to the end of @p bb. */
+    void setInsertPoint(BasicBlock *bb);
+
+    /** Insert new instructions before @p pos inside @p bb. */
+    void setInsertPoint(BasicBlock *bb, BasicBlock::iterator pos);
+
+    /** Insert new instructions immediately after @p instr. */
+    void setInsertPointAfter(Instruction *instr);
+
+    /** Insert new instructions immediately before @p instr. */
+    void setInsertPointBefore(Instruction *instr);
+
+    BasicBlock *insertBlock() const { return block_; }
+    /// @}
+
+    /** Set the source location attached to subsequent instructions. */
+    void setLoc(std::string file, int line) { loc_ = {std::move(file), line}; }
+    void setLoc(SourceLoc loc) { loc_ = std::move(loc); }
+    const SourceLoc &loc() const { return loc_; }
+
+    /// @name Constants
+    /// @{
+    Constant *getInt(uint64_t v) { return module_->getInt(v); }
+    Constant *getNullPtr() { return module_->getNullPtr(); }
+    /// @}
+
+    /// @name Instruction factories
+    /// @{
+    /** Reserve @p bytes of volatile stack memory. */
+    Instruction *createAlloca(uint64_t bytes);
+
+    /** Load @p size bytes (1/2/4/8) from @p ptr. */
+    Instruction *createLoad(Value *ptr, uint64_t size = 8);
+
+    /** Store the low @p size bytes of @p value to @p ptr. */
+    Instruction *createStore(Value *value, Value *ptr,
+                             uint64_t size = 8,
+                             bool non_temporal = false);
+
+    /** Flush the cache line containing @p ptr. */
+    Instruction *createFlush(Value *ptr,
+                             FlushKind kind = FlushKind::Clwb);
+
+    /** Issue a memory fence. */
+    Instruction *createFence(FenceKind kind = FenceKind::Sfence);
+
+    /** Pointer arithmetic: @p ptr + @p offset bytes. */
+    Instruction *createGep(Value *ptr, Value *offset);
+
+    Instruction *createBin(BinOp op, Value *lhs, Value *rhs);
+    Instruction *createCmp(CmpPred pred, Value *lhs, Value *rhs);
+    Instruction *createSelect(Value *cond, Value *a, Value *b);
+
+    Instruction *createBr(BasicBlock *target);
+    Instruction *createCondBr(Value *cond, BasicBlock *if_true,
+                              BasicBlock *if_false);
+
+    Instruction *createCall(Function *callee,
+                            std::vector<Value *> args);
+    Instruction *createRet(Value *value = nullptr);
+
+    /** Map the named persistent region of @p bytes; yields its base. */
+    Instruction *createPmMap(std::string region, uint64_t bytes);
+
+    Instruction *createMemcpy(Value *dst, Value *src, Value *len);
+    Instruction *createMemset(Value *dst, Value *byte, Value *len);
+
+    /**
+     * Durability point: all prior PM stores must be durable when
+     * execution reaches this instruction (the paper's @c I).
+     */
+    Instruction *createDurPoint(std::string label);
+
+    /** Emit (@p label, value) to the program output log. */
+    Instruction *createPrint(std::string label, Value *value);
+    /// @}
+
+    /// @name Common shorthands
+    /// @{
+    Instruction *createAdd(Value *l, Value *r)
+    {
+        return createBin(BinOp::Add, l, r);
+    }
+    Instruction *createSub(Value *l, Value *r)
+    {
+        return createBin(BinOp::Sub, l, r);
+    }
+    Instruction *createMul(Value *l, Value *r)
+    {
+        return createBin(BinOp::Mul, l, r);
+    }
+    /// @}
+
+  private:
+    Instruction *make(Opcode op, Type result_type);
+    Instruction *place(std::unique_ptr<Instruction> instr);
+
+    Module *module_;
+    BasicBlock *block_ = nullptr;
+    BasicBlock::iterator pos_;
+    bool atEnd_ = true;
+    SourceLoc loc_;
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_BUILDER_HH

@@ -1,0 +1,87 @@
+#include "ir/cloner.hh"
+
+#include "ir/module.hh"
+#include "support/logging.hh"
+
+namespace hippo::ir
+{
+
+CloneResult
+cloneFunction(Function *src, const std::string &new_name,
+              const std::function<Function *(Function *)> &remap_callee)
+{
+    Module *m = src->parent();
+    hippo_assert(!m->findFunction(new_name),
+                 "clone target name already exists");
+
+    CloneResult res;
+    Function *dst = m->addFunction(new_name, src->returnType());
+    res.clone = dst;
+
+    for (const auto &p : src->params()) {
+        Argument *np = dst->addParam(p->type(), p->name());
+        res.valueMap[p.get()] = np;
+    }
+
+    // First create all blocks so branches can resolve forward.
+    std::map<const BasicBlock *, BasicBlock *> block_map;
+    for (const auto &bb : src->blocks())
+        block_map[bb.get()] = dst->addBlock(bb->name());
+
+    for (const auto &bb : src->blocks()) {
+        BasicBlock *nb = block_map[bb.get()];
+        for (const auto &instr : *bb) {
+            auto copy = std::make_unique<Instruction>(
+                instr->op(), instr->type(), instr->id());
+            Instruction *ni = copy.get();
+            nb->append(std::move(copy));
+
+            ni->setAccessSize(instr->accessSize());
+            switch (instr->op()) {
+              case Opcode::Bin:
+                ni->setBinOp(instr->binOp());
+                break;
+              case Opcode::Cmp:
+                ni->setCmpPred(instr->cmpPred());
+                break;
+              case Opcode::Flush:
+                ni->setFlushKind(instr->flushKind());
+                break;
+              case Opcode::Fence:
+                ni->setFenceKind(instr->fenceKind());
+                break;
+              default:
+                break;
+            }
+            ni->setNonTemporal(instr->nonTemporal());
+            ni->setSymbol(instr->symbol());
+            ni->setLoc(instr->loc());
+
+            for (Value *op : instr->operands()) {
+                auto it = res.valueMap.find(op);
+                ni->addOperand(it == res.valueMap.end() ? op
+                                                        : it->second);
+            }
+            for (unsigned t = 0; t < 2; t++) {
+                if (instr->target(t))
+                    ni->setTarget(t, block_map[instr->target(t)]);
+            }
+            if (instr->callee()) {
+                Function *callee = instr->callee();
+                if (remap_callee) {
+                    if (Function *alt = remap_callee(callee))
+                        callee = alt;
+                }
+                ni->setCallee(callee);
+            }
+
+            res.valueMap[instr.get()] = ni;
+            res.instrMap[instr.get()] = ni;
+        }
+    }
+
+    dst->reserveIds(src->idBound());
+    return res;
+}
+
+} // namespace hippo::ir

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Function cloning, the mechanical core of the persistent subprogram
+ * transformation (§4.2.4 of the paper): duplicate a function under a
+ * new name, remapping arguments, instruction results, and branch
+ * targets, with an optional callee-rewrite hook for redirecting calls
+ * inside the clone to persistent versions of their callees.
+ */
+
+#ifndef HIPPO_IR_CLONER_HH
+#define HIPPO_IR_CLONER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace hippo::ir
+{
+
+class Function;
+class Instruction;
+class Value;
+
+/** Result of cloneFunction: the clone plus the old→new value map. */
+struct CloneResult
+{
+    Function *clone = nullptr;
+    /** Maps source arguments/instructions to their copies. */
+    std::map<const Value *, Value *> valueMap;
+    /** Maps source instructions to their copies. */
+    std::map<const Instruction *, Instruction *> instrMap;
+};
+
+/**
+ * Clone @p src into its module under @p new_name.
+ *
+ * @param src The function to duplicate.
+ * @param new_name Unique name for the copy.
+ * @param remap_callee Optional hook invoked for every Call in the
+ *        clone with the original callee; returning non-null redirects
+ *        the cloned call to the returned function.
+ */
+CloneResult cloneFunction(
+    Function *src, const std::string &new_name,
+    const std::function<Function *(Function *)> &remap_callee = {});
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_CLONER_HH

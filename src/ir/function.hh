@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PMIR functions: named, directly-called units with typed parameters,
+ * a list of basic blocks (the first is the entry), and a monotonically
+ * increasing instruction-id counter.
+ */
+
+#ifndef HIPPO_IR_FUNCTION_HH
+#define HIPPO_IR_FUNCTION_HH
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/value.hh"
+
+namespace hippo::ir
+{
+
+class Module;
+
+/** A PMIR function definition. */
+class Function
+{
+  public:
+    using BlockList = std::list<std::unique_ptr<BasicBlock>>;
+
+    Function(std::string name, Type return_type, Module *parent)
+        : name_(std::move(name)), returnType_(return_type),
+          parent_(parent)
+    {}
+
+    const std::string &name() const { return name_; }
+    Type returnType() const { return returnType_; }
+    Module *parent() const { return parent_; }
+
+    /** Add a formal parameter (must precede block creation). */
+    Argument *addParam(Type type, std::string name);
+
+    const std::vector<std::unique_ptr<Argument>> &params() const
+    {
+        return params_;
+    }
+    Argument *param(size_t i) const { return params_[i].get(); }
+    size_t numParams() const { return params_.size(); }
+
+    /** Create and append a new basic block. */
+    BasicBlock *addBlock(std::string name);
+
+    BlockList &blocks() { return blocks_; }
+    const BlockList &blocks() const { return blocks_; }
+
+    /** Entry block (first block); null for an empty function. */
+    BasicBlock *entry() const
+    {
+        return blocks_.empty() ? nullptr : blocks_.front().get();
+    }
+
+    /** Find a block by name; null when absent. */
+    BasicBlock *findBlock(const std::string &name) const;
+
+    /** Allocate the next never-reused instruction id. */
+    uint32_t nextInstrId() { return nextId_++; }
+
+    /** One past the largest id handed out so far. */
+    uint32_t idBound() const { return nextId_; }
+
+    /**
+     * Ensure future ids start at or beyond @p bound; used by the
+     * parser, which materializes instructions with explicit ids.
+     */
+    void reserveIds(uint32_t bound)
+    {
+        if (bound > nextId_)
+            nextId_ = bound;
+    }
+
+    /** Find an instruction by id (linear scan); null when absent. */
+    Instruction *findInstr(uint32_t id) const;
+
+    /** Total instruction count across all blocks. */
+    size_t instrCount() const;
+
+  private:
+    std::string name_;
+    Type returnType_;
+    Module *parent_;
+    std::vector<std::unique_ptr<Argument>> params_;
+    BlockList blocks_;
+    uint32_t nextId_ = 0;
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_FUNCTION_HH

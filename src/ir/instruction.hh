@@ -1,0 +1,183 @@
+/**
+ * @file
+ * PMIR instruction set.
+ *
+ * Instructions carry a per-function id that is assigned at creation
+ * and never reused, so ids remain stable while Hippocrates inserts
+ * fixes; trace events and bug reports refer to instructions by
+ * (function name, instruction id).
+ */
+
+#ifndef HIPPO_IR_INSTRUCTION_HH
+#define HIPPO_IR_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/value.hh"
+
+namespace hippo::ir
+{
+
+class BasicBlock;
+class Function;
+
+/** PMIR opcodes. */
+enum class Opcode : uint8_t
+{
+    Alloca,   ///< reserve stack bytes; result: ptr
+    Load,     ///< load accessSize bytes; result: int
+    Store,    ///< store accessSize bytes (optionally non-temporal)
+    Flush,    ///< cache-line flush (CLWB / CLFLUSHOPT / CLFLUSH)
+    Fence,    ///< memory fence (SFENCE / MFENCE)
+    Gep,      ///< pointer + byte offset; result: ptr
+    Bin,      ///< 64-bit integer arithmetic/logic
+    Cmp,      ///< integer comparison; result: int 0/1
+    Select,   ///< cond ? a : b
+    Br,       ///< unconditional branch
+    CondBr,   ///< conditional branch
+    Call,     ///< direct call to a Function in this Module
+    Ret,      ///< return (optionally with a value)
+    PmMap,    ///< map a named persistent-memory region; result: ptr
+    Memcpy,   ///< byte copy (dst, src, len)
+    Memset,   ///< byte fill (dst, byteval, len)
+    DurPoint, ///< durability point: prior PM stores must be durable
+    Print,    ///< emit a labelled value to the program's output log
+};
+
+/** Printable mnemonic of an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Cache-line flush flavors (x86 semantics per Intel SDM). */
+enum class FlushKind : uint8_t { Clwb, ClflushOpt, Clflush };
+
+/** Memory fence flavors. */
+enum class FenceKind : uint8_t { Sfence, Mfence };
+
+/** Integer binary operators. */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, UDiv, URem, And, Or, Xor, Shl, LShr
+};
+
+/** Integer comparison predicates (unsigned and signed orderings). */
+enum class CmpPred : uint8_t
+{
+    Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge
+};
+
+const char *flushKindName(FlushKind k);
+const char *fenceKindName(FenceKind k);
+const char *binOpName(BinOp op);
+const char *cmpPredName(CmpPred p);
+
+/** A source-file location attached to an instruction (`!loc`). */
+struct SourceLoc
+{
+    std::string file;
+    int line = 0;
+
+    bool valid() const { return !file.empty(); }
+    bool operator==(const SourceLoc &o) const = default;
+    std::string str() const;
+};
+
+/**
+ * A PMIR instruction. One concrete class covers all opcodes; the
+ * operand list plus a few immediate fields describe each form. The
+ * per-opcode operand layouts are documented on the factory methods of
+ * IRBuilder and enforced by the Verifier.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Opcode op, Type result_type, uint32_t id)
+        : Value(ValueKind::Instruction, result_type), op_(op), id_(id)
+    {}
+
+    Opcode op() const { return op_; }
+    uint32_t id() const { return id_; }
+
+    BasicBlock *parent() const { return parent_; }
+    void setParent(BasicBlock *bb) { parent_ = bb; }
+
+    /** Function containing this instruction (via its parent block). */
+    Function *function() const;
+
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(size_t i) const { return operands_[i]; }
+    size_t numOperands() const { return operands_.size(); }
+    void setOperand(size_t i, Value *v) { operands_[i] = v; }
+    void addOperand(Value *v) { operands_.push_back(v); }
+
+    const SourceLoc &loc() const { return loc_; }
+    void setLoc(SourceLoc loc) { loc_ = std::move(loc); }
+
+    /// @name Immediate fields (meaning depends on opcode)
+    /// @{
+    /** Load/Store: access size in bytes; Alloca: allocation size. */
+    uint64_t accessSize() const { return imm_; }
+    void setAccessSize(uint64_t s) { imm_ = s; }
+
+    /** PmMap: region size in bytes. */
+    uint64_t regionSize() const { return imm_; }
+    void setRegionSize(uint64_t s) { imm_ = s; }
+
+    FlushKind flushKind() const { return (FlushKind)sub_; }
+    void setFlushKind(FlushKind k) { sub_ = (uint8_t)k; }
+
+    FenceKind fenceKind() const { return (FenceKind)sub_; }
+    void setFenceKind(FenceKind k) { sub_ = (uint8_t)k; }
+
+    BinOp binOp() const { return (BinOp)sub_; }
+    void setBinOp(BinOp op) { sub_ = (uint8_t)op; }
+
+    CmpPred cmpPred() const { return (CmpPred)sub_; }
+    void setCmpPred(CmpPred p) { sub_ = (uint8_t)p; }
+
+    /** Store: true when this is a non-temporal (streaming) store. */
+    bool nonTemporal() const { return flag_; }
+    void setNonTemporal(bool nt) { flag_ = nt; }
+    /// @}
+
+    /** Call: the callee. */
+    Function *callee() const { return callee_; }
+    void setCallee(Function *f) { callee_ = f; }
+
+    /** Br/CondBr: branch targets (CondBr: [0]=true, [1]=false). */
+    BasicBlock *target(unsigned i) const { return targets_[i]; }
+    void setTarget(unsigned i, BasicBlock *bb) { targets_[i] = bb; }
+
+    /** PmMap region name / DurPoint label / Print label. */
+    const std::string &symbol() const { return symbol_; }
+    void setSymbol(std::string s) { symbol_ = std::move(s); }
+
+    /** True for Br, CondBr, and Ret. */
+    bool isTerminator() const;
+
+    /** True when this instruction produces a result value. */
+    bool hasResult() const { return type() != Type::Void; }
+
+    /** Late result-type fixup used by the text parser. */
+    void setResultType(Type t) { setType(t); }
+
+    std::string displayName() const override;
+
+  private:
+    Opcode op_;
+    uint32_t id_;
+    BasicBlock *parent_ = nullptr;
+    std::vector<Value *> operands_;
+    uint64_t imm_ = 0;
+    uint8_t sub_ = 0;
+    bool flag_ = false;
+    Function *callee_ = nullptr;
+    BasicBlock *targets_[2] = {nullptr, nullptr};
+    std::string symbol_;
+    SourceLoc loc_;
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_INSTRUCTION_HH

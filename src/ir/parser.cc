@@ -1,0 +1,564 @@
+#include "ir/parser.hh"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ir/module.hh"
+#include "support/strings.hh"
+
+namespace hippo::ir
+{
+
+namespace
+{
+
+/** One unresolved operand reference: a token plus its use site. */
+struct PendingOperand
+{
+    Instruction *instr;
+    std::string token;
+};
+
+/** One unresolved branch target. */
+struct PendingTarget
+{
+    Instruction *instr;
+    unsigned slot;
+    std::string label;
+};
+
+struct PendingCallee
+{
+    Instruction *instr;
+    std::string name;
+};
+
+/**
+ * Recursive-descent-ish line parser. The grammar is line oriented:
+ * every instruction occupies one line, so parsing is a matter of
+ * tokenizing each line and dispatching on the mnemonic.
+ */
+class ParserImpl
+{
+  public:
+    explicit ParserImpl(std::string_view text) : text_(text) {}
+
+    std::unique_ptr<Module>
+    run(std::string *error)
+    {
+        module_ = std::make_unique<Module>();
+        try {
+            parseTop();
+            resolveAll();
+        } catch (const std::string &msg) {
+            if (error)
+                *error = msg;
+            return nullptr;
+        }
+        return std::move(module_);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw format("line %d: %s", lineNo_, msg.c_str());
+    }
+
+    /** Next non-empty, comment-stripped line; false at EOF. */
+    bool
+    nextLine(std::string &out)
+    {
+        while (pos_ < text_.size()) {
+            size_t eol = text_.find('\n', pos_);
+            if (eol == std::string_view::npos)
+                eol = text_.size();
+            std::string_view raw = text_.substr(pos_, eol - pos_);
+            pos_ = eol + 1;
+            lineNo_++;
+            size_t comment = raw.find(';');
+            if (comment != std::string_view::npos)
+                raw = raw.substr(0, comment);
+            std::string_view t = trim(raw);
+            if (!t.empty()) {
+                out = std::string(t);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    parseTop()
+    {
+        std::string line;
+        while (nextLine(line)) {
+            if (startsWith(line, "module")) {
+                size_t a = line.find('"');
+                size_t b = line.rfind('"');
+                if (a == std::string::npos || b <= a)
+                    fail("malformed module line");
+                if (!module_->functions().empty())
+                    fail("'module' must precede all functions");
+                *module_ = Module(line.substr(a + 1, b - a - 1));
+            } else if (startsWith(line, "func")) {
+                parseFunctionHeader(line);
+            } else {
+                fail("expected 'module' or 'func', got: " + line);
+            }
+        }
+    }
+
+    void
+    parseFunctionHeader(const std::string &line)
+    {
+        // func @name(%p: ptr, %n: i64) -> void {
+        size_t at = line.find('@');
+        size_t lp = line.find('(', at);
+        if (at == std::string::npos || lp == std::string::npos)
+            fail("malformed func header");
+        std::string name = line.substr(at + 1, lp - at - 1);
+        size_t rp = line.find(')', lp);
+        if (rp == std::string::npos)
+            fail("missing ')'");
+        std::string params = line.substr(lp + 1, rp - lp - 1);
+        size_t arrow = line.find("->", rp);
+        if (arrow == std::string::npos)
+            fail("missing return type");
+        std::string rett(trim(line.substr(arrow + 2)));
+        if (endsWith(rett, "{"))
+            rett = std::string(trim(
+                std::string_view(rett).substr(0, rett.size() - 1)));
+
+        Type ret = parseType(rett);
+        Function *f = module_->addFunction(name, ret);
+        values_.clear();
+
+        if (!trim(params).empty()) {
+            for (auto &p : split(params, ',')) {
+                auto parts = split(std::string(trim(p)), ':');
+                if (parts.size() != 2)
+                    fail("malformed parameter: " + p);
+                std::string pname(trim(parts[0]));
+                if (!startsWith(pname, "%"))
+                    fail("parameter name must start with %");
+                pname = pname.substr(1);
+                Type pt = parseType(std::string(trim(parts[1])));
+                Argument *arg = f->addParam(pt, pname);
+                values_["%" + pname] = arg;
+            }
+        }
+        parseBody(f);
+    }
+
+    Type
+    parseType(const std::string &t)
+    {
+        if (t == "void")
+            return Type::Void;
+        if (t == "i64")
+            return Type::Int;
+        if (t == "ptr")
+            return Type::Ptr;
+        fail("unknown type: " + t);
+    }
+
+    void
+    parseBody(Function *f)
+    {
+        std::string line;
+        BasicBlock *bb = nullptr;
+        uint32_t max_id = 0;
+        while (nextLine(line)) {
+            if (line == "}") {
+                f->reserveIds(max_id);
+                resolveFunction(f);
+                return;
+            }
+            if (endsWith(line, ":")) {
+                std::string label = line.substr(0, line.size() - 1);
+                bb = f->findBlock(label);
+                if (!bb)
+                    bb = f->addBlock(label);
+                continue;
+            }
+            if (!bb)
+                fail("instruction outside of a block");
+            Instruction *instr = parseInstruction(f, bb, line);
+            if (instr->id() + 1 > max_id)
+                max_id = instr->id() + 1;
+        }
+        fail("unexpected EOF inside function @" + f->name());
+    }
+
+    /** Strip and capture `!id(..)` and `!loc(..)` suffixes. */
+    std::string
+    stripMetadata(std::string line, std::optional<uint32_t> &id,
+                  SourceLoc &loc)
+    {
+        while (true) {
+            size_t bang = line.rfind('!');
+            if (bang == std::string::npos)
+                break;
+            size_t lp = line.find('(', bang);
+            size_t rp = line.find(')', bang);
+            if (lp == std::string::npos || rp == std::string::npos)
+                break;
+            std::string kind = line.substr(bang + 1, lp - bang - 1);
+            std::string body = line.substr(lp + 1, rp - lp - 1);
+            if (kind == "id") {
+                uint64_t v;
+                if (!parseUint(body, v))
+                    fail("bad !id");
+                id = (uint32_t)v;
+            } else if (kind == "loc") {
+                size_t colon = body.rfind(':');
+                if (colon == std::string::npos)
+                    fail("bad !loc");
+                loc.file = body.substr(0, colon);
+                int64_t ln;
+                if (!parseInt(body.substr(colon + 1), ln))
+                    fail("bad !loc line");
+                loc.line = (int)ln;
+            } else {
+                fail("unknown metadata: !" + kind);
+            }
+            line = std::string(trim(line.substr(0, bang)));
+        }
+        return line;
+    }
+
+    Instruction *
+    parseInstruction(Function *f, BasicBlock *bb, std::string line)
+    {
+        std::optional<uint32_t> explicit_id;
+        SourceLoc loc;
+        line = stripMetadata(std::move(line), explicit_id, loc);
+
+        std::string result_name;
+        size_t eq = line.find('=');
+        if (startsWith(line, "%") && eq != std::string::npos) {
+            result_name = std::string(trim(line.substr(0, eq)));
+            line = std::string(trim(line.substr(eq + 1)));
+            if (startsWith(result_name, "%v")) {
+                uint64_t v;
+                if (parseUint(result_name.substr(2), v))
+                    explicit_id = (uint32_t)v;
+            }
+        }
+
+        auto words = splitWhitespace(line);
+        if (words.empty())
+            fail("empty instruction");
+        const std::string &mn = words[0];
+
+        // Everything after the mnemonic (and sub-mnemonic), as a
+        // comma-separated operand list.
+        auto operandsAfter = [&](size_t nwords) {
+            size_t consumed = 0, idx = 0;
+            while (idx < line.size() && consumed < nwords) {
+                while (idx < line.size() && !std::isspace(
+                        (unsigned char)line[idx]))
+                    idx++;
+                while (idx < line.size() && std::isspace(
+                        (unsigned char)line[idx]))
+                    idx++;
+                consumed++;
+            }
+            std::vector<std::string> toks;
+            std::string rest = line.substr(idx);
+            if (trim(rest).empty())
+                return toks;
+            for (auto &t : split(rest, ','))
+                toks.emplace_back(trim(t));
+            return toks;
+        };
+
+        // Reserve explicit ids immediately so instructions without
+        // one (void instructions lacking !id) cannot collide.
+        uint32_t id;
+        if (explicit_id) {
+            id = *explicit_id;
+            f->reserveIds(id + 1);
+        } else {
+            id = f->nextInstrId();
+        }
+        Opcode op;
+        Type rt = Type::Void;
+        uint64_t imm = 0;
+        uint8_t sub = 0;
+        bool nt = false;
+        std::string symbol;
+        std::vector<std::string> opnd_tokens;
+        std::vector<std::string> target_labels;
+        std::string callee_name;
+
+        auto parseQuoted = [&](const std::string &rest) {
+            size_t a = rest.find('"');
+            size_t b = rest.find('"', a + 1);
+            if (a == std::string::npos || b == std::string::npos)
+                fail("expected quoted symbol");
+            return std::make_pair(rest.substr(a + 1, b - a - 1),
+                                  rest.substr(b + 1));
+        };
+
+        if (mn == "alloca") {
+            op = Opcode::Alloca;
+            rt = Type::Ptr;
+            auto toks = operandsAfter(1);
+            if (toks.size() != 1 || !parseUint(toks[0], imm))
+                fail("alloca wants a byte count");
+        } else if (mn == "load") {
+            op = Opcode::Load;
+            rt = Type::Int;
+            auto toks = operandsAfter(1);
+            if (toks.size() != 2 || !parseUint(toks[1], imm))
+                fail("load wants ptr, size");
+            opnd_tokens = {toks[0]};
+        } else if (mn == "store" || mn == "store.nt") {
+            op = Opcode::Store;
+            nt = mn == "store.nt";
+            auto toks = operandsAfter(1);
+            if (toks.size() != 3 || !parseUint(toks[2], imm))
+                fail("store wants value, ptr, size");
+            opnd_tokens = {toks[0], toks[1]};
+        } else if (mn == "flush") {
+            op = Opcode::Flush;
+            if (words.size() < 3)
+                fail("flush wants kind and ptr");
+            if (words[1] == "clwb")
+                sub = (uint8_t)FlushKind::Clwb;
+            else if (words[1] == "clflushopt")
+                sub = (uint8_t)FlushKind::ClflushOpt;
+            else if (words[1] == "clflush")
+                sub = (uint8_t)FlushKind::Clflush;
+            else
+                fail("unknown flush kind: " + words[1]);
+            opnd_tokens = operandsAfter(2);
+            if (opnd_tokens.size() != 1)
+                fail("flush wants one pointer");
+        } else if (mn == "fence") {
+            op = Opcode::Fence;
+            if (words.size() < 2)
+                fail("fence wants a kind");
+            if (words[1] == "sfence")
+                sub = (uint8_t)FenceKind::Sfence;
+            else if (words[1] == "mfence")
+                sub = (uint8_t)FenceKind::Mfence;
+            else
+                fail("unknown fence kind: " + words[1]);
+        } else if (mn == "gep") {
+            op = Opcode::Gep;
+            rt = Type::Ptr;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() != 2)
+                fail("gep wants ptr, offset");
+        } else if (mn == "cmp") {
+            op = Opcode::Cmp;
+            rt = Type::Int;
+            if (words.size() < 2)
+                fail("cmp wants a predicate");
+            static const std::map<std::string, CmpPred> preds = {
+                {"eq", CmpPred::Eq},   {"ne", CmpPred::Ne},
+                {"ult", CmpPred::Ult}, {"ule", CmpPred::Ule},
+                {"ugt", CmpPred::Ugt}, {"uge", CmpPred::Uge},
+                {"slt", CmpPred::Slt}, {"sle", CmpPred::Sle},
+                {"sgt", CmpPred::Sgt}, {"sge", CmpPred::Sge},
+            };
+            auto it = preds.find(words[1]);
+            if (it == preds.end())
+                fail("unknown predicate: " + words[1]);
+            sub = (uint8_t)it->second;
+            opnd_tokens = operandsAfter(2);
+            if (opnd_tokens.size() != 2)
+                fail("cmp wants two operands");
+        } else if (mn == "select") {
+            op = Opcode::Select;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() != 3)
+                fail("select wants three operands");
+            rt = Type::Int; // fixed up at resolution for ptr selects
+        } else if (mn == "br") {
+            op = Opcode::Br;
+            if (words.size() != 2 || !startsWith(words[1], "%"))
+                fail("br wants a %label");
+            target_labels = {words[1].substr(1)};
+        } else if (mn == "condbr") {
+            op = Opcode::CondBr;
+            auto toks = operandsAfter(1);
+            if (toks.size() != 3)
+                fail("condbr wants cond, %t, %f");
+            opnd_tokens = {toks[0]};
+            if (!startsWith(toks[1], "%") || !startsWith(toks[2], "%"))
+                fail("condbr targets must be %labels");
+            target_labels = {toks[1].substr(1), toks[2].substr(1)};
+        } else if (mn == "call") {
+            op = Opcode::Call;
+            size_t at = line.find('@');
+            size_t lp = line.find('(', at);
+            size_t rp = line.rfind(')');
+            if (at == std::string::npos || lp == std::string::npos ||
+                rp == std::string::npos)
+                fail("malformed call");
+            callee_name = line.substr(at + 1, lp - at - 1);
+            std::string args = line.substr(lp + 1, rp - lp - 1);
+            if (!trim(args).empty()) {
+                for (auto &t : split(args, ','))
+                    opnd_tokens.emplace_back(trim(t));
+            }
+        } else if (mn == "ret") {
+            op = Opcode::Ret;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() > 1)
+                fail("ret wants at most one operand");
+        } else if (mn == "pmmap") {
+            op = Opcode::PmMap;
+            rt = Type::Ptr;
+            auto [sym, rest] = parseQuoted(line);
+            symbol = sym;
+            auto toks = split(rest, ',');
+            std::string szt =
+                toks.size() >= 2 ? std::string(trim(toks[1])) : "";
+            if (!parseUint(szt, imm))
+                fail("pmmap wants \"region\", size");
+        } else if (mn == "memcpy" || mn == "memset") {
+            op = mn == "memcpy" ? Opcode::Memcpy : Opcode::Memset;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() != 3)
+                fail(mn + " wants three operands");
+        } else if (mn == "durpoint") {
+            op = Opcode::DurPoint;
+            symbol = parseQuoted(line).first;
+        } else if (mn == "print") {
+            op = Opcode::Print;
+            auto [sym, rest] = parseQuoted(line);
+            symbol = sym;
+            auto toks = split(rest, ',');
+            if (toks.size() < 2)
+                fail("print wants \"label\", value");
+            opnd_tokens = {std::string(trim(toks[1]))};
+        } else {
+            // Binary operators use their mnemonic directly.
+            static const std::map<std::string, BinOp> bins = {
+                {"add", BinOp::Add},   {"sub", BinOp::Sub},
+                {"mul", BinOp::Mul},   {"udiv", BinOp::UDiv},
+                {"urem", BinOp::URem}, {"and", BinOp::And},
+                {"or", BinOp::Or},     {"xor", BinOp::Xor},
+                {"shl", BinOp::Shl},   {"lshr", BinOp::LShr},
+            };
+            auto it = bins.find(mn);
+            if (it == bins.end())
+                fail("unknown mnemonic: " + mn);
+            op = Opcode::Bin;
+            rt = Type::Int;
+            sub = (uint8_t)it->second;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() != 2)
+                fail(mn + " wants two operands");
+        }
+
+        auto owned = std::make_unique<Instruction>(op, rt, id);
+        Instruction *instr = owned.get();
+        instr->setAccessSize(imm);
+        if (op == Opcode::Bin)
+            instr->setBinOp((BinOp)sub);
+        else if (op == Opcode::Cmp)
+            instr->setCmpPred((CmpPred)sub);
+        else if (op == Opcode::Flush)
+            instr->setFlushKind((FlushKind)sub);
+        else if (op == Opcode::Fence)
+            instr->setFenceKind((FenceKind)sub);
+        instr->setNonTemporal(nt);
+        instr->setSymbol(symbol);
+        instr->setLoc(loc);
+        bb->append(std::move(owned));
+
+        if (!result_name.empty())
+            values_[result_name] = instr;
+
+        for (auto &tok : opnd_tokens)
+            pendingOperands_.push_back({instr, tok});
+        for (unsigned i = 0; i < target_labels.size(); i++)
+            pendingTargets_.push_back({instr, i, target_labels[i]});
+        if (!callee_name.empty())
+            pendingCallees_.push_back({instr, callee_name});
+
+        return instr;
+    }
+
+    void
+    resolveFunction(Function *f)
+    {
+        for (auto &p : pendingOperands_) {
+            p.instr->addOperand(resolveValue(p.token));
+            // Selects and rets of pointers need a result-type fixup
+            // now that the operand type is known.
+            if (p.instr->op() == Opcode::Select &&
+                p.instr->numOperands() == 2 &&
+                p.instr->operand(1)->type() == Type::Ptr) {
+                p.instr->setResultType(Type::Ptr);
+            }
+        }
+        pendingOperands_.clear();
+        for (auto &t : pendingTargets_) {
+            BasicBlock *bb = f->findBlock(t.label);
+            if (!bb)
+                fail("unknown block label: " + t.label);
+            t.instr->setTarget(t.slot, bb);
+        }
+        pendingTargets_.clear();
+    }
+
+    Value *
+    resolveValue(const std::string &tok)
+    {
+        if (tok == "null")
+            return module_->getNullPtr();
+        if (startsWith(tok, "%")) {
+            auto it = values_.find(tok);
+            if (it == values_.end())
+                fail("unknown value: " + tok);
+            return it->second;
+        }
+        uint64_t v;
+        if (parseUint(tok, v))
+            return module_->getInt(v);
+        fail("cannot parse operand: " + tok);
+    }
+
+    void
+    resolveAll()
+    {
+        // Callee resolution is module wide (calls may be forward).
+        for (auto &c : pendingCallees_) {
+            Function *callee = module_->findFunction(c.name);
+            if (!callee)
+                fail("unknown callee: @" + c.name);
+            c.instr->setCallee(callee);
+            // A call's result type comes from its (late-bound)
+            // callee.
+            c.instr->setResultType(callee->returnType());
+        }
+        pendingCallees_.clear();
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    int lineNo_ = 0;
+    std::unique_ptr<Module> module_;
+    std::map<std::string, Value *> values_;
+    std::vector<PendingOperand> pendingOperands_;
+    std::vector<PendingTarget> pendingTargets_;
+    std::vector<PendingCallee> pendingCallees_;
+};
+
+} // namespace
+
+std::unique_ptr<Module>
+parseModule(std::string_view text, std::string *error)
+{
+    return ParserImpl(text).run(error);
+}
+
+} // namespace hippo::ir

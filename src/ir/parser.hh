@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Parser for the PMIR text format produced by Printer. Supports the
+ * full instruction set including `!id` / `!loc` metadata so modules
+ * round-trip with stable instruction ids.
+ */
+
+#ifndef HIPPO_IR_PARSER_HH
+#define HIPPO_IR_PARSER_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hippo::ir
+{
+
+class Module;
+
+/**
+ * Parse a PMIR module from text.
+ *
+ * @param text The module source; `;` starts a line comment.
+ * @param error Filled with "line N: message" on failure.
+ * @return The parsed module, or null on error.
+ */
+std::unique_ptr<Module> parseModule(std::string_view text,
+                                    std::string *error = nullptr);
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_PARSER_HH

@@ -1,0 +1,160 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+#include "ir/module.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hippo::ir
+{
+
+namespace
+{
+
+std::string
+operandRef(const Value *v)
+{
+    return v->displayName();
+}
+
+std::string
+operandList(const Instruction &instr, size_t from = 0)
+{
+    std::string out;
+    for (size_t i = from; i < instr.numOperands(); i++) {
+        if (i != from)
+            out += ", ";
+        out += operandRef(instr.operand(i));
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+instructionToString(const Instruction &instr)
+{
+    std::string s;
+    if (instr.hasResult())
+        s = instr.displayName() + " = ";
+
+    switch (instr.op()) {
+      case Opcode::Alloca:
+        s += format("alloca %llu",
+                    (unsigned long long)instr.accessSize());
+        break;
+      case Opcode::Load:
+        s += format("load %s, %llu",
+                    operandRef(instr.operand(0)).c_str(),
+                    (unsigned long long)instr.accessSize());
+        break;
+      case Opcode::Store:
+        s += format("%s %s, %s, %llu",
+                    instr.nonTemporal() ? "store.nt" : "store",
+                    operandRef(instr.operand(0)).c_str(),
+                    operandRef(instr.operand(1)).c_str(),
+                    (unsigned long long)instr.accessSize());
+        break;
+      case Opcode::Flush:
+        s += format("flush %s %s", flushKindName(instr.flushKind()),
+                    operandRef(instr.operand(0)).c_str());
+        break;
+      case Opcode::Fence:
+        s += format("fence %s", fenceKindName(instr.fenceKind()));
+        break;
+      case Opcode::Gep:
+        s += "gep " + operandList(instr);
+        break;
+      case Opcode::Bin:
+        s += std::string(binOpName(instr.binOp())) + " " +
+             operandList(instr);
+        break;
+      case Opcode::Cmp:
+        s += std::string("cmp ") + cmpPredName(instr.cmpPred()) + " " +
+             operandList(instr);
+        break;
+      case Opcode::Select:
+        s += "select " + operandList(instr);
+        break;
+      case Opcode::Br:
+        s += "br %" + instr.target(0)->name();
+        break;
+      case Opcode::CondBr:
+        s += format("condbr %s, %%%s, %%%s",
+                    operandRef(instr.operand(0)).c_str(),
+                    instr.target(0)->name().c_str(),
+                    instr.target(1)->name().c_str());
+        break;
+      case Opcode::Call:
+        s += "call @" + instr.callee()->name() + "(" +
+             operandList(instr) + ")";
+        break;
+      case Opcode::Ret:
+        s += instr.numOperands() ? "ret " + operandList(instr) : "ret";
+        break;
+      case Opcode::PmMap:
+        s += format("pmmap \"%s\", %llu", instr.symbol().c_str(),
+                    (unsigned long long)instr.regionSize());
+        break;
+      case Opcode::Memcpy:
+        s += "memcpy " + operandList(instr);
+        break;
+      case Opcode::Memset:
+        s += "memset " + operandList(instr);
+        break;
+      case Opcode::DurPoint:
+        s += format("durpoint \"%s\"", instr.symbol().c_str());
+        break;
+      case Opcode::Print:
+        s += format("print \"%s\", %s", instr.symbol().c_str(),
+                    operandRef(instr.operand(0)).c_str());
+        break;
+    }
+
+    if (!instr.hasResult())
+        s += format(" !id(%u)", instr.id());
+    if (instr.loc().valid())
+        s += format(" !loc(%s:%d)", instr.loc().file.c_str(),
+                    instr.loc().line);
+    return s;
+}
+
+void
+printFunction(const Function &f, std::ostream &os)
+{
+    os << "func @" << f.name() << "(";
+    for (size_t i = 0; i < f.numParams(); i++) {
+        if (i)
+            os << ", ";
+        os << "%" << f.param(i)->name() << ": "
+           << typeName(f.param(i)->type());
+    }
+    os << ") -> " << typeName(f.returnType()) << " {\n";
+    for (const auto &bb : f.blocks()) {
+        os << bb->name() << ":\n";
+        for (const auto &instr : *bb)
+            os << "    " << instructionToString(*instr) << "\n";
+    }
+    os << "}\n";
+}
+
+void
+printModule(const Module &m, std::ostream &os)
+{
+    os << "module \"" << m.name() << "\"\n\n";
+    for (const auto &f : m.functions()) {
+        printFunction(*f, os);
+        os << "\n";
+    }
+}
+
+std::string
+moduleToString(const Module &m)
+{
+    std::ostringstream os;
+    printModule(m, os);
+    return os.str();
+}
+
+} // namespace hippo::ir

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Text serialization of PMIR modules. The format round-trips through
+ * Parser (ids included), so traces and bug reports referring to
+ * (function, instruction id) stay valid across a print/parse cycle.
+ */
+
+#ifndef HIPPO_IR_PRINTER_HH
+#define HIPPO_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+namespace hippo::ir
+{
+
+class Function;
+class Instruction;
+class Module;
+
+/** Print @p m in PMIR text form. */
+void printModule(const Module &m, std::ostream &os);
+
+/** Print a single function in PMIR text form. */
+void printFunction(const Function &f, std::ostream &os);
+
+/** Render one instruction (no trailing newline). */
+std::string instructionToString(const Instruction &instr);
+
+/** Convenience: whole module as a string. */
+std::string moduleToString(const Module &m);
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_PRINTER_HH

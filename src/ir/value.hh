@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Core value hierarchy of PMIR, the small compiler IR this project
+ * uses in place of LLVM IR.
+ *
+ * PMIR is deliberately close to clang -O0 output: it is *not* SSA with
+ * phis; mutable locals live in allocas and loops re-execute
+ * instructions, overwriting their previous results. Values are 64-bit
+ * integers or byte-addressed pointers. This models exactly the surface
+ * Hippocrates needs: stores, cache-line flushes, memory fences, calls,
+ * and source locations.
+ */
+
+#ifndef HIPPO_IR_VALUE_HH
+#define HIPPO_IR_VALUE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hippo::ir
+{
+
+class Function;
+
+/** PMIR value types: 64-bit integers, pointers, or nothing. */
+enum class Type : uint8_t { Void, Int, Ptr };
+
+/** Printable name of a type ("void", "i64", "ptr"). */
+const char *typeName(Type t);
+
+/** Discriminator for the Value hierarchy. */
+enum class ValueKind : uint8_t { Constant, Argument, Instruction };
+
+/**
+ * Base of all PMIR values. A Value is anything that can appear as an
+ * instruction operand: constants, function arguments, or the results
+ * of other instructions.
+ */
+class Value
+{
+  public:
+    virtual ~Value() = default;
+
+    ValueKind kind() const { return kind_; }
+    Type type() const { return type_; }
+
+    /** Short human-readable spelling used by the printer. */
+    virtual std::string displayName() const = 0;
+
+  protected:
+    Value(ValueKind kind, Type type) : kind_(kind), type_(type) {}
+
+    /** Late type fixup (parser only). */
+    void setType(Type t) { type_ = t; }
+
+  private:
+    ValueKind kind_;
+    Type type_;
+};
+
+/** An integer or pointer literal; uniqued and owned by the Module. */
+class Constant : public Value
+{
+  public:
+    Constant(Type type, uint64_t value)
+        : Value(ValueKind::Constant, type), value_(value)
+    {}
+
+    uint64_t value() const { return value_; }
+
+    std::string displayName() const override;
+
+  private:
+    uint64_t value_;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type type, std::string name, unsigned index,
+             Function *parent)
+        : Value(ValueKind::Argument, type), name_(std::move(name)),
+          index_(index), parent_(parent)
+    {}
+
+    const std::string &name() const { return name_; }
+    unsigned index() const { return index_; }
+    Function *parent() const { return parent_; }
+
+    std::string displayName() const override { return "%" + name_; }
+
+  private:
+    std::string name_;
+    unsigned index_;
+    Function *parent_;
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_VALUE_HH

@@ -1,0 +1,288 @@
+#include "ir/verifier.hh"
+
+#include <set>
+
+#include "ir/module.hh"
+#include "ir/printer.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hippo::ir
+{
+
+namespace
+{
+
+/** Per-function verification context. */
+class FunctionVerifier
+{
+  public:
+    explicit FunctionVerifier(const Function &f) : f_(f) {}
+
+    std::vector<std::string>
+    run()
+    {
+        collectLocals();
+        if (f_.blocks().empty()) {
+            problem("function has no blocks");
+            return problems_;
+        }
+        for (const auto &bb : f_.blocks())
+            checkBlock(*bb);
+        return problems_;
+    }
+
+  private:
+    void
+    problem(const std::string &msg)
+    {
+        problems_.push_back(
+            format("@%s: %s", f_.name().c_str(), msg.c_str()));
+    }
+
+    void
+    problemAt(const Instruction &instr, const std::string &msg)
+    {
+        problem(format("%s: %s",
+                       instructionToString(instr).c_str(),
+                       msg.c_str()));
+    }
+
+    void
+    collectLocals()
+    {
+        for (const auto &p : f_.params())
+            locals_.insert(p.get());
+        std::set<uint32_t> ids;
+        for (const auto &bb : f_.blocks()) {
+            blocks_.insert(bb.get());
+            for (const auto &instr : *bb) {
+                locals_.insert(instr.get());
+                if (!ids.insert(instr->id()).second) {
+                    problem(format("duplicate instruction id %u",
+                                   instr->id()));
+                }
+                if (instr->id() >= f_.idBound())
+                    problem(format("id %u beyond idBound %u",
+                                   instr->id(), f_.idBound()));
+            }
+        }
+    }
+
+    void
+    checkOperandCount(const Instruction &instr, size_t want)
+    {
+        if (instr.numOperands() != want) {
+            problemAt(instr, format("expected %zu operands, has %zu",
+                                    want, instr.numOperands()));
+        }
+    }
+
+    void
+    checkType(const Instruction &instr, size_t idx, Type want)
+    {
+        if (idx >= instr.numOperands())
+            return;
+        if (instr.operand(idx)->type() != want) {
+            problemAt(instr,
+                      format("operand %zu should be %s", idx,
+                             typeName(want)));
+        }
+    }
+
+    void
+    checkLocalOperands(const Instruction &instr)
+    {
+        for (size_t i = 0; i < instr.numOperands(); i++) {
+            const Value *v = instr.operand(i);
+            if (!v) {
+                problemAt(instr, format("null operand %zu", i));
+                continue;
+            }
+            if (v->kind() != ValueKind::Constant && !locals_.count(v))
+                problemAt(instr,
+                          format("operand %zu from another function",
+                                 i));
+        }
+    }
+
+    void
+    checkBlock(const BasicBlock &bb)
+    {
+        if (bb.empty()) {
+            problem(format("block %s is empty", bb.name().c_str()));
+            return;
+        }
+        size_t idx = 0;
+        for (const auto &owned : bb) {
+            const Instruction &instr = *owned;
+            bool last = ++idx == bb.size();
+            if (instr.isTerminator() != last) {
+                problemAt(instr,
+                          last ? "block does not end in a terminator"
+                               : "terminator in the middle of a block");
+            }
+            checkInstr(instr);
+        }
+    }
+
+    void
+    checkInstr(const Instruction &instr)
+    {
+        checkLocalOperands(instr);
+        switch (instr.op()) {
+          case Opcode::Alloca:
+            checkOperandCount(instr, 0);
+            if (instr.accessSize() == 0)
+                problemAt(instr, "zero-sized alloca");
+            break;
+          case Opcode::Load:
+            checkOperandCount(instr, 1);
+            checkType(instr, 0, Type::Ptr);
+            checkAccessSize(instr);
+            break;
+          case Opcode::Store:
+            checkOperandCount(instr, 2);
+            checkType(instr, 1, Type::Ptr);
+            checkAccessSize(instr);
+            break;
+          case Opcode::Flush:
+            checkOperandCount(instr, 1);
+            checkType(instr, 0, Type::Ptr);
+            break;
+          case Opcode::Fence:
+            checkOperandCount(instr, 0);
+            break;
+          case Opcode::Gep:
+            checkOperandCount(instr, 2);
+            checkType(instr, 0, Type::Ptr);
+            checkType(instr, 1, Type::Int);
+            break;
+          case Opcode::Bin:
+            checkOperandCount(instr, 2);
+            checkType(instr, 0, Type::Int);
+            checkType(instr, 1, Type::Int);
+            break;
+          case Opcode::Cmp:
+            checkOperandCount(instr, 2);
+            break;
+          case Opcode::Select:
+            checkOperandCount(instr, 3);
+            checkType(instr, 0, Type::Int);
+            if (instr.numOperands() == 3 &&
+                instr.operand(1)->type() != instr.operand(2)->type())
+                problemAt(instr, "select arm types differ");
+            break;
+          case Opcode::Br:
+            checkOperandCount(instr, 0);
+            checkTarget(instr, 0);
+            break;
+          case Opcode::CondBr:
+            checkOperandCount(instr, 1);
+            checkType(instr, 0, Type::Int);
+            checkTarget(instr, 0);
+            checkTarget(instr, 1);
+            break;
+          case Opcode::Call: {
+            const Function *callee = instr.callee();
+            if (!callee) {
+                problemAt(instr, "call without callee");
+                break;
+            }
+            if (instr.numOperands() != callee->numParams()) {
+                problemAt(instr, "call arity mismatch");
+                break;
+            }
+            for (size_t i = 0; i < instr.numOperands(); i++)
+                checkType(instr, i, callee->param(i)->type());
+            break;
+          }
+          case Opcode::Ret:
+            if (f_.returnType() == Type::Void) {
+                checkOperandCount(instr, 0);
+            } else {
+                checkOperandCount(instr, 1);
+                checkType(instr, 0, f_.returnType());
+            }
+            break;
+          case Opcode::PmMap:
+            checkOperandCount(instr, 0);
+            if (instr.regionSize() == 0)
+                problemAt(instr, "zero-sized pmmap");
+            if (instr.symbol().empty())
+                problemAt(instr, "pmmap without a region name");
+            break;
+          case Opcode::Memcpy:
+            checkOperandCount(instr, 3);
+            checkType(instr, 0, Type::Ptr);
+            checkType(instr, 1, Type::Ptr);
+            checkType(instr, 2, Type::Int);
+            break;
+          case Opcode::Memset:
+            checkOperandCount(instr, 3);
+            checkType(instr, 0, Type::Ptr);
+            checkType(instr, 1, Type::Int);
+            checkType(instr, 2, Type::Int);
+            break;
+          case Opcode::DurPoint:
+            checkOperandCount(instr, 0);
+            break;
+          case Opcode::Print:
+            checkOperandCount(instr, 1);
+            break;
+        }
+    }
+
+    void
+    checkAccessSize(const Instruction &instr)
+    {
+        uint64_t s = instr.accessSize();
+        if (s != 1 && s != 2 && s != 4 && s != 8)
+            problemAt(instr, "access size must be 1/2/4/8");
+    }
+
+    void
+    checkTarget(const Instruction &instr, unsigned slot)
+    {
+        const BasicBlock *t = instr.target(slot);
+        if (!t) {
+            problemAt(instr, format("missing branch target %u", slot));
+        } else if (!blocks_.count(t)) {
+            problemAt(instr, "branch target in another function");
+        }
+    }
+
+    const Function &f_;
+    std::vector<std::string> problems_;
+    std::set<const Value *> locals_;
+    std::set<const BasicBlock *> blocks_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(const Function &f)
+{
+    return FunctionVerifier(f).run();
+}
+
+std::vector<std::string>
+verifyModule(const Module &m)
+{
+    std::vector<std::string> problems;
+    for (const auto &f : m.functions()) {
+        auto ps = verifyFunction(*f);
+        problems.insert(problems.end(), ps.begin(), ps.end());
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Module &m)
+{
+    auto problems = verifyModule(m);
+    if (!problems.empty())
+        hippo_panic("verifier: %s", problems.front().c_str());
+}
+
+} // namespace hippo::ir

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural verifier for PMIR modules. Run after construction and
+ * again after Hippocrates applies fixes, guaranteeing fixes leave the
+ * module well formed.
+ */
+
+#ifndef HIPPO_IR_VERIFIER_HH
+#define HIPPO_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+namespace hippo::ir
+{
+
+class Function;
+class Module;
+
+/**
+ * Verify @p m; returns a list of human-readable problems (empty when
+ * the module is well formed).
+ */
+std::vector<std::string> verifyModule(const Module &m);
+
+/** Verify one function. */
+std::vector<std::string> verifyFunction(const Function &f);
+
+/** Verify and panic with the first problem if any; for tests. */
+void verifyOrDie(const Module &m);
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_VERIFIER_HH

@@ -1,0 +1,121 @@
+#include "pmcheck/crash_explorer.hh"
+
+#include <algorithm>
+
+#include "pmem/pm_pool.hh"
+#include "support/logging.hh"
+#include "vm/vm.hh"
+
+namespace hippo::pmcheck
+{
+
+namespace
+{
+
+/** Count durpoints executed by one clean run (via the trace). */
+void
+profileRun(ir::Module *m, const CrashExplorerConfig &cfg,
+           ExplorationResult &out)
+{
+    pmem::PmPool pool(cfg.poolBytes);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vc.durPointAtExit = false;
+    vm::Vm machine(m, &pool, vc);
+    auto run = machine.run(cfg.entry, cfg.entryArgs);
+    out.stepsInRun = run.steps;
+    for (const auto &ev : machine.trace().events())
+        out.durPointsInRun += ev.kind == trace::EventKind::DurPoint;
+
+    pool.crash();
+    vm::Vm recovery(m, &pool, {});
+    out.cleanRunRecovered =
+        recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
+}
+
+uint64_t
+crashAndRecover(ir::Module *m, const CrashExplorerConfig &cfg,
+                int64_t dur_point, uint64_t step)
+{
+    pmem::PmPool pool(cfg.poolBytes);
+    {
+        vm::VmConfig vc;
+        vc.crashAtDurPoint = dur_point;
+        vc.crashAtStep = step;
+        vm::Vm machine(m, &pool, vc);
+        machine.run(cfg.entry, cfg.entryArgs);
+    }
+    pool.crash();
+    vm::Vm recovery(m, &pool, {});
+    return recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
+}
+
+} // namespace
+
+bool
+ExplorationResult::durPointRecoveryNonDecreasing() const
+{
+    uint64_t prev = 0;
+    for (const CrashOutcome &o : outcomes) {
+        if (o.atStep)
+            continue;
+        if (o.recovered < prev)
+            return false;
+        prev = o.recovered;
+    }
+    return true;
+}
+
+uint64_t
+ExplorationResult::minRecovered() const
+{
+    uint64_t v = ~0ULL;
+    for (const CrashOutcome &o : outcomes)
+        v = std::min(v, o.recovered);
+    return outcomes.empty() ? 0 : v;
+}
+
+uint64_t
+ExplorationResult::maxRecovered() const
+{
+    uint64_t v = 0;
+    for (const CrashOutcome &o : outcomes)
+        v = std::max(v, o.recovered);
+    return v;
+}
+
+ExplorationResult
+exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
+{
+    hippo_assert(!cfg.entry.empty() && !cfg.recovery.empty(),
+                 "explorer needs entry and recovery");
+    ExplorationResult out;
+    profileRun(m, cfg, out);
+
+    uint64_t budget = cfg.maxCrashes;
+    if (cfg.exploreDurPoints) {
+        for (uint64_t i = 0; i < out.durPointsInRun && budget;
+             i++, budget--) {
+            CrashOutcome o;
+            o.atStep = false;
+            o.crashPoint = i;
+            o.recovered =
+                crashAndRecover(m, cfg, (int64_t)i, 0);
+            out.outcomes.push_back(o);
+        }
+    }
+    if (cfg.stepStride) {
+        for (uint64_t s = cfg.stepStride;
+             s < out.stepsInRun && budget;
+             s += cfg.stepStride, budget--) {
+            CrashOutcome o;
+            o.atStep = true;
+            o.crashPoint = s;
+            o.recovered = crashAndRecover(m, cfg, -1, s);
+            out.outcomes.push_back(o);
+        }
+    }
+    return out;
+}
+
+} // namespace hippo::pmcheck

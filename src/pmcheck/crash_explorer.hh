@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Systematic crash-state exploration, in the spirit of the
+ * validation tools the paper builds on (Yat's systematic crash
+ * enumeration, Agamotto's thorough exploration; §2.2/§8): execute a
+ * workload, then re-execute it once per crash point — every
+ * durability point, and optionally every Nth instruction — simulate
+ * the power failure, run the application's recovery entry point
+ * against the surviving pool, and collect the recovered state.
+ *
+ * This is how the repo validates that repaired applications are
+ * actually crash consistent, beyond the detector's trace-order
+ * checking: the detector proves orderings exist, the explorer
+ * demonstrates recovery works from real torn states.
+ */
+
+#ifndef HIPPO_PMCHECK_CRASH_EXPLORER_HH
+#define HIPPO_PMCHECK_CRASH_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hippo::ir
+{
+class Module;
+} // namespace hippo::ir
+
+namespace hippo::pmcheck
+{
+
+/** What to run and where to crash. */
+struct CrashExplorerConfig
+{
+    std::string entry;                ///< workload entry point
+    std::vector<uint64_t> entryArgs;
+    std::string recovery;             ///< recovery entry point
+    std::vector<uint64_t> recoveryArgs;
+
+    bool exploreDurPoints = true; ///< crash at every durpoint
+    uint64_t stepStride = 0;      ///< also crash every N instrs
+    uint64_t maxCrashes = 512;    ///< exploration budget
+    uint64_t poolBytes = 16u << 20;
+};
+
+/** One explored crash. */
+struct CrashOutcome
+{
+    bool atStep = false;      ///< step-based (vs durpoint-based)
+    uint64_t crashPoint = 0;  ///< durpoint index or step count
+    uint64_t recovered = 0;   ///< recovery entry's return value
+};
+
+/** Aggregate exploration result. */
+struct ExplorationResult
+{
+    std::vector<CrashOutcome> outcomes;
+    uint64_t durPointsInRun = 0;
+    uint64_t stepsInRun = 0;
+    uint64_t cleanRunRecovered = 0; ///< recovery after no crash
+
+    /** Recovered values at successive durpoints never decrease
+     *  (the natural invariant of append/insert workloads). */
+    bool durPointRecoveryNonDecreasing() const;
+
+    /** Smallest / largest recovered value over all crashes. */
+    uint64_t minRecovered() const;
+    uint64_t maxRecovered() const;
+};
+
+/** Run the exploration. The module is not modified. */
+ExplorationResult exploreCrashes(ir::Module *m,
+                                 const CrashExplorerConfig &cfg);
+
+} // namespace hippo::pmcheck
+
+#endif // HIPPO_PMCHECK_CRASH_EXPLORER_HH

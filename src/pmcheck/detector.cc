@@ -1,0 +1,494 @@
+#include "pmcheck/detector.hh"
+
+#include <map>
+#include <sstream>
+
+#include "pmem/pm_pool.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hippo::pmcheck
+{
+
+const char *
+bugKindName(BugKind k)
+{
+    switch (k) {
+      case BugKind::MissingFlush: return "missing-flush";
+      case BugKind::MissingFence: return "missing-fence";
+      case BugKind::MissingFlushFence: return "missing-flush&fence";
+    }
+    return "?";
+}
+
+namespace
+{
+
+BugKind
+bugKindFromName(const std::string &s, bool &ok)
+{
+    ok = true;
+    if (s == "missing-flush") return BugKind::MissingFlush;
+    if (s == "missing-fence") return BugKind::MissingFence;
+    if (s == "missing-flush&fence") return BugKind::MissingFlushFence;
+    ok = false;
+    return BugKind::MissingFlushFence;
+}
+
+uint64_t
+lineOf(uint64_t addr)
+{
+    return addr / pmem::cacheLineSize;
+}
+
+} // namespace
+
+std::string
+Bug::storeSiteKey() const
+{
+    if (storeStack.empty())
+        return "?";
+    return format("%s#%u", storeStack[0].function.c_str(),
+                  storeStack[0].instrId);
+}
+
+std::string
+Bug::str() const
+{
+    return format(
+        "%s at %s (addr=0x%llx size=%llu) required durable by %s "
+        "[%s], %llu dynamic occurrence(s)",
+        bugKindName(kind),
+        storeStack.empty() ? "?" : storeStack[0].str().c_str(),
+        (unsigned long long)addr, (unsigned long long)size,
+        durLabel.c_str(),
+        durStack.empty() ? "?" : durStack[0].str().c_str(),
+        (unsigned long long)dynCount);
+}
+
+/**
+ * The detector state machine, usable in one shot (analyze) or
+ * incrementally (OnlineDetector). All state it keeps about past
+ * events is owned (copied stacks), so transient streamed events are
+ * fine.
+ */
+class OnlineDetector::Engine
+{
+  public:
+    explicit Engine(DetectorConfig cfg) : cfg_(cfg) {}
+
+    void
+    feed(const trace::Event &ev)
+    {
+        switch (ev.kind) {
+          case trace::EventKind::Store:
+            onStore(ev);
+            break;
+          case trace::EventKind::Flush:
+            onFlush(ev);
+            break;
+          case trace::EventKind::Fence:
+            onFence(ev);
+            break;
+          case trace::EventKind::DurPoint:
+            onDurPoint(ev);
+            break;
+          case trace::EventKind::PmMap:
+          case trace::EventKind::Output:
+            break;
+        }
+    }
+
+    const Report &report() const { return report_; }
+
+  private:
+    /** Per-line durability state of an outstanding store. */
+    enum class LineState : uint8_t
+    {
+        NeedFlush, ///< dirty in cache
+        Pending,   ///< flushed (CLWB/CLFLUSHOPT), awaiting a fence
+        Done,      ///< persisted
+    };
+
+    /** An outstanding (not yet fully persisted) PM store. */
+    struct OutstandingStore
+    {
+        uint64_t eventSeq;
+        uint64_t addr;
+        uint64_t size;
+        uint32_t objectId;
+        std::vector<trace::StackFrame> stack;
+        uint64_t firstLine;
+        std::vector<LineState> lines;
+        uint64_t lastFenceBefore;
+        /** Last covering flush (for fence-insertion anchoring). */
+        uint64_t lastFlushSeq = 0;
+        std::vector<trace::StackFrame> lastFlushStack;
+        /** First fence after this store (locus-visibility info). */
+        uint64_t firstFenceSeq = 0;
+        std::vector<trace::StackFrame> firstFenceStack;
+        /** Bug this store was folded into; reported once. */
+        size_t reportedBug = SIZE_MAX;
+
+        bool
+        allDone() const
+        {
+            for (LineState s : lines) {
+                if (s != LineState::Done)
+                    return false;
+            }
+            return true;
+        }
+
+        bool
+        anyNeedFlush() const
+        {
+            for (LineState s : lines) {
+                if (s == LineState::NeedFlush)
+                    return true;
+            }
+            return false;
+        }
+    };
+
+    void
+    onStore(const trace::Event &ev)
+    {
+        if (!ev.isPm)
+            return;
+        report_.pmStoresSeen++;
+        OutstandingStore os;
+        os.eventSeq = ev.seq;
+        os.addr = ev.addr;
+        os.size = ev.size;
+        os.objectId = ev.objectId;
+        os.stack = ev.stack;
+        os.firstLine = lineOf(ev.addr);
+        uint64_t nlines =
+            lineOf(ev.addr + ev.size - 1) - os.firstLine + 1;
+        os.lines.assign(nlines, ev.nonTemporal ? LineState::Pending
+                                               : LineState::NeedFlush);
+        os.lastFenceBefore = fenceCount_;
+        outstanding_.push_back(std::move(os));
+    }
+
+    void
+    onFlush(const trace::Event &ev)
+    {
+        if (!ev.isPm)
+            return;
+        report_.flushesSeen++;
+        uint64_t line = lineOf(ev.addr);
+        bool hit = false;
+        bool immediate =
+            (pmem::FlushOp)ev.sub == pmem::FlushOp::Clflush;
+        for (OutstandingStore &os : outstanding_) {
+            if (line < os.firstLine ||
+                line >= os.firstLine + os.lines.size())
+                continue;
+            LineState &st = os.lines[line - os.firstLine];
+            if (st == LineState::NeedFlush) {
+                st = immediate ? LineState::Done : LineState::Pending;
+                os.lastFlushSeq = ev.seq;
+                os.lastFlushStack = ev.stack;
+                hit = true;
+            } else if (st == LineState::Pending && immediate) {
+                st = LineState::Done;
+                os.lastFlushSeq = ev.seq;
+                os.lastFlushStack = ev.stack;
+            }
+        }
+        if (!hit)
+            report_.redundantFlushes++;
+    }
+
+    void
+    onFence(const trace::Event &ev)
+    {
+        report_.fencesSeen++;
+        fenceCount_++;
+        for (OutstandingStore &os : outstanding_) {
+            if (os.firstFenceStack.empty()) {
+                os.firstFenceSeq = ev.seq;
+                os.firstFenceStack = ev.stack;
+            }
+            for (LineState &st : os.lines) {
+                if (st == LineState::Pending)
+                    st = LineState::Done;
+            }
+        }
+        std::erase_if(outstanding_, [](const OutstandingStore &os) {
+            return os.allDone();
+        });
+    }
+
+    static std::string
+    stackSignature(const std::vector<trace::StackFrame> &stack)
+    {
+        std::string sig;
+        for (const auto &f : stack)
+            sig += format("%s#%u;", f.function.c_str(), f.instrId);
+        return sig;
+    }
+
+    void
+    onDurPoint(const trace::Event &ev)
+    {
+        if (ev.symbol == "exit" && !cfg_.checkExitDurPoint)
+            return;
+        report_.durPointsSeen++;
+        for (OutstandingStore &os : outstanding_) {
+            if (os.allDone())
+                continue;
+            if (os.reportedBug != SIZE_MAX) {
+                report_.bugs[os.reportedBug].dynCount++;
+                continue;
+            }
+            BugKind kind;
+            if (os.anyNeedFlush()) {
+                // Never (fully) flushed. If a fence followed the
+                // store, only the flush is missing; otherwise both.
+                kind = fenceCount_ > os.lastFenceBefore
+                           ? BugKind::MissingFlush
+                           : BugKind::MissingFlushFence;
+            } else {
+                kind = BugKind::MissingFence;
+            }
+            // Static dedup by (full store call path, kind): the same
+            // store via distinct paths needs distinct fixes, exactly
+            // as pmemcheck reports one bug per unique stack.
+            std::pair<std::string, int> key{
+                stackSignature(os.stack), (int)kind};
+            auto it = dedup_.find(key);
+            if (it != dedup_.end()) {
+                report_.bugs[it->second].dynCount++;
+                os.reportedBug = it->second;
+                continue;
+            }
+            Bug bug;
+            bug.kind = kind;
+            bug.storeEventSeq = os.eventSeq;
+            bug.storeStack = os.stack;
+            bug.addr = os.addr;
+            bug.size = os.size;
+            bug.objectId = os.objectId;
+            bug.durEventSeq = ev.seq;
+            bug.durStack = ev.stack;
+            bug.durLabel = ev.symbol;
+            if (kind == BugKind::MissingFence &&
+                !os.lastFlushStack.empty()) {
+                bug.flushEventSeq = os.lastFlushSeq;
+                bug.flushStack = os.lastFlushStack;
+            }
+            if (!os.firstFenceStack.empty()) {
+                bug.fenceEventSeq = os.firstFenceSeq;
+                bug.fenceStack = os.firstFenceStack;
+            }
+            bug.dynCount = 1;
+            os.reportedBug = report_.bugs.size();
+            dedup_[key] = report_.bugs.size();
+            report_.bugs.push_back(std::move(bug));
+        }
+    }
+
+    DetectorConfig cfg_;
+    Report report_;
+    std::vector<OutstandingStore> outstanding_;
+    uint64_t fenceCount_ = 0;
+    std::map<std::pair<std::string, int>, size_t> dedup_;
+};
+
+OnlineDetector::OnlineDetector(DetectorConfig cfg)
+    : engine_(std::make_unique<Engine>(cfg))
+{}
+
+OnlineDetector::~OnlineDetector() = default;
+
+void
+OnlineDetector::onEvent(const trace::Event &event)
+{
+    engine_->feed(event);
+}
+
+const Report &
+OnlineDetector::report() const
+{
+    return engine_->report();
+}
+
+Report
+analyze(const trace::Trace &trace, DetectorConfig cfg)
+{
+    OnlineDetector::Engine engine(cfg);
+    for (const trace::Event &ev : trace.events())
+        engine.feed(ev);
+    return engine.report();
+}
+
+std::string
+Report::writeText() const
+{
+    std::ostringstream os;
+    os << format("SUMMARY bugs=%zu stores=%llu flushes=%llu "
+                 "fences=%llu durpoints=%llu redundant=%llu\n",
+                 bugs.size(), (unsigned long long)pmStoresSeen,
+                 (unsigned long long)flushesSeen,
+                 (unsigned long long)fencesSeen,
+                 (unsigned long long)durPointsSeen,
+                 (unsigned long long)redundantFlushes);
+    for (const Bug &b : bugs) {
+        os << format("BUG kind=%s store=%llu addr=0x%llx size=%llu "
+                     "obj=%u dur=%llu count=%llu label=\"%s\"\n",
+                     bugKindName(b.kind),
+                     (unsigned long long)b.storeEventSeq,
+                     (unsigned long long)b.addr,
+                     (unsigned long long)b.size, b.objectId,
+                     (unsigned long long)b.durEventSeq,
+                     (unsigned long long)b.dynCount,
+                     b.durLabel.c_str());
+        os << "  XSTACK " << trace::stackToString(b.storeStack)
+           << "\n";
+        os << "  ISTACK " << trace::stackToString(b.durStack) << "\n";
+        if (!b.flushStack.empty()) {
+            os << format("  FSEQ %llu\n",
+                         (unsigned long long)b.flushEventSeq);
+            os << "  FSTACK " << trace::stackToString(b.flushStack)
+               << "\n";
+        }
+        if (!b.fenceStack.empty()) {
+            os << format("  MSEQ %llu\n",
+                         (unsigned long long)b.fenceEventSeq);
+            os << "  MSTACK " << trace::stackToString(b.fenceStack)
+               << "\n";
+        }
+    }
+    return os.str();
+}
+
+bool
+Report::readText(const std::string &text, Report &out,
+                 std::string *error)
+{
+    out = Report();
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = format("report line %d: %s", line_no,
+                            msg.c_str());
+        return false;
+    };
+
+    while (std::getline(is, line)) {
+        line_no++;
+        std::string t(trim(line));
+        if (t.empty())
+            continue;
+        auto words = splitWhitespace(t);
+        if (words[0] == "SUMMARY") {
+            for (size_t i = 1; i < words.size(); i++) {
+                auto kv = split(words[i], '=');
+                if (kv.size() != 2)
+                    return fail("bad summary field");
+                uint64_t v;
+                if (!parseUint(kv[1], v))
+                    return fail("bad summary value");
+                if (kv[0] == "stores")
+                    out.pmStoresSeen = v;
+                else if (kv[0] == "flushes")
+                    out.flushesSeen = v;
+                else if (kv[0] == "fences")
+                    out.fencesSeen = v;
+                else if (kv[0] == "durpoints")
+                    out.durPointsSeen = v;
+                else if (kv[0] == "redundant")
+                    out.redundantFlushes = v;
+            }
+        } else if (words[0] == "BUG") {
+            Bug b;
+            for (size_t i = 1; i < words.size(); i++) {
+                auto eq = words[i].find('=');
+                if (eq == std::string::npos)
+                    return fail("bad bug field");
+                std::string k = words[i].substr(0, eq);
+                std::string v = words[i].substr(eq + 1);
+                if (k == "kind") {
+                    bool ok;
+                    b.kind = bugKindFromName(v, ok);
+                    if (!ok)
+                        return fail("bad bug kind");
+                    continue;
+                }
+                if (k == "label") {
+                    if (v.size() >= 2 && v.front() == '"' &&
+                        v.back() == '"')
+                        v = v.substr(1, v.size() - 2);
+                    b.durLabel = v;
+                    continue;
+                }
+                uint64_t num;
+                if (!parseUint(v, num))
+                    return fail("bad bug value: " + words[i]);
+                if (k == "store")
+                    b.storeEventSeq = num;
+                else if (k == "addr")
+                    b.addr = num;
+                else if (k == "size")
+                    b.size = num;
+                else if (k == "obj")
+                    b.objectId = (uint32_t)num;
+                else if (k == "dur")
+                    b.durEventSeq = num;
+                else if (k == "count")
+                    b.dynCount = num;
+            }
+            out.bugs.push_back(std::move(b));
+        } else if (words[0] == "XSTACK") {
+            if (out.bugs.empty())
+                return fail("XSTACK before BUG");
+            std::string s(trim(t.substr(6)));
+            if (!trace::stackFromString(s, out.bugs.back().storeStack))
+                return fail("bad XSTACK");
+        } else if (words[0] == "ISTACK") {
+            if (out.bugs.empty())
+                return fail("ISTACK before BUG");
+            std::string s(trim(t.substr(6)));
+            if (!trace::stackFromString(s, out.bugs.back().durStack))
+                return fail("bad ISTACK");
+        } else if (words[0] == "FSEQ") {
+            if (out.bugs.empty())
+                return fail("FSEQ before BUG");
+            uint64_t v;
+            if (words.size() != 2 || !parseUint(words[1], v))
+                return fail("bad FSEQ");
+            out.bugs.back().flushEventSeq = v;
+        } else if (words[0] == "FSTACK") {
+            if (out.bugs.empty())
+                return fail("FSTACK before BUG");
+            std::string s(trim(t.substr(6)));
+            if (!trace::stackFromString(s,
+                                        out.bugs.back().flushStack))
+                return fail("bad FSTACK");
+        } else if (words[0] == "MSEQ") {
+            if (out.bugs.empty())
+                return fail("MSEQ before BUG");
+            uint64_t v;
+            if (words.size() != 2 || !parseUint(words[1], v))
+                return fail("bad MSEQ");
+            out.bugs.back().fenceEventSeq = v;
+        } else if (words[0] == "MSTACK") {
+            if (out.bugs.empty())
+                return fail("MSTACK before BUG");
+            std::string s(trim(t.substr(6)));
+            if (!trace::stackFromString(s,
+                                        out.bugs.back().fenceStack))
+                return fail("bad MSTACK");
+        } else {
+            return fail("unknown line: " + t);
+        }
+    }
+    return true;
+}
+
+} // namespace hippo::pmcheck

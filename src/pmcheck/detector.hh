@@ -1,0 +1,150 @@
+/**
+ * @file
+ * pmcheck: a pmemcheck-like durability-bug detector over PM-operation
+ * traces. It tracks every PM store through the flush/fence state
+ * machine of §2.1 and reports, at each durability point I, the three
+ * bug classes of the paper:
+ *
+ *  - missing-flush        (store never flushed, but a fence existed)
+ *  - missing-fence        (store flushed, flush never fenced)
+ *  - missing-flush&fence  (store neither flushed nor fenced)
+ *
+ * Each bug carries the full stack trace of the buggy store (X) and of
+ * the durability point (I), which is exactly the input Hippocrates
+ * needs (paper §4.1).
+ */
+
+#ifndef HIPPO_PMCHECK_DETECTOR_HH
+#define HIPPO_PMCHECK_DETECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace hippo::pmcheck
+{
+
+/** The paper's three durability-bug classes. */
+enum class BugKind : uint8_t
+{
+    MissingFlush,
+    MissingFence,
+    MissingFlushFence,
+};
+
+const char *bugKindName(BugKind k);
+
+/** One (statically deduplicated) durability bug. */
+struct Bug
+{
+    BugKind kind = BugKind::MissingFlushFence;
+
+    /// @name The unpersisted update X
+    /// @{
+    uint64_t storeEventSeq = 0;
+    std::vector<trace::StackFrame> storeStack;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    uint32_t objectId = ~0u;
+    /// @}
+
+    /// @name The durability point I
+    /// @{
+    uint64_t durEventSeq = 0;
+    std::vector<trace::StackFrame> durStack;
+    std::string durLabel;
+    /// @}
+
+    /// @name The last flush F(X) covering the store (missing-fence
+    /// bugs only; empty stack otherwise)
+    /// @{
+    uint64_t flushEventSeq = 0;
+    std::vector<trace::StackFrame> flushStack;
+    /// @}
+
+    /// @name The first fence after the store and before I (empty for
+    /// missing-flush&fence bugs). The fixer uses this to decide
+    /// whether an inserted flush can rely on an existing fence: it
+    /// can only when that fence is visible in the frame of the fix
+    /// locus — intraprocedural reasoning, per the paper's safety
+    /// argument.
+    /// @{
+    uint64_t fenceEventSeq = 0;
+    std::vector<trace::StackFrame> fenceStack;
+    /// @}
+
+    /** Dynamic occurrences folded into this static bug. */
+    uint64_t dynCount = 0;
+
+    /** Store site (function + instruction id) as a string key. */
+    std::string storeSiteKey() const;
+
+    std::string str() const;
+};
+
+/** Full detector output. */
+struct Report
+{
+    std::vector<Bug> bugs;
+    uint64_t pmStoresSeen = 0;
+    uint64_t flushesSeen = 0;
+    uint64_t fencesSeen = 0;
+    uint64_t durPointsSeen = 0;
+    uint64_t redundantFlushes = 0; ///< flushes of clean PM lines
+
+    bool clean() const { return bugs.empty(); }
+
+    /** Serialize in a line-oriented text format. */
+    std::string writeText() const;
+
+    /** Parse the output of writeText. @retval true on success. */
+    static bool readText(const std::string &text, Report &out,
+                         std::string *error = nullptr);
+};
+
+/** Detector options. */
+struct DetectorConfig
+{
+    /**
+     * Treat the synthetic "exit" durability point emitted at the end
+     * of a run like any other (pmemcheck reports unpersisted stores
+     * at program exit).
+     */
+    bool checkExitDurPoint = true;
+};
+
+/** Run the detector over @p trace. */
+Report analyze(const trace::Trace &trace, DetectorConfig cfg = {});
+
+/**
+ * Streaming detector: an EventSink that runs the same state machine
+ * incrementally, so the VM can detect bugs online without
+ * materializing the trace (pmemcheck traces reach 350 MB for Redis,
+ * §5.1). Feed it via vm::VmConfig::eventSink, then call report().
+ * Note: Trace-AA needs the materialized trace; use Full-AA when
+ * repairing from an online report.
+ */
+class OnlineDetector : public trace::EventSink
+{
+  public:
+    explicit OnlineDetector(DetectorConfig cfg = {});
+    ~OnlineDetector() override;
+
+    void onEvent(const trace::Event &event) override;
+
+    /** The report over everything fed so far. */
+    const Report &report() const;
+
+    /** The shared state machine (used by analyze() too). */
+    class Engine;
+
+  private:
+    std::unique_ptr<Engine> engine_;
+};
+
+} // namespace hippo::pmcheck
+
+#endif // HIPPO_PMCHECK_DETECTOR_HH

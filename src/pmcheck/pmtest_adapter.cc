@@ -1,0 +1,135 @@
+#include "pmcheck/pmtest_adapter.hh"
+
+#include <sstream>
+
+#include "pmem/pm_pool.hh"
+#include "support/strings.hh"
+
+namespace hippo::pmcheck
+{
+
+namespace
+{
+
+/** Parse "<func>#<instrId>@<file>:<line>" into a single frame. */
+bool
+parseSite(const std::string &s, trace::StackFrame &out)
+{
+    size_t hash = s.find('#');
+    size_t at = s.find('@', hash);
+    if (hash == std::string::npos || at == std::string::npos)
+        return false;
+    out.function = s.substr(0, hash);
+    uint64_t id;
+    if (!parseUint(s.substr(hash + 1, at - hash - 1), id))
+        return false;
+    out.instrId = (uint32_t)id;
+    std::string loc = s.substr(at + 1);
+    size_t colon = loc.rfind(':');
+    if (colon == std::string::npos)
+        return false;
+    out.file = loc.substr(0, colon);
+    int64_t line;
+    if (!parseInt(loc.substr(colon + 1), line))
+        return false;
+    out.line = (int)line;
+    return !out.function.empty();
+}
+
+} // namespace
+
+bool
+readPmtestLog(const std::string &text, trace::Trace &out,
+              std::string *error)
+{
+    out.clear();
+    std::istringstream is(text);
+    std::string line;
+    int line_no = 0;
+    bool started = false;
+
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = format("pmtest line %d: %s", line_no,
+                            msg.c_str());
+        return false;
+    };
+
+    uint32_t pm_obj = out.internObject("pm:pmtest", true);
+
+    while (std::getline(is, line)) {
+        line_no++;
+        std::string t(trim(line));
+        if (t.empty() || startsWith(t, ";"))
+            continue;
+        auto words = splitWhitespace(t);
+        const std::string &op = words[0];
+
+        if (op == "PMTest_START") {
+            started = true;
+            continue;
+        }
+        if (op == "PMTest_END") {
+            // PMTest validates outstanding updates when the checker
+            // drains at the end: treat as a final durability point.
+            trace::Event e;
+            e.kind = trace::EventKind::DurPoint;
+            e.symbol = "pmtest-end";
+            e.stack = {{"pmtest", 0xFFFFFFFEu, "", 0}};
+            out.append(std::move(e));
+            continue;
+        }
+        if (!started)
+            return fail("operation before PMTest_START");
+        if (words.size() < 2)
+            return fail("missing site: " + t);
+
+        trace::StackFrame frame;
+        if (!parseSite(words[1], frame))
+            return fail("bad site: " + words[1]);
+
+        trace::Event e;
+        e.stack = {frame};
+        e.objectId = pm_obj;
+        e.isPm = true;
+
+        if (op == "PMTest_STORE" || op == "PMTest_NTSTORE") {
+            if (words.size() != 4)
+                return fail(op + " wants site, addr, size");
+            e.kind = trace::EventKind::Store;
+            e.nonTemporal = op == "PMTest_NTSTORE";
+            if (!parseUint(words[2], e.addr) ||
+                !parseUint(words[3], e.size))
+                return fail("bad addr/size");
+        } else if (op == "PMTest_FLUSH") {
+            if (words.size() < 3)
+                return fail("PMTest_FLUSH wants site, addr");
+            e.kind = trace::EventKind::Flush;
+            if (!parseUint(words[2], e.addr))
+                return fail("bad addr");
+            e.size = pmem::cacheLineSize;
+            e.sub = (uint8_t)pmem::FlushOp::Clwb;
+            if (words.size() >= 4) {
+                if (words[3] == "clflush")
+                    e.sub = (uint8_t)pmem::FlushOp::Clflush;
+                else if (words[3] == "clflushopt")
+                    e.sub = (uint8_t)pmem::FlushOp::ClflushOpt;
+                else if (words[3] != "clwb")
+                    return fail("bad flush kind: " + words[3]);
+            }
+        } else if (op == "PMTest_FENCE") {
+            e.kind = trace::EventKind::Fence;
+        } else if (op == "PMTest_ASSERT") {
+            e.kind = trace::EventKind::DurPoint;
+            e.symbol = words.size() >= 3 ? words[2] : "assert";
+        } else {
+            return fail("unknown operation: " + op);
+        }
+        out.append(std::move(e));
+    }
+    if (!started)
+        return fail("no PMTest_START marker");
+    return true;
+}
+
+} // namespace hippo::pmcheck

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PMTest-style input adapter. §5.1 of the paper: "In principle,
+ * Hippocrates can accept input from any PM bug finding tool; it
+ * currently supports pmemcheck and PMTest." PMTest (Liu et al.,
+ * ASPLOS'19) is a trace-validation framework whose instrumentation
+ * emits one line per PM operation; this adapter parses that style of
+ * log into the common trace::Trace representation the detector and
+ * fixer consume.
+ *
+ * Accepted line format (one operation per line):
+ *
+ *   PMTest_START
+ *   PMTest_STORE <func>#<instrId>@<file>:<line> <addr> <size>
+ *   PMTest_NTSTORE <site> <addr> <size>
+ *   PMTest_FLUSH <site> <addr> [clwb|clflushopt|clflush]
+ *   PMTest_FENCE <site>
+ *   PMTest_ASSERT <site> <label>        ; isPersistent checkpoint
+ *   PMTest_END
+ *
+ * PMTest's lightweight instrumentation records the operation site
+ * but not full call stacks, so the adapter synthesizes single-frame
+ * stacks; Hippocrates then repairs intraprocedurally (the paper
+ * notes it was "easy to port PMTest to provide the same
+ * information" — full stacks — which our native tracer does).
+ */
+
+#ifndef HIPPO_PMCHECK_PMTEST_ADAPTER_HH
+#define HIPPO_PMCHECK_PMTEST_ADAPTER_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace hippo::pmcheck
+{
+
+/**
+ * Parse a PMTest-style log into a Trace.
+ *
+ * @param text The log.
+ * @param out Receives the converted trace.
+ * @param error Receives "line N: message" on failure.
+ * @retval true on success.
+ */
+bool readPmtestLog(const std::string &text, trace::Trace &out,
+                   std::string *error = nullptr);
+
+} // namespace hippo::pmcheck
+
+#endif // HIPPO_PMCHECK_PMTEST_ADAPTER_HH

@@ -1,0 +1,183 @@
+#include "pmem/pm_pool.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hippo::pmem
+{
+
+PmPool::PmPool(uint64_t capacity, double evict_chance, uint64_t seed)
+    : capacity_((capacity + cacheLineSize - 1) & ~(cacheLineSize - 1)),
+      cacheImage_(capacity_, 0), persistImage_(capacity_, 0),
+      dirty_(capacity_ / cacheLineSize, 0), evictChance_(evict_chance),
+      rng_(seed)
+{
+    hippo_assert(capacity_ > 0, "empty pool");
+}
+
+uint64_t
+PmPool::mapRegion(const std::string &name, uint64_t size)
+{
+    hippo_assert(size > 0, "empty region");
+    auto it = regions_.find(name);
+    if (it != regions_.end()) {
+        hippo_assert(it->second.size == size,
+                     "region remapped with different size");
+        return it->second.base;
+    }
+    uint64_t aligned =
+        (size + cacheLineSize - 1) & ~(cacheLineSize - 1);
+    if (allocCursor_ + aligned > capacity_)
+        hippo_fatal("PM pool exhausted mapping region '%s'",
+                    name.c_str());
+    PmRegion r{name, pmBaseAddr + allocCursor_, size};
+    allocCursor_ += aligned;
+    regions_[name] = r;
+    return r.base;
+}
+
+const PmRegion *
+PmPool::findRegion(const std::string &name) const
+{
+    auto it = regions_.find(name);
+    return it == regions_.end() ? nullptr : &it->second;
+}
+
+bool
+PmPool::contains(uint64_t addr, uint64_t size) const
+{
+    return addr >= pmBaseAddr && addr + size <= pmBaseAddr + capacity_;
+}
+
+void
+PmPool::store(uint64_t addr, const uint8_t *data, uint64_t size,
+              bool non_temporal)
+{
+    hippo_assert(contains(addr, size), "PM store out of bounds");
+    uint64_t off = addr - pmBaseAddr;
+    std::memcpy(&cacheImage_[off], data, size);
+    stats_.stores++;
+    stats_.storedBytes += size;
+
+    if (non_temporal) {
+        // Non-temporal stores enter the write-combining buffer
+        // directly; they drain to PM at the next fence and leave no
+        // dirty data behind in the cache.
+        stats_.ntStores++;
+        uint64_t first = lineIndex(addr);
+        uint64_t last = lineIndex(addr + size - 1);
+        for (uint64_t line = first; line <= last; line++) {
+            wbQueue_[line].assign(
+                cacheImage_.begin() + line * cacheLineSize,
+                cacheImage_.begin() + (line + 1) * cacheLineSize);
+        }
+    } else {
+        uint64_t first = lineIndex(addr);
+        uint64_t last = lineIndex(addr + size - 1);
+        for (uint64_t line = first; line <= last; line++)
+            dirty_[line] = 1;
+        maybeEvict();
+    }
+}
+
+void
+PmPool::load(uint64_t addr, uint8_t *out, uint64_t size) const
+{
+    hippo_assert(contains(addr, size), "PM load out of bounds");
+    std::memcpy(out, &cacheImage_[addr - pmBaseAddr], size);
+}
+
+void
+PmPool::flush(uint64_t addr, FlushOp op)
+{
+    hippo_assert(contains(addr), "PM flush out of bounds");
+    stats_.flushes++;
+    uint64_t line = lineIndex(addr);
+    if (!dirty_[line]) {
+        stats_.redundantFlushes++;
+        return;
+    }
+    dirty_[line] = 0;
+    const uint8_t *snapshot = &cacheImage_[line * cacheLineSize];
+    if (op == FlushOp::Clflush) {
+        // CLFLUSH executions are ordered with respect to stores and
+        // other CLFLUSHes (Intel SDM), so the line reaches PM without
+        // waiting for a fence.
+        persistLine(line, snapshot);
+    } else {
+        wbQueue_[line].assign(snapshot, snapshot + cacheLineSize);
+    }
+}
+
+void
+PmPool::fence()
+{
+    stats_.fences++;
+    for (const auto &[line, data] : wbQueue_)
+        persistLine(line, data.data());
+    wbQueue_.clear();
+}
+
+void
+PmPool::persistLine(uint64_t line, const uint8_t *snapshot)
+{
+    std::memcpy(&persistImage_[line * cacheLineSize], snapshot,
+                cacheLineSize);
+}
+
+void
+PmPool::maybeEvict()
+{
+    if (evictChance_ <= 0 || !rng_.chance(evictChance_))
+        return;
+    // Pick a random dirty line and write it back, as a real cache
+    // might under memory pressure.
+    uint64_t nlines = dirty_.size();
+    uint64_t start = rng_.nextBelow(nlines);
+    for (uint64_t i = 0; i < nlines; i++) {
+        uint64_t line = (start + i) % nlines;
+        if (dirty_[line]) {
+            dirty_[line] = 0;
+            persistLine(line, &cacheImage_[line * cacheLineSize]);
+            stats_.evictions++;
+            return;
+        }
+    }
+}
+
+void
+PmPool::crash()
+{
+    cacheImage_ = persistImage_;
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    wbQueue_.clear();
+}
+
+void
+PmPool::loadPersisted(uint64_t addr, uint8_t *out, uint64_t size) const
+{
+    hippo_assert(contains(addr, size),
+                 "persisted load out of bounds");
+    std::memcpy(out, &persistImage_[addr - pmBaseAddr], size);
+}
+
+bool
+PmPool::isPersisted(uint64_t addr, uint64_t size) const
+{
+    hippo_assert(contains(addr, size), "isPersisted out of bounds");
+    uint64_t off = addr - pmBaseAddr;
+    return std::memcmp(&cacheImage_[off], &persistImage_[off], size) ==
+           0;
+}
+
+uint64_t
+PmPool::dirtyLineCount() const
+{
+    uint64_t n = 0;
+    for (uint8_t d : dirty_)
+        n += d;
+    return n;
+}
+
+} // namespace hippo::pmem

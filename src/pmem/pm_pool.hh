@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Persistent-memory pool with a CPU-cache persistency model.
+ *
+ * The paper's experiments ran on Intel Optane DC NVDIMMs; this repo
+ * substitutes a DRAM-backed simulation that implements the x86
+ * persistency semantics the paper defines in §2.1/§4.2:
+ *
+ *  - stores land in the (volatile) cache image and mark their cache
+ *    line dirty;
+ *  - CLWB / CLFLUSHOPT snapshot the line into a write-back queue that
+ *    only reaches the persistent image at the next fence (weakly
+ *    ordered);
+ *  - CLFLUSH is ordered with respect to stores and other CLFLUSHes,
+ *    so it persists the line immediately (no fence required);
+ *  - non-temporal stores enter the write-combining queue directly and
+ *    also require a fence;
+ *  - SFENCE / MFENCE drain the write-back queue into the persistent
+ *    image;
+ *  - a crash discards the cache image: only the persistent image
+ *    survives;
+ *  - optional random eviction persists dirty lines spontaneously,
+ *    modeling why an unflushed store *may* still become durable
+ *    (the possibility used in the safety proofs of Lemmas 1 and 2).
+ */
+
+#ifndef HIPPO_PMEM_PM_POOL_HH
+#define HIPPO_PMEM_PM_POOL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/random.hh"
+
+namespace hippo::pmem
+{
+
+/** Cache-line size used throughout the simulator. */
+constexpr uint64_t cacheLineSize = 64;
+
+/** Base virtual address at which PM regions are mapped. */
+constexpr uint64_t pmBaseAddr = 0x20000000ULL;
+
+/** Flush instruction flavor (mirrors ir::FlushKind). */
+enum class FlushOp : uint8_t { Clwb, ClflushOpt, Clflush };
+
+/** Counters exposed for benchmarks and the detector. */
+struct PmPoolStats
+{
+    uint64_t stores = 0;
+    uint64_t storedBytes = 0;
+    uint64_t flushes = 0;
+    uint64_t redundantFlushes = 0; ///< flush of a clean line
+    uint64_t fences = 0;
+    uint64_t evictions = 0;
+    uint64_t ntStores = 0;
+};
+
+/** A named region inside the pool. */
+struct PmRegion
+{
+    std::string name;
+    uint64_t base = 0; ///< absolute address
+    uint64_t size = 0;
+};
+
+/**
+ * The simulated persistent pool. Addresses handed out are absolute
+ * (>= pmBaseAddr) so they can share the VM's single address space
+ * with volatile memory.
+ */
+class PmPool
+{
+  public:
+    /**
+     * @param capacity Pool capacity in bytes (rounded up to a line).
+     * @param evict_chance Per-store probability of evicting a random
+     *        dirty line (0 disables eviction injection).
+     * @param seed RNG seed for eviction injection.
+     */
+    explicit PmPool(uint64_t capacity, double evict_chance = 0.0,
+                    uint64_t seed = 1);
+
+    /**
+     * Map (or re-map) the named region. Mapping the same name twice
+     * returns the same base address; the size must match.
+     */
+    uint64_t mapRegion(const std::string &name, uint64_t size);
+
+    /** Look up a mapped region; null when absent. */
+    const PmRegion *findRegion(const std::string &name) const;
+
+    /** All mapped regions by name. */
+    const std::map<std::string, PmRegion> &regions() const
+    {
+        return regions_;
+    }
+
+    /** True when [addr, addr+size) lies inside the pool. */
+    bool contains(uint64_t addr, uint64_t size = 1) const;
+
+    /// @name Memory operations (the VM calls these)
+    /// @{
+    void store(uint64_t addr, const uint8_t *data, uint64_t size,
+               bool non_temporal = false);
+    void load(uint64_t addr, uint8_t *out, uint64_t size) const;
+    void flush(uint64_t addr, FlushOp op);
+    void fence();
+    /// @}
+
+    /**
+     * Simulate a power failure: the cache image is discarded and
+     * reloaded from the persistent image; all line state clears.
+     */
+    void crash();
+
+    /** Read bytes as they would appear after a crash right now. */
+    void loadPersisted(uint64_t addr, uint8_t *out,
+                       uint64_t size) const;
+
+    /** True when every byte of [addr, addr+size) is persisted (cache
+     *  image and persistent image agree). */
+    bool isPersisted(uint64_t addr, uint64_t size) const;
+
+    /** Number of cache lines currently dirty (unflushed). */
+    uint64_t dirtyLineCount() const;
+
+    /** Entries waiting in the write-back queue (flushed, unfenced). */
+    uint64_t pendingWritebacks() const { return wbQueue_.size(); }
+
+    const PmPoolStats &stats() const { return stats_; }
+    void resetStats() { stats_ = PmPoolStats(); }
+
+    uint64_t capacity() const { return capacity_; }
+
+  private:
+    uint64_t lineIndex(uint64_t addr) const
+    {
+        return (addr - pmBaseAddr) / cacheLineSize;
+    }
+
+    void persistLine(uint64_t line, const uint8_t *snapshot);
+    void maybeEvict();
+
+    uint64_t capacity_;
+    std::vector<uint8_t> cacheImage_;   ///< what loads observe
+    std::vector<uint8_t> persistImage_; ///< what survives a crash
+    std::vector<uint8_t> dirty_;        ///< per-line dirty flag
+
+    /**
+     * Flushed-but-unfenced line snapshots, keyed by line: a repeated
+     * flush of the same line before the fence replaces the pending
+     * snapshot (the write-backs coalesce in the memory subsystem),
+     * so the fence drains each distinct line once.
+     */
+    std::map<uint64_t, std::vector<uint8_t>> wbQueue_;
+
+    std::map<std::string, PmRegion> regions_;
+    uint64_t allocCursor_ = 0;
+
+    double evictChance_;
+    Rng rng_;
+    PmPoolStats stats_;
+};
+
+} // namespace hippo::pmem
+
+#endif // HIPPO_PMEM_PM_POOL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers in the gem5 tradition:
+ * panic() for internal invariant violations, fatal() for user errors,
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef HIPPO_SUPPORT_LOGGING_HH
+#define HIPPO_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hippo
+{
+
+/** Print a formatted message and abort(); use for internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a formatted message and exit(1); use for user errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+/** Print a non-fatal warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (useful in tests and benches). */
+void setQuiet(bool quiet);
+
+} // namespace hippo
+
+#define hippo_panic(...) \
+    ::hippo::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define hippo_fatal(...) \
+    ::hippo::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert an internal invariant; always enabled (not tied to NDEBUG). */
+#define hippo_assert(cond, ...)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::hippo::panicImpl(__FILE__, __LINE__,                       \
+                               "assertion failed: %s", #cond);           \
+        }                                                                \
+    } while (0)
+
+#endif // HIPPO_SUPPORT_LOGGING_HH

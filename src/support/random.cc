@@ -1,0 +1,88 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace hippo
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    hippo_assert(bound > 0, "nextBelow(0)");
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = (__uint128_t)next() * bound;
+    uint64_t lo = (uint64_t)m;
+    if (lo < bound) {
+        uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = (__uint128_t)next() * bound;
+            lo = (uint64_t)m;
+        }
+    }
+    return (uint64_t)(m >> 64);
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    hippo_assert(lo <= hi, "bad range");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace hippo

@@ -1,0 +1,75 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hippo
+{
+
+namespace
+{
+
+/**
+ * Two-sided 95% Student's t critical values indexed by degrees of
+ * freedom (1..30); larger dof falls back to the normal value 1.96.
+ */
+const double tTable95[31] = {
+    0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+    2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+    2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+    2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+};
+
+} // namespace
+
+double
+SampleStats::mean() const
+{
+    if (samples_.empty())
+        return 0;
+    double sum = 0;
+    for (double v : samples_)
+        sum += v;
+    return sum / samples_.size();
+}
+
+double
+SampleStats::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0;
+    double m = mean();
+    double acc = 0;
+    for (double v : samples_)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / (samples_.size() - 1));
+}
+
+double
+SampleStats::ci95() const
+{
+    size_t n = samples_.size();
+    if (n < 2)
+        return 0;
+    size_t dof = n - 1;
+    double t = dof <= 30 ? tTable95[dof] : 1.96;
+    return t * stddev() / std::sqrt((double)n);
+}
+
+double
+SampleStats::min() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStats::max() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+} // namespace hippo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by the benchmark harnesses
+ * (Fig. 4 reports means with 95% confidence intervals over 20 trials).
+ */
+
+#ifndef HIPPO_SUPPORT_STATS_HH
+#define HIPPO_SUPPORT_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hippo
+{
+
+/** Accumulates samples and reports mean / stddev / 95% CI half-width. */
+class SampleStats
+{
+  public:
+    /** Add one sample. */
+    void add(double v) { samples_.push_back(v); }
+
+    /** Number of samples so far. */
+    size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Sample standard deviation (0 when fewer than 2 samples). */
+    double stddev() const;
+
+    /**
+     * Half-width of the 95% confidence interval of the mean, using
+     * Student's t critical values for small n.
+     */
+    double ci95() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const;
+
+    /** Largest sample (0 when empty). */
+    double max() const;
+
+    /** Access raw samples. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace hippo
+
+#endif // HIPPO_SUPPORT_STATS_HH

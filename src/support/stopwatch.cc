@@ -1,0 +1,42 @@
+#include "stopwatch.hh"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace hippo
+{
+
+double
+Stopwatch::elapsedSeconds() const
+{
+    auto d = Clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+}
+
+uint64_t
+peakRssBytes()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // ru_maxrss is in kilobytes on Linux.
+    return (uint64_t)ru.ru_maxrss * 1024;
+}
+
+uint64_t
+currentRssBytes()
+{
+    FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    long pages_total = 0, pages_rss = 0;
+    int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_rss);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    return (uint64_t)pages_rss * 4096;
+}
+
+} // namespace hippo

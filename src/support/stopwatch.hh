@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Wall-clock timing and peak-memory probes for the offline-overhead
+ * experiment (Fig. 5 reports per-target time and memory of running
+ * Hippocrates).
+ */
+
+#ifndef HIPPO_SUPPORT_STOPWATCH_HH
+#define HIPPO_SUPPORT_STOPWATCH_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace hippo
+{
+
+/** Simple monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double elapsedSeconds() const;
+
+    /** Elapsed milliseconds since construction or last reset(). */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Peak resident-set size of this process in bytes (0 if unknown). */
+uint64_t peakRssBytes();
+
+/** Current resident-set size of this process in bytes (0 if unknown). */
+uint64_t currentRssBytes();
+
+} // namespace hippo
+
+#endif // HIPPO_SUPPORT_STOPWATCH_HH

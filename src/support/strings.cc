@@ -1,0 +1,145 @@
+#include "strings.hh"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hippo
+{
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (true) {
+        size_t next = s.find(sep, pos);
+        if (next == std::string_view::npos) {
+            out.emplace_back(s.substr(pos));
+            break;
+        }
+        out.emplace_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && std::isspace((unsigned char)s[i]))
+            i++;
+        size_t start = i;
+        while (i < s.size() && !std::isspace((unsigned char)s[i]))
+            i++;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    size_t b = 0;
+    while (b < s.size() && std::isspace((unsigned char)s[b]))
+        b++;
+    size_t e = s.size();
+    while (e > b && std::isspace((unsigned char)s[e - 1]))
+        e--;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out(n > 0 ? n : 0, '\0');
+    if (n > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+bool
+parseUint(std::string_view s, uint64_t &out)
+{
+    s = trim(s);
+    if (s.empty())
+        return false;
+    int base = 10;
+    if (startsWith(s, "0x") || startsWith(s, "0X")) {
+        base = 16;
+        s.remove_prefix(2);
+        if (s.empty())
+            return false;
+    }
+    uint64_t v = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (base == 16 && c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (base == 16 && c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        v = v * base + digit;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseInt(std::string_view s, int64_t &out)
+{
+    s = trim(s);
+    bool neg = false;
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+        neg = s[0] == '-';
+        s.remove_prefix(1);
+    }
+    uint64_t mag;
+    if (!parseUint(s, mag))
+        return false;
+    out = neg ? -(int64_t)mag : (int64_t)mag;
+    return true;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double v = (double)bytes;
+    int u = 0;
+    while (v >= 1024 && u < 4) {
+        v /= 1024;
+        u++;
+    }
+    return format("%.1f %s", v, units[u]);
+}
+
+} // namespace hippo

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * String helpers shared by the IR text parser, trace reader, and the
+ * table printers in the benchmark harnesses.
+ */
+
+#ifndef HIPPO_SUPPORT_STRINGS_HH
+#define HIPPO_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hippo
+{
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Split @p s on runs of whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view s);
+
+/** True if @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True if @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Parse an unsigned decimal or 0x-prefixed hex integer.
+ * @retval true on success (value stored in @p out).
+ */
+bool parseUint(std::string_view s, uint64_t &out);
+
+/** Parse a signed decimal integer. @retval true on success. */
+bool parseInt(std::string_view s, int64_t &out);
+
+/** Human-readable byte count, e.g. "345.2 MB". */
+std::string formatBytes(uint64_t bytes);
+
+} // namespace hippo
+
+#endif // HIPPO_SUPPORT_STRINGS_HH

@@ -1,0 +1,253 @@
+#include "trace/trace.hh"
+
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hippo::trace
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::PmMap: return "PMMAP";
+      case EventKind::Store: return "STORE";
+      case EventKind::Flush: return "FLUSH";
+      case EventKind::Fence: return "FENCE";
+      case EventKind::DurPoint: return "DURPOINT";
+      case EventKind::Output: return "OUTPUT";
+    }
+    return "?";
+}
+
+namespace
+{
+
+EventKind
+eventKindFromName(const std::string &s, bool &ok)
+{
+    ok = true;
+    if (s == "PMMAP") return EventKind::PmMap;
+    if (s == "STORE") return EventKind::Store;
+    if (s == "FLUSH") return EventKind::Flush;
+    if (s == "FENCE") return EventKind::Fence;
+    if (s == "DURPOINT") return EventKind::DurPoint;
+    if (s == "OUTPUT") return EventKind::Output;
+    ok = false;
+    return EventKind::Store;
+}
+
+} // namespace
+
+std::string
+StackFrame::str() const
+{
+    return format("%s@%u(%s:%d)", function.c_str(), instrId,
+                  file.empty() ? "?" : file.c_str(), line);
+}
+
+std::string
+stackToString(const std::vector<StackFrame> &stack)
+{
+    std::string out;
+    for (size_t i = 0; i < stack.size(); i++) {
+        if (i)
+            out += " < ";
+        out += stack[i].str();
+    }
+    return out;
+}
+
+bool
+stackFromString(const std::string &s, std::vector<StackFrame> &out)
+{
+    out.clear();
+    if (trim(s).empty())
+        return true;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t next = s.find(" < ", pos);
+        std::string part(trim(next == std::string::npos
+                                  ? s.substr(pos)
+                                  : s.substr(pos, next - pos)));
+        // func@id(file:line)
+        size_t at = part.rfind('@');
+        size_t lp = part.find('(', at);
+        size_t rp = part.rfind(')');
+        if (at == std::string::npos || lp == std::string::npos ||
+            rp == std::string::npos || rp < lp)
+            return false;
+        StackFrame f;
+        f.function = part.substr(0, at);
+        uint64_t id;
+        if (!parseUint(part.substr(at + 1, lp - at - 1), id))
+            return false;
+        f.instrId = (uint32_t)id;
+        std::string loc = part.substr(lp + 1, rp - lp - 1);
+        size_t colon = loc.rfind(':');
+        if (colon == std::string::npos)
+            return false;
+        f.file = loc.substr(0, colon);
+        if (f.file == "?")
+            f.file.clear();
+        int64_t ln;
+        if (!parseInt(loc.substr(colon + 1), ln))
+            return false;
+        f.line = (int)ln;
+        out.push_back(std::move(f));
+        if (next == std::string::npos)
+            break;
+        pos = next + 3;
+    }
+    return true;
+}
+
+uint32_t
+Trace::internObject(const std::string &site, bool is_pm)
+{
+    for (uint32_t i = 0; i < objects_.size(); i++) {
+        if (objects_[i].site == site)
+            return i;
+    }
+    objects_.push_back({site, is_pm});
+    return (uint32_t)objects_.size() - 1;
+}
+
+Event &
+Trace::append(Event ev)
+{
+    ev.seq = events_.size();
+    events_.push_back(std::move(ev));
+    return events_.back();
+}
+
+void
+Trace::clear()
+{
+    events_.clear();
+    objects_.clear();
+}
+
+std::string
+Trace::writeText() const
+{
+    std::ostringstream os;
+    for (uint32_t i = 0; i < objects_.size(); i++) {
+        os << "OBJ " << i << " pm=" << (objects_[i].isPm ? 1 : 0)
+           << " site=" << objects_[i].site << "\n";
+    }
+    for (const Event &e : events_) {
+        os << "#" << e.seq << " " << eventKindName(e.kind);
+        os << format(" addr=0x%llx size=%llu pm=%d nt=%d sub=%u",
+                     (unsigned long long)e.addr,
+                     (unsigned long long)e.size, e.isPm ? 1 : 0,
+                     e.nonTemporal ? 1 : 0, e.sub);
+        if (e.objectId != ~0u)
+            os << " obj=" << e.objectId;
+        if (!e.symbol.empty())
+            os << " sym=\"" << e.symbol << "\"";
+        if (e.kind == EventKind::Output)
+            os << " val=" << e.value;
+        os << " | " << stackToString(e.stack) << "\n";
+    }
+    return os.str();
+}
+
+bool
+Trace::readText(const std::string &text, Trace &out, std::string *error)
+{
+    out.clear();
+    int line_no = 0;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = format("trace line %d: %s", line_no, msg.c_str());
+        return false;
+    };
+
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        line_no++;
+        std::string_view t = trim(line);
+        if (t.empty())
+            continue;
+        if (startsWith(t, "OBJ ")) {
+            auto words = splitWhitespace(t);
+            if (words.size() < 4)
+                return fail("malformed OBJ");
+            TraceObject obj;
+            if (!startsWith(words[2], "pm="))
+                return fail("OBJ missing pm=");
+            obj.isPm = words[2] == "pm=1";
+            if (!startsWith(words[3], "site="))
+                return fail("OBJ missing site=");
+            obj.site = words[3].substr(5);
+            out.objects_.push_back(std::move(obj));
+            continue;
+        }
+        if (!startsWith(t, "#"))
+            return fail("expected event line");
+
+        size_t bar = line.find(" | ");
+        if (bar == std::string::npos)
+            return fail("missing stack separator");
+        std::string head = line.substr(0, bar);
+        std::string stack_str = line.substr(bar + 3);
+
+        auto words = splitWhitespace(head);
+        if (words.size() < 2)
+            return fail("short event line");
+        Event e;
+        uint64_t seq;
+        if (!parseUint(std::string_view(words[0]).substr(1), seq))
+            return fail("bad sequence number");
+        bool ok;
+        e.kind = eventKindFromName(words[1], ok);
+        if (!ok)
+            return fail("unknown event kind: " + words[1]);
+        for (size_t i = 2; i < words.size(); i++) {
+            const std::string &w = words[i];
+            auto kv = split(w, '=');
+            if (kv.size() != 2)
+                return fail("malformed field: " + w);
+            uint64_t v = 0;
+            if (kv[0] == "sym") {
+                std::string s = kv[1];
+                if (s.size() >= 2 && s.front() == '"' &&
+                    s.back() == '"')
+                    s = s.substr(1, s.size() - 2);
+                e.symbol = s;
+                continue;
+            }
+            if (!parseUint(kv[1], v))
+                return fail("bad value in field: " + w);
+            if (kv[0] == "addr")
+                e.addr = v;
+            else if (kv[0] == "size")
+                e.size = v;
+            else if (kv[0] == "pm")
+                e.isPm = v != 0;
+            else if (kv[0] == "nt")
+                e.nonTemporal = v != 0;
+            else if (kv[0] == "sub")
+                e.sub = (uint8_t)v;
+            else if (kv[0] == "obj")
+                e.objectId = (uint32_t)v;
+            else if (kv[0] == "val")
+                e.value = v;
+            else
+                return fail("unknown field: " + kv[0]);
+        }
+        if (!stackFromString(stack_str, e.stack))
+            return fail("bad stack: " + stack_str);
+        Event &stored = out.append(std::move(e));
+        if (stored.seq != seq)
+            return fail("non-contiguous sequence numbers");
+    }
+    return true;
+}
+
+} // namespace hippo::trace

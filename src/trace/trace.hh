@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The PM-operation trace interface between bug finders and
+ * Hippocrates (paper §4.1): each event carries the source line where
+ * it occurred, the full stack trace at the time of the event, and
+ * PM-specific information (address/size being modified or flushed,
+ * fence kind, durability points). pmemcheck emits this by default;
+ * our pmcheck detector consumes it and appends bug records.
+ */
+
+#ifndef HIPPO_TRACE_TRACE_HH
+#define HIPPO_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hippo::trace
+{
+
+/** One call-stack entry; frame 0 is the frame executing the event. */
+struct StackFrame
+{
+    std::string function; ///< function name
+    uint32_t instrId = 0; ///< executing/calling instruction id
+    std::string file;     ///< source file of that instruction
+    int line = 0;         ///< source line of that instruction
+
+    bool operator==(const StackFrame &o) const = default;
+    std::string str() const;
+};
+
+/** Kinds of trace events. */
+enum class EventKind : uint8_t
+{
+    PmMap,    ///< a persistent region was mapped
+    Store,    ///< store (PM or volatile per Event::isPm)
+    Flush,    ///< cache-line flush
+    Fence,    ///< memory fence
+    DurPoint, ///< durability point (the paper's instruction I)
+    Output,   ///< program output (print)
+};
+
+const char *eventKindName(EventKind k);
+
+/** A memory object (allocation site instance) referenced by events. */
+struct TraceObject
+{
+    std::string site; ///< "pm:<region>" or "<func>#<instrId>"
+    bool isPm = false;
+};
+
+/** One trace event. */
+struct Event
+{
+    uint64_t seq = 0; ///< global sequence number
+    EventKind kind = EventKind::Store;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+    bool isPm = false;
+    bool nonTemporal = false;
+    uint8_t sub = 0;       ///< FlushOp / fence kind ordinal
+    uint32_t objectId = ~0u; ///< index into Trace::objects()
+    std::string symbol;    ///< region / durpoint label / print label
+    uint64_t value = 0;    ///< print value
+    std::vector<StackFrame> stack;
+
+    /** Frame executing the event (innermost). */
+    const StackFrame &frame() const { return stack.front(); }
+};
+
+/**
+ * An append-only PM-operation trace plus its object table.
+ * Serializes to a line-oriented text format (see writeText) so traces
+ * can cross a process boundary exactly as pmemcheck output does.
+ */
+class Trace
+{
+  public:
+    /** Register an object; returns its id (uniqued by site). */
+    uint32_t internObject(const std::string &site, bool is_pm);
+
+    /** Append an event, assigning its sequence number. */
+    Event &append(Event ev);
+
+    const std::vector<Event> &events() const { return events_; }
+    const std::vector<TraceObject> &objects() const { return objects_; }
+    size_t size() const { return events_.size(); }
+    const Event &at(size_t i) const { return events_[i]; }
+    bool empty() const { return events_.empty(); }
+    void clear();
+
+    /** Serialize in the pmemcheck-like text format. */
+    std::string writeText() const;
+
+    /**
+     * Parse a trace previously produced by writeText.
+     * @param error Receives a message on failure.
+     * @retval true on success.
+     */
+    static bool readText(const std::string &text, Trace &out,
+                         std::string *error = nullptr);
+
+  private:
+    std::vector<Event> events_;
+    std::vector<TraceObject> objects_;
+};
+
+/**
+ * Receiver for a live event stream. The VM can forward events to a
+ * sink instead of materializing them in memory, which keeps
+ * bug-finding runs of large workloads within bounds (pmemcheck
+ * traces reach hundreds of megabytes, §5.1).
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** One event; seq numbers arrive in order from 0. */
+    virtual void onEvent(const Event &event) = 0;
+};
+
+/** Render a stack as "f0@i0(file:line) < f1@i1(...) < ...". */
+std::string stackToString(const std::vector<StackFrame> &stack);
+
+/** Parse the output of stackToString. @retval true on success. */
+bool stackFromString(const std::string &s,
+                     std::vector<StackFrame> &out);
+
+} // namespace hippo::trace
+
+#endif // HIPPO_TRACE_TRACE_HH

@@ -1,0 +1,576 @@
+#include "vm/vm.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hippo::vm
+{
+
+using ir::Opcode;
+using ir::Type;
+
+/** One activation record. */
+struct Vm::Frame
+{
+    ir::Function *func = nullptr;
+    const Frame *parent = nullptr;
+    const ir::Instruction *callSite = nullptr; ///< call instr in parent
+    std::vector<uint64_t> args;
+    std::vector<uint64_t> regs;
+    const ir::Instruction *current = nullptr;
+};
+
+Vm::Vm(ir::Module *module, pmem::PmPool *pool, VmConfig cfg)
+    : module_(module), pool_(pool), cfg_(cfg),
+      volatileMem_(cfg.volatileBytes, 0)
+{}
+
+uint64_t
+Vm::eval(const Frame &frame, const ir::Value *v) const
+{
+    switch (v->kind()) {
+      case ir::ValueKind::Constant:
+        return static_cast<const ir::Constant *>(v)->value();
+      case ir::ValueKind::Argument:
+        return frame.args[static_cast<const ir::Argument *>(v)
+                              ->index()];
+      case ir::ValueKind::Instruction:
+        return frame
+            .regs[static_cast<const ir::Instruction *>(v)->id()];
+    }
+    hippo_panic("bad value kind");
+}
+
+bool
+Vm::isPmAddr(uint64_t addr) const
+{
+    return addr >= pmem::pmBaseAddr;
+}
+
+void
+Vm::emit(trace::Event ev)
+{
+    if (cfg_.eventSink) {
+        ev.seq = sinkSeq_++;
+        cfg_.eventSink->onEvent(ev);
+        return;
+    }
+    trace_.append(std::move(ev));
+}
+
+void
+Vm::rawStore(uint64_t addr, const uint8_t *data, uint64_t size,
+             bool non_temporal)
+{
+    if (isPmAddr(addr)) {
+        pool_->store(addr, data, size, non_temporal);
+        return;
+    }
+    uint64_t off = addr - volatileBaseAddr;
+    if (addr < volatileBaseAddr || off + size > volatileMem_.size())
+        hippo_fatal("volatile store out of bounds: 0x%llx",
+                    (unsigned long long)addr);
+    std::memcpy(&volatileMem_[off], data, size);
+}
+
+void
+Vm::rawLoad(uint64_t addr, uint8_t *out, uint64_t size) const
+{
+    if (isPmAddr(addr)) {
+        pool_->load(addr, out, size);
+        return;
+    }
+    uint64_t off = addr - volatileBaseAddr;
+    if (addr < volatileBaseAddr || off + size > volatileMem_.size())
+        hippo_fatal("volatile load out of bounds: 0x%llx",
+                    (unsigned long long)addr);
+    std::memcpy(out, &volatileMem_[off], size);
+}
+
+uint32_t
+Vm::objectAt(uint64_t addr) const
+{
+    if (isPmAddr(addr)) {
+        auto it = pmObjects_.upper_bound(addr);
+        if (it == pmObjects_.begin())
+            return ~0u;
+        --it;
+        auto [size, obj] = it->second;
+        return addr < it->first + size ? obj : ~0u;
+    }
+    for (auto it = liveAllocs_.rbegin(); it != liveAllocs_.rend();
+         ++it) {
+        if (addr >= it->start && addr < it->end)
+            return it->object;
+    }
+    return ~0u;
+}
+
+std::vector<trace::StackFrame>
+Vm::captureStack(const Frame &frame, const ir::Instruction &instr) const
+{
+    std::vector<trace::StackFrame> stack;
+    stack.push_back({frame.func->name(), instr.id(), instr.loc().file,
+                     instr.loc().line});
+    for (const Frame *f = &frame; f->parent; f = f->parent) {
+        const ir::Instruction *cs = f->callSite;
+        stack.push_back({f->parent->func->name(), cs->id(),
+                         cs->loc().file, cs->loc().line});
+    }
+    return stack;
+}
+
+void
+Vm::recordDynPts(const Frame &frame, const ir::Value *ptr_value,
+                 uint64_t addr)
+{
+    if (!cfg_.traceEnabled)
+        return;
+    uint32_t obj = objectAt(addr);
+    if (obj == ~0u)
+        return;
+    uint64_t key;
+    switch (ptr_value->kind()) {
+      case ir::ValueKind::Argument:
+        key = DynPointsTo::argKey(
+            static_cast<const ir::Argument *>(ptr_value)->index());
+        break;
+      case ir::ValueKind::Instruction:
+        key = DynPointsTo::instrKey(
+            static_cast<const ir::Instruction *>(ptr_value)->id());
+        break;
+      default:
+        return;
+    }
+    dynPts_.record(frame.func->name(), key, obj);
+}
+
+void
+Vm::execStore(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t value = eval(frame, instr.operand(0));
+    uint64_t addr = eval(frame, instr.operand(1));
+    uint64_t size = instr.accessSize();
+    uint8_t bytes[8];
+    std::memcpy(bytes, &value, 8);
+    bool pm = isPmAddr(addr);
+    rawStore(addr, bytes, size, instr.nonTemporal());
+    simNanos_ += cfg_.costs.storeNs;
+
+    recordDynPts(frame, instr.operand(1), addr);
+    if (cfg_.traceEnabled && pm) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Store;
+        ev.addr = addr;
+        ev.size = size;
+        ev.isPm = true;
+        ev.nonTemporal = instr.nonTemporal();
+        ev.objectId = objectAt(addr);
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+}
+
+void
+Vm::execFlush(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t addr = eval(frame, instr.operand(0));
+    bool pm = isPmAddr(addr);
+    auto kind = instr.flushKind();
+    simNanos_ += kind == ir::FlushKind::Clflush ? cfg_.costs.clflushNs
+                                                : cfg_.costs.flushNs;
+    if (pm) {
+        pool_->flush(addr, (pmem::FlushOp)kind);
+    }
+    if (cfg_.traceEnabled) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Flush;
+        ev.addr = addr;
+        ev.size = pmem::cacheLineSize;
+        ev.isPm = pm;
+        ev.sub = (uint8_t)kind;
+        ev.objectId = objectAt(addr);
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+}
+
+void
+Vm::execFence(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t pending = pool_->pendingWritebacks();
+    simNanos_ += cfg_.costs.fenceBaseNs;
+    if (pending > 0) {
+        simNanos_ += cfg_.costs.fenceDrainNs +
+                     cfg_.costs.fencePerLineNs * (pending - 1);
+    }
+    pool_->fence();
+    if (cfg_.traceEnabled) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Fence;
+        ev.sub = (uint8_t)instr.fenceKind();
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+}
+
+void
+Vm::execMemcpy(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t dst = eval(frame, instr.operand(0));
+    uint64_t src = eval(frame, instr.operand(1));
+    uint64_t len = eval(frame, instr.operand(2));
+    if (len == 0)
+        return;
+    std::vector<uint8_t> buf(len);
+    rawLoad(src, buf.data(), len);
+    rawStore(dst, buf.data(), len, false);
+    simNanos_ += cfg_.costs.perByteCopyNs * len;
+
+    recordDynPts(frame, instr.operand(0), dst);
+    recordDynPts(frame, instr.operand(1), src);
+    if (cfg_.traceEnabled && isPmAddr(dst)) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Store;
+        ev.addr = dst;
+        ev.size = len;
+        ev.isPm = true;
+        ev.objectId = objectAt(dst);
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+}
+
+void
+Vm::execMemset(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t dst = eval(frame, instr.operand(0));
+    uint64_t byte = eval(frame, instr.operand(1));
+    uint64_t len = eval(frame, instr.operand(2));
+    if (len == 0)
+        return;
+    std::vector<uint8_t> buf(len, (uint8_t)byte);
+    rawStore(dst, buf.data(), len, false);
+    simNanos_ += cfg_.costs.perByteCopyNs * len;
+
+    recordDynPts(frame, instr.operand(0), dst);
+    if (cfg_.traceEnabled && isPmAddr(dst)) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::Store;
+        ev.addr = dst;
+        ev.size = len;
+        ev.isPm = true;
+        ev.objectId = objectAt(dst);
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+}
+
+uint64_t
+Vm::execPmMap(Frame &frame, const ir::Instruction &instr)
+{
+    uint64_t base =
+        pool_->mapRegion(instr.symbol(), instr.regionSize());
+    if (cfg_.traceEnabled) {
+        uint32_t obj =
+            trace_.internObject("pm:" + instr.symbol(), true);
+        pmObjects_[base] = {instr.regionSize(), obj};
+        trace::Event ev;
+        ev.kind = trace::EventKind::PmMap;
+        ev.addr = base;
+        ev.size = instr.regionSize();
+        ev.isPm = true;
+        ev.objectId = obj;
+        ev.symbol = instr.symbol();
+        ev.stack = captureStack(frame, instr);
+        emit(std::move(ev));
+    }
+    return base;
+}
+
+uint64_t
+Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
+                 int depth)
+{
+    hippo_assert(f->entry(), "calling empty function");
+    if (depth > 512)
+        hippo_fatal("call depth limit exceeded in @%s",
+                    f->name().c_str());
+
+    Frame frame;
+    frame.func = f;
+    frame.parent = curParent_;
+    frame.callSite = curCallSite_;
+    frame.args = args;
+    frame.regs.assign(f->idBound(), 0);
+
+    uint64_t saved_sp = volatileSp_;
+    size_t saved_allocs = liveAllocs_.size();
+
+    const auto &costs = cfg_.costs;
+    ir::BasicBlock *bb = f->entry();
+    auto it = bb->begin();
+
+    uint64_t ret_value = 0;
+    while (true) {
+        hippo_assert(it != bb->end(), "fell off block %s in @%s",
+                     bb->name().c_str(), f->name().c_str());
+        ir::Instruction &instr = **it;
+        frame.current = &instr;
+        if (++steps_ > cfg_.maxSteps)
+            hippo_fatal("step limit exceeded (infinite loop?)");
+        if (cfg_.crashAtStep &&
+            steps_ - runStartSteps_ >= cfg_.crashAtStep)
+            throw CrashSignal{};
+        opcodeCounts_[instr.op()]++;
+
+        switch (instr.op()) {
+          case Opcode::Alloca: {
+            uint64_t bytes = (instr.accessSize() + 15) & ~15ULL;
+            if (volatileSp_ + bytes > volatileMem_.size())
+                hippo_fatal("volatile arena exhausted");
+            uint64_t addr = volatileBaseAddr + volatileSp_;
+            volatileSp_ += bytes;
+            std::memset(&volatileMem_[addr - volatileBaseAddr], 0,
+                        bytes);
+            if (cfg_.traceEnabled) {
+                uint32_t obj = trace_.internObject(
+                    format("%s#%u", f->name().c_str(), instr.id()),
+                    false);
+                liveAllocs_.push_back(
+                    {addr, addr + instr.accessSize(), obj});
+            }
+            frame.regs[instr.id()] = addr;
+            simNanos_ += costs.aluNs;
+            break;
+          }
+          case Opcode::Load: {
+            uint64_t addr = eval(frame, instr.operand(0));
+            uint64_t v = 0;
+            rawLoad(addr, reinterpret_cast<uint8_t *>(&v),
+                    instr.accessSize());
+            frame.regs[instr.id()] = v;
+            simNanos_ +=
+                isPmAddr(addr) ? costs.pmLoadNs : costs.loadNs;
+            break;
+          }
+          case Opcode::Store:
+            execStore(frame, instr);
+            break;
+          case Opcode::Flush:
+            execFlush(frame, instr);
+            break;
+          case Opcode::Fence:
+            execFence(frame, instr);
+            break;
+          case Opcode::Gep: {
+            uint64_t base = eval(frame, instr.operand(0));
+            uint64_t off = eval(frame, instr.operand(1));
+            frame.regs[instr.id()] = base + off;
+            simNanos_ += costs.aluNs;
+            break;
+          }
+          case Opcode::Bin: {
+            uint64_t l = eval(frame, instr.operand(0));
+            uint64_t r = eval(frame, instr.operand(1));
+            uint64_t v = 0;
+            switch (instr.binOp()) {
+              case ir::BinOp::Add: v = l + r; break;
+              case ir::BinOp::Sub: v = l - r; break;
+              case ir::BinOp::Mul: v = l * r; break;
+              case ir::BinOp::UDiv:
+                if (!r)
+                    hippo_fatal("division by zero");
+                v = l / r;
+                break;
+              case ir::BinOp::URem:
+                if (!r)
+                    hippo_fatal("remainder by zero");
+                v = l % r;
+                break;
+              case ir::BinOp::And: v = l & r; break;
+              case ir::BinOp::Or: v = l | r; break;
+              case ir::BinOp::Xor: v = l ^ r; break;
+              case ir::BinOp::Shl: v = l << (r & 63); break;
+              case ir::BinOp::LShr: v = l >> (r & 63); break;
+            }
+            frame.regs[instr.id()] = v;
+            simNanos_ += costs.aluNs;
+            break;
+          }
+          case Opcode::Cmp: {
+            uint64_t l = eval(frame, instr.operand(0));
+            uint64_t r = eval(frame, instr.operand(1));
+            int64_t sl = (int64_t)l, sr = (int64_t)r;
+            bool v = false;
+            switch (instr.cmpPred()) {
+              case ir::CmpPred::Eq: v = l == r; break;
+              case ir::CmpPred::Ne: v = l != r; break;
+              case ir::CmpPred::Ult: v = l < r; break;
+              case ir::CmpPred::Ule: v = l <= r; break;
+              case ir::CmpPred::Ugt: v = l > r; break;
+              case ir::CmpPred::Uge: v = l >= r; break;
+              case ir::CmpPred::Slt: v = sl < sr; break;
+              case ir::CmpPred::Sle: v = sl <= sr; break;
+              case ir::CmpPred::Sgt: v = sl > sr; break;
+              case ir::CmpPred::Sge: v = sl >= sr; break;
+            }
+            frame.regs[instr.id()] = v ? 1 : 0;
+            simNanos_ += costs.aluNs;
+            break;
+          }
+          case Opcode::Select: {
+            uint64_t c = eval(frame, instr.operand(0));
+            frame.regs[instr.id()] =
+                eval(frame, instr.operand(c ? 1 : 2));
+            simNanos_ += costs.aluNs;
+            break;
+          }
+          case Opcode::Br:
+            bb = instr.target(0);
+            it = bb->begin();
+            simNanos_ += costs.aluNs;
+            continue;
+          case Opcode::CondBr: {
+            uint64_t c = eval(frame, instr.operand(0));
+            bb = instr.target(c ? 0 : 1);
+            it = bb->begin();
+            simNanos_ += costs.aluNs;
+            continue;
+          }
+          case Opcode::Call: {
+            std::vector<uint64_t> call_args(instr.numOperands());
+            for (size_t i = 0; i < instr.numOperands(); i++) {
+                call_args[i] = eval(frame, instr.operand(i));
+                if (instr.operand(i)->type() == Type::Ptr)
+                    recordDynPts(frame, instr.operand(i),
+                                 call_args[i]);
+            }
+            simNanos_ += costs.callNs;
+            const Frame *saved_parent = curParent_;
+            const ir::Instruction *saved_cs = curCallSite_;
+            curParent_ = &frame;
+            curCallSite_ = &instr;
+            uint64_t rv =
+                callFunction(instr.callee(), call_args, depth + 1);
+            curParent_ = saved_parent;
+            curCallSite_ = saved_cs;
+            if (instr.hasResult())
+                frame.regs[instr.id()] = rv;
+            break;
+          }
+          case Opcode::Ret:
+            ret_value = instr.numOperands()
+                            ? eval(frame, instr.operand(0))
+                            : 0;
+            volatileSp_ = saved_sp;
+            liveAllocs_.resize(saved_allocs);
+            simNanos_ += costs.callNs;
+            return ret_value;
+          case Opcode::PmMap:
+            frame.regs[instr.id()] = execPmMap(frame, instr);
+            simNanos_ += costs.aluNs;
+            break;
+          case Opcode::Memcpy:
+            execMemcpy(frame, instr);
+            break;
+          case Opcode::Memset:
+            execMemset(frame, instr);
+            break;
+          case Opcode::DurPoint: {
+            if (cfg_.traceEnabled) {
+                trace::Event ev;
+                ev.kind = trace::EventKind::DurPoint;
+                ev.symbol = instr.symbol();
+                ev.stack = captureStack(frame, instr);
+                emit(std::move(ev));
+            }
+            int64_t n = durPointsSeen_++;
+            if (cfg_.crashAtDurPoint >= 0 &&
+                n == cfg_.crashAtDurPoint) {
+                volatileSp_ = saved_sp;
+                liveAllocs_.resize(saved_allocs);
+                throw CrashSignal{};
+            }
+            break;
+          }
+          case Opcode::Print: {
+            uint64_t v = eval(frame, instr.operand(0));
+            outputs_.push_back({instr.symbol(), v});
+            if (cfg_.traceEnabled && cfg_.traceOutputs) {
+                trace::Event ev;
+                ev.kind = trace::EventKind::Output;
+                ev.symbol = instr.symbol();
+                ev.value = v;
+                ev.stack = captureStack(frame, instr);
+                emit(std::move(ev));
+            }
+            break;
+          }
+        }
+        ++it;
+    }
+}
+
+std::string
+Vm::statsString() const
+{
+    std::string out =
+        format("executed %llu instruction(s), %.0f simulated ns\n",
+               (unsigned long long)steps_, simNanos_);
+    for (const auto &[op, count] : opcodeCounts_) {
+        out += format("  %-10s %12llu\n", ir::opcodeName(op),
+                      (unsigned long long)count);
+    }
+    const pmem::PmPoolStats &ps = pool_->stats();
+    out += format("  PM: %llu store(s), %llu flush(es) "
+                  "(%llu redundant), %llu fence(s), "
+                  "%llu eviction(s)\n",
+                  (unsigned long long)ps.stores,
+                  (unsigned long long)ps.flushes,
+                  (unsigned long long)ps.redundantFlushes,
+                  (unsigned long long)ps.fences,
+                  (unsigned long long)ps.evictions);
+    return out;
+}
+
+RunResult
+Vm::run(const std::string &function, std::vector<uint64_t> args)
+{
+    ir::Function *f = module_->findFunction(function);
+    if (!f)
+        hippo_fatal("no such function: @%s", function.c_str());
+    hippo_assert(args.size() == f->numParams(),
+                 "run() arity mismatch");
+
+    durPointsSeen_ = 0;
+    curParent_ = nullptr;
+    curCallSite_ = nullptr;
+    double nanos_before = simNanos_;
+    uint64_t steps_before = steps_;
+    runStartSteps_ = steps_;
+
+    RunResult res;
+    try {
+        res.returnValue = callFunction(f, args, 0);
+    } catch (CrashSignal &) {
+        res.crashed = true;
+        volatileSp_ = 0;
+        liveAllocs_.clear();
+    }
+    res.steps = steps_ - steps_before;
+    res.simNanos = simNanos_ - nanos_before;
+
+    if (!res.crashed && cfg_.traceEnabled && cfg_.durPointAtExit) {
+        trace::Event ev;
+        ev.kind = trace::EventKind::DurPoint;
+        ev.symbol = "exit";
+        ev.stack = {{f->name(), 0xFFFFFFFEu, "", 0}};
+        emit(std::move(ev));
+    }
+    return res;
+}
+
+} // namespace hippo::vm

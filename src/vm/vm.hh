@@ -1,0 +1,243 @@
+/**
+ * @file
+ * The PMIR interpreter. Executes a Module against a PmPool, emitting
+ * the PM-operation trace that bug finders consume and charging a
+ * deterministic simulated-time cost model so the Redis-style
+ * performance experiments (Fig. 4) measure the relative cost of fix
+ * strategies rather than host noise.
+ */
+
+#ifndef HIPPO_VM_VM_HH
+#define HIPPO_VM_VM_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+#include "pmem/pm_pool.hh"
+#include "trace/trace.hh"
+
+namespace hippo::vm
+{
+
+/** Base virtual address of the volatile heap/stack arena. */
+constexpr uint64_t volatileBaseAddr = 0x10000000ULL;
+
+/**
+ * Simulated-time costs in nanoseconds. Defaults approximate published
+ * Optane DC measurements: PM load latency 2-3x DRAM, CLWB cheap to
+ * issue, fences expensive because they drain pending write-backs.
+ */
+struct CostModel
+{
+    double aluNs = 0.3;        ///< arithmetic / compare / branch
+    double loadNs = 1.0;       ///< DRAM load
+    double storeNs = 1.0;      ///< store into cache
+    double pmLoadNs = 2.5;     ///< PM load (2-3x DRAM per paper §1)
+    double flushNs = 2.0;      ///< CLWB/CLFLUSHOPT issue cost
+    double clflushNs = 60.0;   ///< CLFLUSH: serializing write-back
+    double fenceBaseNs = 15.0; ///< fence with nothing pending
+    double fenceDrainNs = 30.0;   ///< fence with >=1 pending line
+    double fencePerLineNs = 15.0; ///< extra per pending line beyond 1
+    double callNs = 1.5;       ///< call/ret overhead
+    double perByteCopyNs = 0.12; ///< memcpy/memset per byte
+};
+
+/** VM configuration. */
+struct VmConfig
+{
+    bool traceEnabled = false;  ///< record trace events
+    /**
+     * When set (and traceEnabled), events stream to this sink
+     * instead of accumulating in the in-memory trace — e.g. an
+     * pmcheck::OnlineDetector. Object interning still happens in the
+     * Vm's trace (it stays small).
+     */
+    trace::EventSink *eventSink = nullptr;
+    bool traceOutputs = true;   ///< include Output events in trace
+    bool durPointAtExit = true; ///< synthesize a durpoint at exit
+    int64_t crashAtDurPoint = -1; ///< stop at the Nth durpoint (0-based)
+    /** Crash after executing this many instructions of the run
+     *  (0 = disabled). Unlike crashAtDurPoint this can land in the
+     *  middle of an update sequence, producing torn states for
+     *  recovery testing. */
+    uint64_t crashAtStep = 0;
+    uint64_t maxSteps = 1ULL << 33; ///< runaway guard
+    uint64_t volatileBytes = 16ULL << 20;
+    CostModel costs;
+};
+
+/** One (label, value) pair produced by a print instruction. */
+struct ProgramOutput
+{
+    std::string label;
+    uint64_t value = 0;
+
+    bool operator==(const ProgramOutput &o) const = default;
+};
+
+/** Result of one Vm::run call. */
+struct RunResult
+{
+    bool crashed = false;  ///< stopped at an injected crash point
+    uint64_t returnValue = 0;
+    uint64_t steps = 0;
+    double simNanos = 0;
+};
+
+/**
+ * Dynamic points-to side table (for the Trace-AA heuristic variant):
+ * maps (function, value) keys to the set of trace-object ids that the
+ * value was observed holding a pointer into.
+ */
+class DynPointsTo
+{
+  public:
+    /** Key for an Argument (by index) or Instruction (by id). */
+    static uint64_t argKey(uint32_t index)
+    {
+        return 0x8000000000000000ULL | index;
+    }
+    static uint64_t instrKey(uint32_t id) { return id; }
+
+    void
+    record(const std::string &func, uint64_t key, uint32_t object)
+    {
+        table_[func][key].insert(object);
+    }
+
+    /** Observed object set; empty set when never observed. */
+    const std::set<uint32_t> &
+    lookup(const std::string &func, uint64_t key) const
+    {
+        static const std::set<uint32_t> empty;
+        auto fit = table_.find(func);
+        if (fit == table_.end())
+            return empty;
+        auto vit = fit->second.find(key);
+        return vit == fit->second.end() ? empty : vit->second;
+    }
+
+  private:
+    std::map<std::string, std::map<uint64_t, std::set<uint32_t>>>
+        table_;
+};
+
+/**
+ * The interpreter. The PmPool is owned by the caller so its
+ * persistent image can survive across runs (crash-recovery tests
+ * construct one pool and run the program, crash it, then run a
+ * recovery entry point against the same pool).
+ */
+class Vm
+{
+  public:
+    Vm(ir::Module *module, pmem::PmPool *pool, VmConfig cfg = {});
+
+    /** Execute @p function (by name) with integer/pointer args. */
+    RunResult run(const std::string &function,
+                  std::vector<uint64_t> args = {});
+
+    ir::Module *module() const { return module_; }
+    pmem::PmPool &pool() { return *pool_; }
+
+    trace::Trace &trace() { return trace_; }
+    const trace::Trace &trace() const { return trace_; }
+
+    const std::vector<ProgramOutput> &outputs() const
+    {
+        return outputs_;
+    }
+
+    const DynPointsTo &dynPointsTo() const { return dynPts_; }
+
+    /** Simulated nanoseconds accumulated across all runs. */
+    double simNanos() const { return simNanos_; }
+
+    /** Instructions executed across all runs. */
+    uint64_t steps() const { return steps_; }
+
+    /** Executions per opcode across all runs (gem5-style stats). */
+    const std::map<ir::Opcode, uint64_t> &opcodeCounts() const
+    {
+        return opcodeCounts_;
+    }
+
+    /** Render the execution statistics as a small table. */
+    std::string statsString() const;
+
+  private:
+    struct Frame;
+
+    uint64_t eval(const Frame &frame, const ir::Value *v) const;
+    uint64_t callFunction(ir::Function *f,
+                          const std::vector<uint64_t> &args, int depth);
+    void execStore(Frame &frame, const ir::Instruction &instr);
+    void execFlush(Frame &frame, const ir::Instruction &instr);
+    void execFence(Frame &frame, const ir::Instruction &instr);
+    void execMemcpy(Frame &frame, const ir::Instruction &instr);
+    void execMemset(Frame &frame, const ir::Instruction &instr);
+    uint64_t execPmMap(Frame &frame, const ir::Instruction &instr);
+
+    bool isPmAddr(uint64_t addr) const;
+
+    /** Deliver a trace event to the sink or the in-memory trace. */
+    void emit(trace::Event ev);
+
+    void rawStore(uint64_t addr, const uint8_t *data, uint64_t size,
+                  bool non_temporal);
+    void rawLoad(uint64_t addr, uint8_t *out, uint64_t size) const;
+
+    /** Trace-object id owning @p addr; ~0u when unknown. */
+    uint32_t objectAt(uint64_t addr) const;
+
+    std::vector<trace::StackFrame>
+    captureStack(const Frame &frame, const ir::Instruction &instr) const;
+
+    void recordDynPts(const Frame &frame, const ir::Value *ptr_value,
+                      uint64_t addr);
+
+    /** Raised internally when an injected crash point is reached. */
+    struct CrashSignal {};
+
+    ir::Module *module_;
+    pmem::PmPool *pool_;
+    VmConfig cfg_;
+
+    std::vector<uint8_t> volatileMem_;
+    uint64_t volatileSp_ = 0; ///< bump allocator offset
+
+    /** Live allocation ranges (LIFO, for addr -> object lookup). */
+    struct LiveAlloc
+    {
+        uint64_t start;
+        uint64_t end;
+        uint32_t object;
+    };
+    std::vector<LiveAlloc> liveAllocs_;
+
+    /** Mapped PM regions' object ids by region base. */
+    std::map<uint64_t, std::pair<uint64_t, uint32_t>> pmObjects_;
+
+    trace::Trace trace_;
+    std::vector<ProgramOutput> outputs_;
+    DynPointsTo dynPts_;
+
+    double simNanos_ = 0;
+    uint64_t steps_ = 0;
+    uint64_t runStartSteps_ = 0;
+    uint64_t sinkSeq_ = 0; ///< event numbering in streaming mode
+    std::map<ir::Opcode, uint64_t> opcodeCounts_;
+    int64_t durPointsSeen_ = 0;
+
+    /** Dynamic call-chain bookkeeping for stack capture. */
+    const Frame *curParent_ = nullptr;
+    const ir::Instruction *curCallSite_ = nullptr;
+};
+
+} // namespace hippo::vm
+
+#endif // HIPPO_VM_VM_HH

@@ -1,0 +1,225 @@
+#include "ycsb/ycsb.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hippo::ycsb
+{
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Insert: return "INSERT";
+      case OpType::Read: return "READ";
+      case OpType::Update: return "UPDATE";
+      case OpType::Scan: return "SCAN";
+      case OpType::ReadModifyWrite: return "RMW";
+    }
+    return "?";
+}
+
+const char *
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::Load: return "Load";
+      case Workload::A: return "A";
+      case Workload::B: return "B";
+      case Workload::C: return "C";
+      case Workload::D: return "D";
+      case Workload::E: return "E";
+      case Workload::F: return "F";
+    }
+    return "?";
+}
+
+WorkloadSpec
+specFor(Workload w)
+{
+    WorkloadSpec s;
+    using Dist = WorkloadSpec::Dist;
+    switch (w) {
+      case Workload::Load:
+        s.insertProportion = 1.0;
+        s.dist = Dist::Uniform;
+        break;
+      case Workload::A:
+        s.readProportion = 0.5;
+        s.updateProportion = 0.5;
+        break;
+      case Workload::B:
+        s.readProportion = 0.95;
+        s.updateProportion = 0.05;
+        break;
+      case Workload::C:
+        s.readProportion = 1.0;
+        break;
+      case Workload::D:
+        s.readProportion = 0.95;
+        s.insertProportion = 0.05;
+        s.dist = Dist::Latest;
+        break;
+      case Workload::E:
+        s.scanProportion = 0.95;
+        s.insertProportion = 0.05;
+        break;
+      case Workload::F:
+        s.readProportion = 0.5;
+        s.rmwProportion = 0.5;
+        break;
+    }
+    return s;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta)
+    : items_(n ? n : 1), theta_(theta)
+{
+    computeConstants();
+}
+
+void
+ZipfianGenerator::computeConstants()
+{
+    // zeta(n, theta); fine to recompute for the modest n used here.
+    zetan_ = 0;
+    for (uint64_t i = 1; i <= items_; i++)
+        zetan_ += 1.0 / std::pow((double)i, theta_);
+    zeta2theta_ = 0;
+    for (uint64_t i = 1; i <= 2 && i <= items_; i++)
+        zeta2theta_ += 1.0 / std::pow((double)i, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / (double)items_, 1.0 - theta_)) /
+           (1.0 - zeta2theta_ / zetan_);
+}
+
+void
+ZipfianGenerator::setItemCount(uint64_t n)
+{
+    if (n == items_ || n == 0)
+        return;
+    if (n > items_) {
+        // Incremental zeta extension (as in YCSB's
+        // ZipfianGenerator), avoiding an O(n) recompute per insert.
+        for (uint64_t i = items_ + 1; i <= n; i++)
+            zetan_ += 1.0 / std::pow((double)i, theta_);
+        items_ = n;
+        eta_ = (1.0 -
+                std::pow(2.0 / (double)items_, 1.0 - theta_)) /
+               (1.0 - zeta2theta_ / zetan_);
+        return;
+    }
+    items_ = n;
+    computeConstants();
+}
+
+uint64_t
+ZipfianGenerator::next(Rng &rng)
+{
+    double u = rng.nextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    return (uint64_t)((double)items_ *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+namespace
+{
+
+/** FNV-1a scatter used for the scrambled-Zipfian key space. */
+uint64_t
+fnvHash(uint64_t v)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; i++) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Generator::Generator(Workload w, uint64_t record_count,
+                     uint64_t op_count, uint64_t seed)
+    : workload_(w), spec_(specFor(w)), recordCount_(record_count),
+      opCount_(op_count), insertCursor_(record_count), rng_(seed),
+      zipf_(record_count), scanLen_(spec_.maxScanLength)
+{
+    hippo_assert(record_count > 0, "empty record space");
+}
+
+uint64_t
+Generator::chooseKey()
+{
+    using Dist = WorkloadSpec::Dist;
+    uint64_t bound = insertCursor_; // records present so far
+    switch (spec_.dist) {
+      case Dist::Uniform:
+        return rng_.nextBelow(bound);
+      case Dist::Zipfian: {
+        // Scrambled Zipfian: scatter the hot ranks over the space.
+        uint64_t rank = zipf_.next(rng_);
+        return fnvHash(rank) % bound;
+      }
+      case Dist::Latest: {
+        // Hot keys are the most recently inserted ones.
+        uint64_t rank = zipf_.next(rng_);
+        return rank >= bound ? bound - 1 : bound - 1 - rank;
+      }
+    }
+    return 0;
+}
+
+Op
+Generator::next()
+{
+    hippo_assert(hasNext(), "generator exhausted");
+    produced_++;
+
+    Op op;
+    if (workload_ == Workload::Load) {
+        op.type = OpType::Insert;
+        op.key = produced_ - 1; // dense sequential load
+        return op;
+    }
+
+    double p = rng_.nextDouble();
+    if (p < spec_.readProportion) {
+        op.type = OpType::Read;
+        op.key = chooseKey();
+    } else if (p < spec_.readProportion + spec_.updateProportion) {
+        op.type = OpType::Update;
+        op.key = chooseKey();
+    } else if (p < spec_.readProportion + spec_.updateProportion +
+                       spec_.scanProportion) {
+        op.type = OpType::Scan;
+        op.key = chooseKey();
+        op.scanLength = 1 + scanLen_.next(rng_);
+        if (op.scanLength > spec_.maxScanLength)
+            op.scanLength = spec_.maxScanLength;
+    } else if (p < spec_.readProportion + spec_.updateProportion +
+                       spec_.scanProportion +
+                       spec_.rmwProportion) {
+        op.type = OpType::ReadModifyWrite;
+        op.key = chooseKey();
+    } else {
+        op.type = OpType::Insert;
+        op.key = insertCursor_++;
+        if (spec_.dist == WorkloadSpec::Dist::Latest)
+            zipf_.setItemCount(insertCursor_);
+    }
+    return op;
+}
+
+uint64_t
+Generator::finalRecordCount() const
+{
+    return insertCursor_;
+}
+
+} // namespace hippo::ycsb

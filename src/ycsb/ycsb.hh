@@ -1,0 +1,131 @@
+/**
+ * @file
+ * YCSB core-workload generator (Cooper et al., SoCC'10), used to
+ * drive the Redis-style key-value store for the Fig. 4 experiment.
+ * Implements the standard Load + A–F workload mixes with the
+ * scrambled-Zipfian, latest, and uniform request distributions of the
+ * reference YCSB implementation.
+ */
+
+#ifndef HIPPO_YCSB_YCSB_HH
+#define HIPPO_YCSB_YCSB_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/random.hh"
+
+namespace hippo::ycsb
+{
+
+/** Operation types issued by the generator. */
+enum class OpType : uint8_t
+{
+    Insert,
+    Read,
+    Update,
+    Scan,
+    ReadModifyWrite,
+};
+
+const char *opTypeName(OpType t);
+
+/** One generated operation. */
+struct Op
+{
+    OpType type = OpType::Read;
+    uint64_t key = 0;
+    uint64_t scanLength = 0; ///< Scan only
+};
+
+/** The standard workloads. */
+enum class Workload : uint8_t { Load, A, B, C, D, E, F };
+
+const char *workloadName(Workload w);
+
+/** Proportions and distribution of one workload. */
+struct WorkloadSpec
+{
+    double readProportion = 0;
+    double updateProportion = 0;
+    double insertProportion = 0;
+    double scanProportion = 0;
+    double rmwProportion = 0;
+    enum class Dist : uint8_t { Uniform, Zipfian, Latest } dist =
+        Dist::Zipfian;
+    uint64_t maxScanLength = 100;
+};
+
+/** The reference mix for @p w (YCSB core workload properties). */
+WorkloadSpec specFor(Workload w);
+
+/**
+ * Zipfian long-tail generator over [0, n) with the YCSB constant
+ * theta = 0.99, using the Gray et al. rejection-free method.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+    uint64_t next(Rng &rng);
+
+    /** Grow the item range (used by the latest distribution). */
+    void setItemCount(uint64_t n);
+
+  private:
+    void computeConstants();
+
+    uint64_t items_;
+    double theta_;
+    double zetan_ = 0;
+    double alpha_ = 0;
+    double eta_ = 0;
+    double zeta2theta_ = 0;
+};
+
+/**
+ * Generates the operation stream for one workload run. Keys are
+ * dense integers [0, recordCount + inserts); hot keys under Zipfian
+ * are scattered with a hash as in YCSB's scrambled-Zipfian.
+ */
+class Generator
+{
+  public:
+    /**
+     * @param w Workload.
+     * @param record_count Records loaded before the run.
+     * @param op_count Operations to generate.
+     * @param seed RNG seed (deterministic streams per seed).
+     */
+    Generator(Workload w, uint64_t record_count, uint64_t op_count,
+              uint64_t seed);
+
+    /** True until op_count operations have been produced. */
+    bool hasNext() const { return produced_ < opCount_; }
+
+    /** Produce the next operation. */
+    Op next();
+
+    uint64_t opCount() const { return opCount_; }
+
+    /** Records present after all inserts complete. */
+    uint64_t finalRecordCount() const;
+
+  private:
+    uint64_t chooseKey();
+
+    Workload workload_;
+    WorkloadSpec spec_;
+    uint64_t recordCount_;
+    uint64_t opCount_;
+    uint64_t produced_ = 0;
+    uint64_t insertCursor_; ///< next key for inserts
+    Rng rng_;
+    ZipfianGenerator zipf_;
+    ZipfianGenerator scanLen_;
+};
+
+} // namespace hippo::ycsb
+
+#endif // HIPPO_YCSB_YCSB_HH

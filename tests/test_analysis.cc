@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the analysis library: call graph, Andersen
+ * points-to (seeds, copies, call/return flow, mayAlias, flowsTo),
+ * and the PM-alias scorer in both Full-AA and Trace-AA modes,
+ * including the exact score calculation of the paper's Listing 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alias_scorer.hh"
+#include "analysis/call_graph.hh"
+#include "analysis/points_to.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+using analysis::AaMode;
+using analysis::AliasScorer;
+using analysis::CallGraph;
+using analysis::PointsTo;
+
+namespace
+{
+
+/** a -> b -> c, a -> c, d isolated; d recursive. */
+std::unique_ptr<Module>
+makeCallChain()
+{
+    auto m = std::make_unique<Module>("calls");
+    IRBuilder b(m.get());
+    Function *c = m->addFunction("c", Type::Void);
+    b.setInsertPoint(c->addBlock("entry"));
+    b.createRet();
+
+    Function *bf = m->addFunction("b", Type::Void);
+    b.setInsertPoint(bf->addBlock("entry"));
+    b.createCall(c, {});
+    b.createRet();
+
+    Function *a = m->addFunction("a", Type::Void);
+    b.setInsertPoint(a->addBlock("entry"));
+    b.createCall(bf, {});
+    b.createCall(c, {});
+    b.createRet();
+
+    Function *d = m->addFunction("d", Type::Int);
+    Argument *n = d->addParam(Type::Int, "n");
+    BasicBlock *entry = d->addBlock("entry");
+    BasicBlock *rec = d->addBlock("rec");
+    BasicBlock *base = d->addBlock("base");
+    b.setInsertPoint(entry);
+    b.createCondBr(b.createCmp(CmpPred::Ugt, n, b.getInt(0)), rec,
+                   base);
+    b.setInsertPoint(rec);
+    b.createRet(b.createCall(d, {b.createSub(n, b.getInt(1))}));
+    b.setInsertPoint(base);
+    b.createRet(b.getInt(0));
+    return m;
+}
+
+} // namespace
+
+TEST(CallGraph, EdgesAndCallSites)
+{
+    auto m = makeCallChain();
+    CallGraph cg(*m);
+    Function *a = m->findFunction("a");
+    Function *bf = m->findFunction("b");
+    Function *c = m->findFunction("c");
+
+    EXPECT_EQ(cg.callees(a).size(), 2u);
+    EXPECT_EQ(cg.callees(bf).size(), 1u);
+    EXPECT_TRUE(cg.callees(c).empty());
+    EXPECT_EQ(cg.callSitesOf(c).size(), 2u);
+    EXPECT_EQ(cg.callSitesOf(bf).size(), 1u);
+    EXPECT_TRUE(cg.callSitesOf(a).empty());
+}
+
+TEST(CallGraph, TransitiveReachability)
+{
+    auto m = makeCallChain();
+    CallGraph cg(*m);
+    Function *a = m->findFunction("a");
+    Function *bf = m->findFunction("b");
+    Function *c = m->findFunction("c");
+    Function *d = m->findFunction("d");
+
+    EXPECT_TRUE(cg.reaches(a, c));
+    EXPECT_TRUE(cg.reaches(a, bf));
+    EXPECT_TRUE(cg.reaches(bf, c));
+    EXPECT_FALSE(cg.reaches(c, a));
+    EXPECT_FALSE(cg.reaches(a, d));
+    EXPECT_TRUE(cg.reaches(d, d)) << "recursion reaches itself";
+
+    auto callers = cg.transitiveCallers(c);
+    EXPECT_EQ(callers.size(), 3u); // c itself, b, a
+    EXPECT_TRUE(callers.count(a));
+}
+
+TEST(CallGraph, DotExportContainsEveryEdge)
+{
+    auto m = makeCallChain();
+    CallGraph cg(*m);
+    std::string dot = cg.toDot("g");
+    EXPECT_NE(dot.find("digraph g {"), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" -> \"c\""), std::string::npos);
+    EXPECT_NE(dot.find("\"b\" -> \"c\""), std::string::npos);
+    EXPECT_NE(dot.find("\"d\" -> \"d\""), std::string::npos);
+    EXPECT_EQ(dot.find("\"c\" -> "), std::string::npos);
+}
+
+TEST(PointsTo, SeedsAndCopies)
+{
+    auto m = std::make_unique<Module>("pts");
+    IRBuilder b(m.get());
+    Function *f = m->addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *vol = b.createAlloca(64);
+    Instruction *pm = b.createPmMap("pool", 64);
+    Instruction *g1 = b.createGep(pm, b.getInt(8));
+    Instruction *g2 = b.createGep(g1, b.getInt(8));
+    Instruction *sel = b.createSelect(b.getInt(1), vol, g2);
+    b.createRet();
+
+    PointsTo pts(*m);
+    EXPECT_EQ(pts.pointsTo(vol).size(), 1u);
+    EXPECT_EQ(pts.pointsTo(pm).size(), 1u);
+    EXPECT_EQ(pts.pointsTo(g2), pts.pointsTo(pm))
+        << "gep chains keep the base object";
+    EXPECT_EQ(pts.pointsTo(sel).size(), 2u)
+        << "select unions both arms";
+
+    EXPECT_TRUE(pts.mayAlias(g1, g2));
+    EXPECT_TRUE(pts.mayAlias(sel, vol));
+    EXPECT_TRUE(pts.mayAlias(sel, pm));
+    EXPECT_FALSE(pts.mayAlias(vol, pm));
+
+    EXPECT_TRUE(pts.flowsTo(pm, g2));
+    EXPECT_TRUE(pts.flowsTo(vol, sel));
+    EXPECT_FALSE(pts.flowsTo(g2, pm));
+    EXPECT_FALSE(pts.flowsTo(vol, g1));
+}
+
+TEST(PointsTo, FlowsThroughCallsAndReturns)
+{
+    auto m = std::make_unique<Module>("flow");
+    IRBuilder b(m.get());
+
+    // id(p) { return p; }
+    Function *id = m->addFunction("id", Type::Ptr);
+    Argument *p = id->addParam(Type::Ptr, "p");
+    b.setInsertPoint(id->addBlock("entry"));
+    b.createRet(p);
+
+    Function *f = m->addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *pm = b.createPmMap("pool", 64);
+    Instruction *vol = b.createAlloca(64);
+    Instruction *r1 = b.createCall(id, {pm});
+    Instruction *r2 = b.createCall(id, {vol});
+    b.createRet();
+
+    PointsTo pts(*m);
+    // Context-insensitive: both call results see both objects.
+    EXPECT_EQ(pts.pointsTo(r1).size(), 2u);
+    EXPECT_EQ(pts.pointsTo(r2).size(), 2u);
+    EXPECT_EQ(pts.pointsTo(p).size(), 2u);
+    EXPECT_TRUE(pts.flowsTo(pm, r1));
+    EXPECT_TRUE(pts.flowsTo(vol, r1));
+}
+
+TEST(PointsTo, PmMapRegionsUnifyByName)
+{
+    auto m = std::make_unique<Module>("regions");
+    IRBuilder b(m.get());
+    Function *f = m->addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *a = b.createPmMap("same", 64);
+    b.createRet();
+    Function *g = m->addFunction("g", Type::Void);
+    b.setInsertPoint(g->addBlock("entry"));
+    Instruction *c = b.createPmMap("same", 64);
+    Instruction *d = b.createPmMap("other", 64);
+    b.createRet();
+
+    PointsTo pts(*m);
+    EXPECT_TRUE(pts.mayAlias(a, c))
+        << "the same region mapped twice aliases itself";
+    EXPECT_FALSE(pts.mayAlias(a, d));
+    EXPECT_NE(pts.objectByKey("pm:same"), ~0u);
+    EXPECT_EQ(pts.objectByKey("pm:nope"), ~0u);
+}
+
+TEST(AliasScorer, Listing6Scores)
+{
+    // The paper's Listing 6: line 3 scores 0 (1 PM, 1 non-PM),
+    // the call site in modify scores 0, modify(pm_addr) in foo
+    // scores +1.
+    auto m = buildListing5(true);
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+
+    PointsTo pts(*m);
+    AliasScorer full(pts, AaMode::FullAA, machine.trace());
+
+    Function *update = m->findFunction("update");
+    // The store's pointer (the gep result) in update.
+    const Instruction *store_ptr = nullptr;
+    for (const auto &bb : update->blocks()) {
+        for (const auto &instr : *bb) {
+            if (instr->op() == Opcode::Gep)
+                store_ptr = instr.get();
+        }
+    }
+    ASSERT_NE(store_ptr, nullptr);
+    EXPECT_EQ(full.score("update", store_ptr), 0);
+
+    // The two call sites in foo: modify(vol) and modify(pm).
+    Function *foo = m->findFunction("foo");
+    std::vector<const Instruction *> calls;
+    for (const auto &bb : foo->blocks()) {
+        for (const auto &instr : *bb) {
+            if (instr->op() == Opcode::Call)
+                calls.push_back(instr.get());
+        }
+    }
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_EQ(full.score("foo", calls[0]->operand(0)), -1)
+        << "modify(vol_addr)";
+    EXPECT_EQ(full.score("foo", calls[1]->operand(0)), 1)
+        << "modify(pm_addr) — the winning +1 of Listing 6";
+
+    EXPECT_TRUE(full.mayPointToPm("update", store_ptr));
+    EXPECT_FALSE(full.mayPointToPm("foo", calls[0]->operand(0)));
+}
+
+TEST(AliasScorer, TraceAaAgreesOnListing6)
+{
+    auto m = buildListing5(true);
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+
+    PointsTo pts(*m);
+    AliasScorer tr(pts, AaMode::TraceAA, machine.trace(),
+                   &machine.dynPointsTo());
+
+    Function *foo = m->findFunction("foo");
+    std::vector<const Instruction *> calls;
+    for (const auto &bb : foo->blocks()) {
+        for (const auto &instr : *bb) {
+            if (instr->op() == Opcode::Call)
+                calls.push_back(instr.get());
+        }
+    }
+    ASSERT_EQ(calls.size(), 2u);
+    EXPECT_EQ(tr.score("foo", calls[0]->operand(0)), -1);
+    EXPECT_EQ(tr.score("foo", calls[1]->operand(0)), 1);
+}
+
+TEST(AliasScorer, UnexecutedPmPathsDifferAcrossModes)
+{
+    // A PM region only written on a never-executed path: Full-AA
+    // marks it PM statically; Trace-AA has no modification event for
+    // it, so the object is unmarked (the one semantic difference
+    // between the modes).
+    auto m = std::make_unique<Module>("coldpath");
+    IRBuilder b(m.get());
+    Function *f = m->addFunction("f", Type::Void);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *cold = f->addBlock("cold");
+    BasicBlock *done = f->addBlock("done");
+    b.setInsertPoint(entry);
+    Instruction *pm = b.createPmMap("cold.pool", 64);
+    b.createCondBr(b.getInt(0), cold, done);
+    b.setInsertPoint(cold);
+    b.createStore(b.getInt(1), pm, 8);
+    b.createBr(done);
+    b.setInsertPoint(done);
+    b.createRet();
+
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("f");
+
+    PointsTo pts(*m);
+    AliasScorer full(pts, AaMode::FullAA, machine.trace());
+    AliasScorer tr(pts, AaMode::TraceAA, machine.trace(),
+                   &machine.dynPointsTo());
+    EXPECT_EQ(full.score("f", pm), 1);
+    EXPECT_EQ(tr.score("f", pm), 0)
+        << "no dynamic observation -> empty set";
+}
+
+} // namespace hippo::test

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests pinning the §3 study dataset to the aggregates Fig. 1
+ * reports: group membership, per-group means/maxima, and the
+ * Average row. These guard the bench_fig1_bug_study output against
+ * dataset drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bugstudy.hh"
+
+namespace hippo::test
+{
+
+using apps::bugStudyTable;
+using apps::studiedBugs;
+using apps::StudyKind;
+
+TEST(BugStudy, TwentySixBugsSeventeenCoreNineMisuse)
+{
+    size_t core = 0, misuse = 0;
+    for (const auto &b : studiedBugs()) {
+        if (b.kind == StudyKind::CoreLibraryOrTool)
+            core++;
+        else
+            misuse++;
+    }
+    EXPECT_EQ(core, 17u);
+    EXPECT_EQ(misuse, 9u);
+    EXPECT_EQ(studiedBugs().size(), 26u);
+}
+
+TEST(BugStudy, IssueNumbersMatchThePaper)
+{
+    std::set<int> issues;
+    for (const auto &b : studiedBugs())
+        EXPECT_TRUE(issues.insert(b.issue).second)
+            << "duplicate issue " << b.issue;
+    for (int expect : {440, 441, 442, 444, 446, 447, 448, 449, 450,
+                       452, 458, 459, 460, 461, 463, 465, 466, 535,
+                       585, 940, 942, 943, 945, 949, 1103, 1118}) {
+        EXPECT_TRUE(issues.count(expect)) << "missing " << expect;
+    }
+}
+
+TEST(BugStudy, GroupAggregatesMatchFig1)
+{
+    auto rows = bugStudyTable();
+    ASSERT_EQ(rows.size(), 5u);
+
+    // Row 1: undocumented core bugs — no effort data.
+    EXPECT_FALSE(rows[0].hasData);
+    // Row 2: documented core bugs — 17 commits / 33 days / max 66.
+    ASSERT_TRUE(rows[1].hasData);
+    EXPECT_NEAR(rows[1].avgCommits, 17.0, 0.01);
+    EXPECT_NEAR(rows[1].avgDays, 33.0, 0.01);
+    EXPECT_EQ(rows[1].maxDays, 66);
+    // Row 3: undocumented API misuse.
+    EXPECT_FALSE(rows[2].hasData);
+    // Row 4: documented API misuse — 2 / 15 / 38.
+    ASSERT_TRUE(rows[3].hasData);
+    EXPECT_NEAR(rows[3].avgCommits, 2.0, 0.01);
+    EXPECT_NEAR(rows[3].avgDays, 15.0, 0.01);
+    EXPECT_EQ(rows[3].maxDays, 38);
+    // Average row — 13 commits / 28 days / 66 max.
+    ASSERT_TRUE(rows[4].hasData);
+    EXPECT_NEAR(rows[4].avgCommits, 13.0, 0.1);
+    EXPECT_NEAR(rows[4].avgDays, 28.0, 0.5);
+    EXPECT_EQ(rows[4].maxDays, 66);
+    EXPECT_EQ(rows[4].issues, "Average");
+}
+
+TEST(BugStudy, FixEffortMotivatesAutomation)
+{
+    // The motivating observation of §3.1: documented PM bug fixes
+    // took weeks on average and many attempts.
+    for (const auto &b : studiedBugs()) {
+        if (!b.hasEffortData())
+            continue;
+        EXPECT_GE(b.commits, 1);
+        EXPECT_GE(b.daysOpenToClose, 1);
+        EXPECT_LE(b.daysOpenToClose, 66);
+    }
+}
+
+} // namespace hippo::test

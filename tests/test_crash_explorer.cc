@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the systematic crash explorer: on correctly-durable
+ * applications every explored crash recovers exactly the committed
+ * prefix; on buggy builds the explorer demonstrates real data loss;
+ * step-stride exploration exercises torn intermediate states.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pclht.hh"
+#include "apps/pmlog.hh"
+#include "pmcheck/crash_explorer.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using pmcheck::CrashExplorerConfig;
+using pmcheck::exploreCrashes;
+
+TEST(CrashExplorer, FixedLogRecoversExactCommittedPrefix)
+{
+    apps::PmlogConfig cfg;
+    cfg.seedBugs = false;
+    cfg.capacity = 64 << 10;
+    auto m = apps::buildPmlog(cfg);
+
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {8};
+    xc.recovery = "log_walk";
+
+    auto res = exploreCrashes(m.get(), xc);
+    // durpoints: 1 init + 8 appends.
+    ASSERT_EQ(res.durPointsInRun, 9u);
+    ASSERT_EQ(res.outcomes.size(), 9u);
+    // Crash at the init durpoint: empty log; at append k's
+    // durability point: exactly k entries.
+    for (uint64_t i = 0; i < res.outcomes.size(); i++)
+        EXPECT_EQ(res.outcomes[i].recovered, i) << "durpoint " << i;
+    EXPECT_TRUE(res.durPointRecoveryNonDecreasing());
+    EXPECT_EQ(res.cleanRunRecovered, 8u);
+}
+
+TEST(CrashExplorer, BuggyLogLosesDataAtEveryCrashPoint)
+{
+    auto m = apps::buildPmlog({});
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {8};
+    xc.recovery = "log_walk";
+
+    auto res = exploreCrashes(m.get(), xc);
+    // With no flushes at all, nothing survives any crash.
+    EXPECT_EQ(res.maxRecovered(), 0u);
+}
+
+TEST(CrashExplorer, RepairedLogMatchesDeveloperBuild)
+{
+    auto repaired = apps::buildPmlog({});
+    runPipelineWithArg(repaired.get(), "log_example", 8);
+
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {8};
+    xc.recovery = "log_walk";
+
+    auto res = exploreCrashes(repaired.get(), xc);
+    for (uint64_t i = 0; i < res.outcomes.size(); i++)
+        EXPECT_EQ(res.outcomes[i].recovered, i) << "durpoint " << i;
+}
+
+TEST(CrashExplorer, StepStrideExploresTornStates)
+{
+    apps::PmlogConfig cfg;
+    cfg.seedBugs = false;
+    cfg.capacity = 64 << 10;
+    auto m = apps::buildPmlog(cfg);
+
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {6};
+    xc.recovery = "log_walk";
+    xc.exploreDurPoints = false;
+    xc.stepStride = 97; // deliberately unaligned with op size
+
+    auto res = exploreCrashes(m.get(), xc);
+    EXPECT_GT(res.outcomes.size(), 10u);
+    // Torn appends are never visible: each crash recovers between 0
+    // and the 6 committed entries, never garbage counts.
+    for (const auto &o : res.outcomes) {
+        EXPECT_LE(o.recovered, 6u)
+            << "step " << o.crashPoint;
+    }
+    EXPECT_EQ(res.cleanRunRecovered, 6u);
+}
+
+TEST(CrashExplorer, BudgetIsRespected)
+{
+    apps::PmlogConfig cfg;
+    cfg.seedBugs = false;
+    auto m = apps::buildPmlog(cfg);
+
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {20};
+    xc.recovery = "log_walk";
+    xc.stepStride = 50;
+    xc.maxCrashes = 7;
+
+    auto res = exploreCrashes(m.get(), xc);
+    EXPECT_EQ(res.outcomes.size(), 7u);
+}
+
+TEST(CrashExplorer, RepairedPclhtIsMonotone)
+{
+    auto repaired = apps::buildPclht({});
+    runPipelineWithArg(repaired.get(), "clht_example", 12);
+
+    // Insert-only workload for monotonicity: drive clht_put through
+    // a wrapper-free exploration of the example (which also
+    // deletes, so use min/max bounds instead of exact counts).
+    CrashExplorerConfig xc;
+    xc.entry = "clht_example";
+    xc.entryArgs = {12};
+    xc.recovery = "clht_recover";
+    auto res = exploreCrashes(repaired.get(), xc);
+    EXPECT_GT(res.outcomes.size(), 12u); // puts + deletes
+    EXPECT_EQ(res.minRecovered(), 0u);
+    EXPECT_LE(res.maxRecovered(), 12u);
+}
+
+} // namespace hippo::test

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * End-to-end pipeline tests on the paper's running example
+ * (Listings 5 and 6): trace -> detect -> fix -> re-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using core::FixKind;
+using pmcheck::BugKind;
+
+TEST(EndToEnd, Listing5MissingFlushDetected)
+{
+    auto m = buildListing5(/*with_fence=*/true);
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+
+    auto report = pmcheck::analyze(machine.trace());
+    ASSERT_EQ(report.bugs.size(), 1u);
+    EXPECT_EQ(report.bugs[0].kind, BugKind::MissingFlush);
+    // The buggy store is in @update, reached via modify and foo.
+    ASSERT_EQ(report.bugs[0].storeStack.size(), 3u);
+    EXPECT_EQ(report.bugs[0].storeStack[0].function, "update");
+    EXPECT_EQ(report.bugs[0].storeStack[1].function, "modify");
+    EXPECT_EQ(report.bugs[0].storeStack[2].function, "foo");
+    EXPECT_EQ(report.bugs[0].durStack[0].function, "foo");
+}
+
+TEST(EndToEnd, Listing5MissingFlushFenceWithoutFence)
+{
+    auto m = buildListing5(/*with_fence=*/false);
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+
+    auto report = pmcheck::analyze(machine.trace());
+    ASSERT_EQ(report.bugs.size(), 1u);
+    EXPECT_EQ(report.bugs[0].kind, BugKind::MissingFlushFence);
+}
+
+TEST(EndToEnd, Listing5HoistedToFooCallSite)
+{
+    // The heuristic calculation of Listing 6: the call site
+    // modify(pm_addr) in foo scores +1, beating the tied 0 scores of
+    // the store and the inner call site, so the fix is the
+    // persistent subprogram transformation two frames above the
+    // store.
+    auto m = buildListing5(/*with_fence=*/true);
+    auto res = runPipeline(m.get(), "foo");
+
+    ASSERT_EQ(res.before.bugs.size(), 1u);
+    ASSERT_EQ(res.summary.fixes.size(), 1u);
+    const auto &fix = res.summary.fixes[0];
+    EXPECT_EQ(fix.kind, FixKind::Interprocedural);
+    EXPECT_EQ(fix.function, "foo");
+    EXPECT_EQ(fix.hoistLevels, 2);
+    EXPECT_EQ(fix.clonedSubprogram, "modify_PM");
+    EXPECT_NE(m->findFunction("modify_PM"), nullptr);
+    EXPECT_NE(m->findFunction("update_PM"), nullptr);
+
+    // Do no harm: the fixed program is clean and produces the same
+    // output.
+    EXPECT_TRUE(res.after.clean()) << res.after.writeText();
+    EXPECT_EQ(res.outputsBefore, res.outputsAfter);
+    EXPECT_TRUE(res.summary.verifierProblems.empty());
+}
+
+TEST(EndToEnd, Listing5IntraWhenHoistingDisabled)
+{
+    auto m = buildListing5(/*with_fence=*/true);
+    core::FixerConfig cfg;
+    cfg.enableHoisting = false;
+    auto res = runPipeline(m.get(), "foo", cfg);
+
+    ASSERT_EQ(res.summary.fixes.size(), 1u);
+    // The pre-existing fence lives in foo, which the strictly
+    // intraprocedural fix in update cannot see, so the conservative
+    // flush+fence pair is inserted (this is the cost source behind
+    // the paper's RedisH-intra slowdown, §6.3).
+    EXPECT_EQ(res.summary.fixes[0].kind, FixKind::IntraFlushFence);
+    EXPECT_EQ(res.summary.fixes[0].function, "update");
+    EXPECT_TRUE(res.after.clean()) << res.after.writeText();
+    EXPECT_EQ(m->findFunction("modify_PM"), nullptr);
+}
+
+TEST(EndToEnd, Listing5FlushFenceVariantGetsCallSiteFence)
+{
+    // Without the pre-existing SFENCE the bug is missing-flush&fence;
+    // the interprocedural fix must also place a fence after the call
+    // site (Theorem 4).
+    auto m = buildListing5(/*with_fence=*/false);
+    auto res = runPipeline(m.get(), "foo");
+
+    ASSERT_EQ(res.summary.fixes.size(), 1u);
+    EXPECT_EQ(res.summary.fixes[0].kind, FixKind::Interprocedural);
+    EXPECT_EQ(res.summary.fixes[0].fencesInserted, 1u);
+    EXPECT_TRUE(res.after.clean()) << res.after.writeText();
+}
+
+TEST(EndToEnd, TraceAaProducesSameFixAsFullAa)
+{
+    // §6.1: the Full-AA and Trace-AA heuristics produce the same set
+    // of fixes.
+    auto m1 = buildListing5(true);
+    auto m2 = buildListing5(true);
+    core::FixerConfig full;
+    full.aaMode = analysis::AaMode::FullAA;
+    core::FixerConfig tr;
+    tr.aaMode = analysis::AaMode::TraceAA;
+
+    auto r1 = runPipeline(m1.get(), "foo", full);
+    auto r2 = runPipeline(m2.get(), "foo", tr);
+
+    ASSERT_EQ(r1.summary.fixes.size(), r2.summary.fixes.size());
+    for (size_t i = 0; i < r1.summary.fixes.size(); i++) {
+        EXPECT_EQ(r1.summary.fixes[i].kind,
+                  r2.summary.fixes[i].kind);
+        EXPECT_EQ(r1.summary.fixes[i].function,
+                  r2.summary.fixes[i].function);
+        EXPECT_EQ(r1.summary.fixes[i].hoistLevels,
+                  r2.summary.fixes[i].hoistLevels);
+    }
+    EXPECT_TRUE(r2.after.clean());
+}
+
+TEST(EndToEnd, FixedProgramSurvivesCrash)
+{
+    // Actually crash the fixed program at the durability point and
+    // confirm the PM byte survives; on the buggy program it is lost.
+    auto lose = [](ir::Module *m) {
+        pmem::PmPool pool(1 << 20);
+        vm::VmConfig vc;
+        vc.crashAtDurPoint = 0;
+        vm::Vm machine(m, &pool, vc);
+        auto run = machine.run("foo");
+        EXPECT_TRUE(run.crashed);
+        pool.crash();
+        uint8_t byte = 0;
+        const pmem::PmRegion *r = pool.findRegion("pool");
+        pool.load(r->base, &byte, 1);
+        return byte;
+    };
+
+    auto buggy = buildListing5(true);
+    EXPECT_EQ(lose(buggy.get()), 0) << "unflushed store must be lost";
+
+    auto fixed = buildListing5(true);
+    runPipeline(fixed.get(), "foo");
+    EXPECT_EQ(lose(fixed.get()), 42)
+        << "fixed store must survive the crash";
+}
+
+} // namespace hippo::test

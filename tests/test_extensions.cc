@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the extension features beyond the paper's core pipeline:
+ * the §7 redundant-flush cleaner (the one safe performance-bug fix),
+ * the source-level patch writer (§5.2), the PMTest input adapter
+ * (§5.1), and torn-state crash injection in the VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pmkv.hh"
+#include "core/flush_cleaner.hh"
+#include "core/patch_writer.hh"
+#include "pmcheck/pmtest_adapter.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+size_t
+countFlushes(const Function *f)
+{
+    size_t n = 0;
+    for (const auto &bb : f->blocks()) {
+        for (const auto &instr : *bb)
+            n += instr->op() == Opcode::Flush;
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(FlushCleaner, RemovesBackToBackDuplicates)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *pm = b.createPmMap("pool", 64);
+    b.createStore(b.getInt(1), pm, 8);
+    b.createFlush(pm, FlushKind::Clwb);
+    b.createFlush(pm, FlushKind::Clwb); // redundant
+    b.createFlush(pm, FlushKind::Clwb); // redundant
+    b.createFence(FenceKind::Sfence);
+    b.createFlush(pm, FlushKind::Clwb); // still redundant (no store)
+    b.createRet();
+
+    auto stats = core::cleanRedundantFlushes(f);
+    EXPECT_EQ(stats.flushesRemoved, 3u);
+    EXPECT_EQ(stats.flushesKept, 1u);
+    EXPECT_EQ(countFlushes(f), 1u);
+    EXPECT_TRUE(verifyFunction(*f).empty());
+}
+
+TEST(FlushCleaner, KeepsFlushAfterInterveningWrite)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *pm = b.createPmMap("pool", 64);
+    b.createStore(b.getInt(1), pm, 8);
+    b.createFlush(pm, FlushKind::Clwb);
+    b.createStore(b.getInt(2), pm, 8); // re-dirties
+    b.createFlush(pm, FlushKind::Clwb); // required!
+    b.createFence(FenceKind::Sfence);
+    b.createRet();
+
+    auto stats = core::cleanRedundantFlushes(f);
+    EXPECT_EQ(stats.flushesRemoved, 0u);
+    EXPECT_EQ(countFlushes(f), 2u);
+}
+
+TEST(FlushCleaner, CallsAreWriteBarriers)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *g = m.addFunction("g", Type::Void);
+    b.setInsertPoint(g->addBlock("entry"));
+    b.createRet();
+
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *pm = b.createPmMap("pool", 64);
+    b.createFlush(pm, FlushKind::Clwb);
+    b.createCall(g, {});
+    b.createFlush(pm, FlushKind::Clwb); // callee may have stored
+    b.createRet();
+
+    EXPECT_EQ(core::cleanRedundantFlushes(f).flushesRemoved, 0u);
+}
+
+TEST(FlushCleaner, DistinctPointersAreKept)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *pm = b.createPmMap("pool", 256);
+    Instruction *p2 = b.createGep(pm, b.getInt(64));
+    b.createFlush(pm, FlushKind::Clwb);
+    b.createFlush(p2, FlushKind::Clwb); // different value: keep
+    b.createRet();
+
+    EXPECT_EQ(core::cleanRedundantFlushes(f).flushesRemoved, 0u);
+}
+
+TEST(FlushCleaner, DoesNoHarmOnWholePrograms)
+{
+    // Cleaning a repaired program must not change behavior or
+    // durability. The interprocedural pmkv repair produces per-store
+    // flushes in clones (some coalescing on one line).
+    auto m = buildListing5(true);
+    runPipeline(m.get(), "foo");
+
+    auto outputs = [](ir::Module *mod) {
+        pmem::PmPool pool(1 << 20);
+        vm::Vm machine(mod, &pool, {});
+        machine.run("foo");
+        return machine.outputs();
+    };
+    auto before = outputs(m.get());
+    core::cleanRedundantFlushes(m.get());
+    EXPECT_EQ(outputs(m.get()), before);
+
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+    EXPECT_TRUE(pmcheck::analyze(machine.trace()).clean())
+        << "cleaning must not reintroduce durability bugs";
+}
+
+TEST(PatchWriter, RendersAnchorsAndClones)
+{
+    auto m = buildListing5(true);
+    auto res = runPipeline(m.get(), "foo");
+    std::string plan = core::renderPatchPlan(*m, res.summary);
+
+    EXPECT_NE(plan.find("interprocedural"), std::string::npos);
+    EXPECT_NE(plan.find("modify_PM"), std::string::npos);
+    EXPECT_NE(plan.find("listing5.c:19"), std::string::npos)
+        << "the call-site anchor location must be shown:\n" << plan;
+    EXPECT_NE(plan.find("2 frame(s) above"), std::string::npos);
+    EXPECT_NE(plan.find("CLWB after the PM store at listing5.c:2 (in @update_PM)"),
+              std::string::npos)
+        << plan;
+}
+
+TEST(PatchWriter, RendersIntraFixes)
+{
+    auto m = buildListing5(false);
+    core::FixerConfig cfg;
+    cfg.enableHoisting = false;
+    auto res = runPipeline(m.get(), "foo", cfg);
+    std::string plan = core::renderPatchPlan(*m, res.summary);
+    EXPECT_NE(plan.find("intra-flush+fence"), std::string::npos);
+    EXPECT_NE(plan.find("insert CLWB"), std::string::npos);
+    EXPECT_NE(plan.find("SFENCE"), std::string::npos);
+    EXPECT_NE(plan.find("listing5.c:2"), std::string::npos);
+}
+
+TEST(PmtestAdapter, ParsesAndDetectorFindsBugs)
+{
+    const char *log = R"(
+PMTest_START
+PMTest_STORE writer#3@w.c:10 0x20000000 8
+PMTest_FLUSH writer#4@w.c:11 0x20000000 clwb
+PMTest_STORE writer#5@w.c:12 0x20000040 8
+PMTest_FENCE writer#6@w.c:13
+PMTest_ASSERT writer#7@w.c:14 commit
+PMTest_END
+)";
+    trace::Trace tr;
+    std::string error;
+    ASSERT_TRUE(pmcheck::readPmtestLog(log, tr, &error)) << error;
+    EXPECT_EQ(tr.size(), 6u);
+
+    auto report = pmcheck::analyze(tr);
+    ASSERT_EQ(report.bugs.size(), 1u);
+    EXPECT_EQ(report.bugs[0].kind, pmcheck::BugKind::MissingFlush);
+    EXPECT_EQ(report.bugs[0].storeStack[0].function, "writer");
+    EXPECT_EQ(report.bugs[0].storeStack[0].instrId, 5u);
+}
+
+TEST(PmtestAdapter, FixerConsumesPmtestInput)
+{
+    // End to end from a PMTest log: build a matching module, detect
+    // from the foreign trace, repair intraprocedurally.
+    auto m = std::make_unique<Module>("pmtest-target");
+    IRBuilder b(m.get());
+    Function *f = m->addFunction("writer", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("w.c", 10);
+    Instruction *pm = b.createPmMap("pool", 128);
+    // Reserve ids so the log's instr ids line up.
+    Instruction *store1 = b.createStore(b.getInt(1), pm, 8);
+    Instruction *g =
+        b.createGep(pm, b.getInt(64));
+    b.setLoc("w.c", 12);
+    Instruction *store2 = b.createStore(b.getInt(2), g, 8);
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("commit");
+    b.createRet();
+    (void)store1;
+
+    std::string log =
+        "PMTest_START\n"
+        "PMTest_STORE writer#" + std::to_string(store2->id()) +
+        "@w.c:12 0x20000040 8\n"
+        "PMTest_FENCE writer#9@w.c:13\n"
+        "PMTest_ASSERT writer#10@w.c:14 commit\n"
+        "PMTest_END\n";
+    trace::Trace tr;
+    ASSERT_TRUE(pmcheck::readPmtestLog(log, tr));
+    auto report = pmcheck::analyze(tr);
+    ASSERT_EQ(report.bugs.size(), 1u);
+
+    core::Fixer fixer(m.get());
+    auto summary = fixer.fix(report, tr);
+    EXPECT_EQ(summary.fixes.size(), 1u);
+    EXPECT_TRUE(summary.verifierProblems.empty());
+}
+
+TEST(PmtestAdapter, RejectsMalformedLogs)
+{
+    trace::Trace tr;
+    std::string error;
+    EXPECT_FALSE(pmcheck::readPmtestLog("PMTest_STORE x 1 2", tr,
+                                        &error));
+    EXPECT_NE(error.find("before PMTest_START"), std::string::npos);
+    EXPECT_FALSE(pmcheck::readPmtestLog(
+        "PMTest_START\nPMTest_STORE nosite 1 2\n", tr, &error));
+    EXPECT_FALSE(pmcheck::readPmtestLog(
+        "PMTest_START\nPMTest_BOGUS a#1@b:2\n", tr, &error));
+    EXPECT_FALSE(pmcheck::readPmtestLog("", tr, &error));
+}
+
+TEST(VmCrashAtStep, ProducesTornStatesRecoveryFilters)
+{
+    // Crash pmkv at arbitrary instruction boundaries; kv_recover's
+    // checksum validation must never count an entry whose header
+    // was torn.
+    auto m = apps::buildPmkv(
+        [] {
+            apps::PmkvConfig c;
+            c.variant = apps::PmkvVariant::Manual;
+            c.buckets = 256;
+            c.logCapacity = 1u << 20;
+            return c;
+        }());
+
+    for (uint64_t crash_step : {200ull, 900ull, 2500ull, 6000ull}) {
+        pmem::PmPool pool(16u << 20);
+        uint64_t committed = 0;
+        {
+            vm::Vm init(m.get(), &pool, {});
+            init.run("kv_init");
+        }
+        {
+            vm::VmConfig vc;
+            vc.crashAtStep = crash_step;
+            vm::Vm machine(m.get(), &pool, vc);
+            for (uint64_t k = 0; k < 8; k++) {
+                auto r = machine.run("kv_handle_set", {k, 64});
+                if (r.crashed)
+                    break;
+                committed++;
+            }
+        }
+        pool.crash();
+        vm::Vm recovery(m.get(), &pool, {});
+        uint64_t recovered =
+            recovery.run("kv_recover").returnValue;
+        // Everything acknowledged must survive; at most one
+        // in-flight entry may additionally be recovered if its
+        // header happened to be complete.
+        EXPECT_GE(recovered, committed) << "crash @" << crash_step;
+        EXPECT_LE(recovered, committed + 1)
+            << "crash @" << crash_step;
+    }
+}
+
+} // namespace hippo::test

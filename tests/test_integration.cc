@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Integration tests across module boundaries and serialization
+ * boundaries: the paper's pipeline runs bug finder and fixer in
+ * separate processes connected by text artifacts, so these tests
+ * push the module, the trace, and the bug report through their text
+ * formats before repairing, and check the result is identical to the
+ * in-memory pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pclht.hh"
+#include "apps/pmcache.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+
+TEST(Integration, PipelineSurvivesFullSerialization)
+{
+    // In-memory pipeline.
+    auto mem = buildListing5(true);
+    auto mem_res = runPipeline(mem.get(), "foo");
+
+    // Serialized pipeline: module -> text -> parse; trace -> text ->
+    // parse; report -> text -> parse; then fix the parsed module
+    // with the parsed artifacts.
+    auto m = buildListing5(true);
+    std::string module_text = moduleToString(*m);
+
+    std::string trace_text, report_text;
+    {
+        pmem::PmPool pool(1 << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m.get(), &pool, vc);
+        machine.run("foo");
+        trace_text = machine.trace().writeText();
+        report_text =
+            pmcheck::analyze(machine.trace()).writeText();
+    }
+
+    std::string error;
+    auto parsed = parseModule(module_text, &error);
+    ASSERT_NE(parsed, nullptr) << error;
+    trace::Trace tr;
+    ASSERT_TRUE(trace::Trace::readText(trace_text, tr, &error))
+        << error;
+    pmcheck::Report report;
+    ASSERT_TRUE(pmcheck::Report::readText(report_text, report,
+                                          &error))
+        << error;
+    ASSERT_EQ(report.bugs.size(), mem_res.before.bugs.size());
+
+    core::Fixer fixer(parsed.get());
+    auto summary = fixer.fix(report, tr); // Full-AA: no dyn table
+    ASSERT_EQ(summary.fixes.size(), mem_res.summary.fixes.size());
+    for (size_t i = 0; i < summary.fixes.size(); i++) {
+        EXPECT_EQ(summary.fixes[i].kind,
+                  mem_res.summary.fixes[i].kind);
+        EXPECT_EQ(summary.fixes[i].function,
+                  mem_res.summary.fixes[i].function);
+        EXPECT_EQ(summary.fixes[i].anchorInstrId,
+                  mem_res.summary.fixes[i].anchorInstrId);
+    }
+
+    // Both repaired modules print identically.
+    EXPECT_EQ(moduleToString(*parsed), moduleToString(*mem));
+
+    // And the parsed+repaired module is clean.
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(parsed.get(), &pool, vc);
+    machine.run("foo");
+    EXPECT_TRUE(pmcheck::analyze(machine.trace()).clean());
+}
+
+TEST(Integration, RepairedModuleRoundTripsThroughText)
+{
+    // Repair, print, parse, re-run: the textual form of a repaired
+    // module is a complete artifact.
+    auto m = buildListing5(false);
+    runPipeline(m.get(), "foo");
+    std::string text = moduleToString(*m);
+
+    std::string error;
+    auto parsed = parseModule(text, &error);
+    ASSERT_NE(parsed, nullptr) << error;
+    EXPECT_TRUE(verifyModule(*parsed).empty());
+
+    pmem::PmPool pool(1 << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(parsed.get(), &pool, vc);
+    machine.run("foo");
+    EXPECT_TRUE(pmcheck::analyze(machine.trace()).clean());
+}
+
+TEST(Integration, FixerIsIdempotent)
+{
+    auto m = buildListing5(true);
+    runPipeline(m.get(), "foo");
+    size_t instrs = m->instrCount();
+    size_t funcs = m->functions().size();
+
+    // Second pass over the repaired module: nothing to do.
+    auto res2 = runPipeline(m.get(), "foo");
+    EXPECT_TRUE(res2.before.clean());
+    EXPECT_TRUE(res2.summary.fixes.empty());
+    EXPECT_EQ(m->instrCount(), instrs);
+    EXPECT_EQ(m->functions().size(), funcs);
+}
+
+TEST(Integration, AllVariantsOfPclhtAgreeOnOutputs)
+{
+    // Buggy, developer-fixed, and Hippocrates-repaired builds must
+    // compute identical results on non-crashing runs.
+    auto digest = [](ir::Module *m) {
+        pmem::PmPool pool(8u << 20);
+        vm::Vm machine(m, &pool, {});
+        return machine.run("clht_example", {40}).returnValue;
+    };
+
+    auto buggy = apps::buildPclht({});
+    apps::PclhtConfig fixed_cfg;
+    fixed_cfg.seedBugs = false;
+    auto dev = apps::buildPclht(fixed_cfg);
+    auto repaired = apps::buildPclht({});
+    runPipelineWithArg(repaired.get(), "clht_example", 40);
+
+    uint64_t d = digest(buggy.get());
+    EXPECT_EQ(digest(dev.get()), d);
+    EXPECT_EQ(digest(repaired.get()), d);
+}
+
+TEST(Integration, AllVariantsOfPmcacheAgreeOnOutputs)
+{
+    auto digest = [](ir::Module *m) {
+        pmem::PmPool pool(16u << 20);
+        vm::Vm machine(m, &pool, {});
+        return machine.run("mc_example", {30}).returnValue;
+    };
+
+    auto buggy = apps::buildPmcache({});
+    apps::PmcacheConfig fixed_cfg;
+    fixed_cfg.seedBugs = false;
+    auto dev = apps::buildPmcache(fixed_cfg);
+    auto repaired = apps::buildPmcache({});
+    runPipelineWithArg(repaired.get(), "mc_example", 30);
+
+    uint64_t d = digest(buggy.get());
+    EXPECT_EQ(digest(dev.get()), d);
+    EXPECT_EQ(digest(repaired.get()), d);
+}
+
+TEST(Integration, EvictionInjectionDoesNotMaskBugsFromDetector)
+{
+    // With aggressive eviction, unflushed data frequently *does*
+    // survive — but the detector works on required orderings, not on
+    // lucky persistence, so it must still report the same bugs.
+    auto with_eviction = [](double chance) {
+        auto m = buildListing5(true);
+        pmem::PmPool pool(1 << 20, chance, /*seed=*/9);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m.get(), &pool, vc);
+        machine.run("foo");
+        return pmcheck::analyze(machine.trace()).bugs.size();
+    };
+    EXPECT_EQ(with_eviction(0.0), with_eviction(1.0));
+}
+
+TEST(Integration, TraceSizesScaleWithWork)
+{
+    // Paper §5.1: pmemcheck traces are large (350 MB for Redis). Our
+    // traces grow linearly with executed PM work; sanity-check the
+    // proportionality so trace-volume regressions get caught.
+    auto trace_events = [](uint64_t n) {
+        auto m = apps::buildPclht({});
+        pmem::PmPool pool(8u << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m.get(), &pool, vc);
+        machine.run("clht_example", {n});
+        return machine.trace().size();
+    };
+    size_t small = trace_events(10);
+    size_t large = trace_events(40);
+    EXPECT_GT(large, small * 2);
+    EXPECT_LT(large, small * 16);
+}
+
+} // namespace hippo::test

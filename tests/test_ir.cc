@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Unit tests for PMIR: module/function/block structure, the builder,
+ * printer/parser round-tripping, the verifier's checks, and the
+ * function cloner that powers the persistent subprogram
+ * transformation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.hh"
+#include "support/random.hh"
+#include "ir/cloner.hh"
+#include "ir/module.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** A small module exercising every opcode. */
+std::unique_ptr<Module>
+makeKitchenSink()
+{
+    auto m = std::make_unique<Module>("sink");
+    IRBuilder b(m.get());
+
+    Function *helper = m->addFunction("helper", Type::Int);
+    Argument *hp = helper->addParam(Type::Ptr, "p");
+    Argument *hv = helper->addParam(Type::Int, "v");
+    b.setInsertPoint(helper->addBlock("entry"));
+    b.setLoc("sink.c", 5);
+    b.createStore(hv, hp, 8);
+    b.createFlush(hp, FlushKind::ClflushOpt);
+    b.createFence(FenceKind::Mfence);
+    b.createRet(b.createLoad(hp, 8));
+
+    Function *f = m->addFunction("main", Type::Int);
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *then = f->addBlock("then");
+    BasicBlock *join = f->addBlock("join");
+    b.setInsertPoint(entry);
+    b.setLoc("sink.c", 12);
+    Instruction *buf = b.createAlloca(64);
+    Instruction *pm = b.createPmMap("sink.pool", 128);
+    Instruction *g = b.createGep(pm, b.getInt(8));
+    Instruction *sum = b.createAdd(b.getInt(40), b.getInt(2));
+    Instruction *cmp = b.createCmp(CmpPred::Eq, sum, b.getInt(42));
+    Instruction *sel = b.createSelect(cmp, sum, b.getInt(0));
+    b.createStore(sel, g, 4, /*non_temporal=*/true);
+    b.createMemset(buf, b.getInt(7), b.getInt(16));
+    b.createMemcpy(pm, buf, b.getInt(16));
+    b.createCondBr(cmp, then, join);
+    b.setInsertPoint(then);
+    Instruction *rv = b.createCall(helper, {pm, sel});
+    b.createPrint("rv", rv);
+    b.createBr(join);
+    b.setInsertPoint(join);
+    b.createFlush(pm, FlushKind::Clflush);
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("end");
+    b.createRet(sum);
+    return m;
+}
+
+} // namespace
+
+TEST(Ir, ModuleBasics)
+{
+    Module m("test");
+    EXPECT_EQ(m.name(), "test");
+    Function *f = m.addFunction("f", Type::Void);
+    EXPECT_EQ(m.findFunction("f"), f);
+    EXPECT_EQ(m.findFunction("g"), nullptr);
+    EXPECT_EQ(m.instrCount(), 0u);
+}
+
+TEST(Ir, ConstantsAreUniqued)
+{
+    Module m;
+    EXPECT_EQ(m.getInt(42), m.getInt(42));
+    EXPECT_NE(m.getInt(42), m.getInt(43));
+    EXPECT_EQ(m.getNullPtr(), m.getNullPtr());
+    EXPECT_EQ(m.getNullPtr()->type(), Type::Ptr);
+    EXPECT_EQ(m.getInt(42)->displayName(), "42");
+    EXPECT_EQ(m.getNullPtr()->displayName(), "null");
+}
+
+TEST(Ir, InstructionIdsAreNeverReused)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *a = b.createAlloca(8);
+    Instruction *s = b.createStore(b.getInt(1), a, 8);
+    EXPECT_EQ(a->id(), 0u);
+    EXPECT_EQ(s->id(), 1u);
+    f->entry()->erase(s);
+    Instruction *r = b.createRet();
+    EXPECT_EQ(r->id(), 2u) << "erased ids must not be reused";
+    EXPECT_EQ(f->findInstr(1), nullptr);
+    EXPECT_EQ(f->findInstr(0), a);
+}
+
+TEST(Ir, InsertionPointsPlaceInstructionsCorrectly)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *first = b.createAlloca(8);
+    Instruction *last = b.createRet();
+
+    b.setInsertPointAfter(first);
+    Instruction *mid = b.createFence(FenceKind::Sfence);
+    b.setInsertPointBefore(last);
+    Instruction *mid2 = b.createFence(FenceKind::Mfence);
+
+    std::vector<Instruction *> order;
+    for (auto &i : *bb)
+        order.push_back(i.get());
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], first);
+    EXPECT_EQ(order[1], mid);
+    EXPECT_EQ(order[2], mid2);
+    EXPECT_EQ(order[3], last);
+}
+
+TEST(Ir, BuilderAttachesSourceLocations)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.setLoc("a.c", 10);
+    Instruction *i1 = b.createAlloca(8);
+    b.setLoc("b.c", 20);
+    Instruction *i2 = b.createRet();
+    EXPECT_EQ(i1->loc().file, "a.c");
+    EXPECT_EQ(i1->loc().line, 10);
+    EXPECT_EQ(i2->loc().file, "b.c");
+    EXPECT_EQ(i2->loc().str(), "b.c:20");
+}
+
+TEST(Ir, KitchenSinkVerifies)
+{
+    auto m = makeKitchenSink();
+    EXPECT_TRUE(verifyModule(*m).empty());
+}
+
+TEST(Ir, PrintParseRoundTripPreservesStructure)
+{
+    auto m = makeKitchenSink();
+    std::string text1 = moduleToString(*m);
+
+    std::string error;
+    auto m2 = parseModule(text1, &error);
+    ASSERT_NE(m2, nullptr) << error;
+    EXPECT_TRUE(verifyModule(*m2).empty());
+
+    // Idempotence: print(parse(print(m))) == print(m).
+    std::string text2 = moduleToString(*m2);
+    EXPECT_EQ(text1, text2);
+}
+
+TEST(Ir, RoundTripPreservesIdsAndLocs)
+{
+    auto m = makeKitchenSink();
+    std::string error;
+    auto m2 = parseModule(moduleToString(*m), &error);
+    ASSERT_NE(m2, nullptr) << error;
+
+    for (const auto &f : m->functions()) {
+        Function *f2 = m2->findFunction(f->name());
+        ASSERT_NE(f2, nullptr);
+        ASSERT_EQ(f2->instrCount(), f->instrCount());
+        for (const auto &bb : f->blocks()) {
+            for (const auto &instr : *bb) {
+                Instruction *i2 = f2->findInstr(instr->id());
+                ASSERT_NE(i2, nullptr)
+                    << "missing id " << instr->id();
+                EXPECT_EQ(i2->op(), instr->op());
+                EXPECT_EQ(i2->loc(), instr->loc());
+            }
+        }
+    }
+}
+
+TEST(Ir, ParserReportsErrors)
+{
+    std::string error;
+    EXPECT_EQ(parseModule("garbage", &error), nullptr);
+    EXPECT_FALSE(error.empty());
+
+    EXPECT_EQ(parseModule("func @f() -> void {\nentry:\n  bogus\n}",
+                          &error),
+              nullptr);
+    EXPECT_NE(error.find("unknown mnemonic"), std::string::npos);
+
+    EXPECT_EQ(parseModule("func @f() -> void {\nentry:\n"
+                          "  call @missing()\n  ret\n}",
+                          &error),
+              nullptr);
+    EXPECT_NE(error.find("unknown callee"), std::string::npos);
+
+    EXPECT_EQ(parseModule("func @f() -> void {\nentry:\n  ret\n",
+                          &error),
+              nullptr)
+        << "unterminated function must fail";
+}
+
+TEST(Ir, ParserResolvesForwardBranches)
+{
+    const char *text = R"(
+func @f(%n: i64) -> i64 {
+entry:
+    condbr %n, %later, %now
+now:
+    ret 1
+later:
+    ret 2
+}
+)";
+    std::string error;
+    auto m = parseModule(text, &error);
+    ASSERT_NE(m, nullptr) << error;
+    EXPECT_TRUE(verifyModule(*m).empty());
+}
+
+TEST(Ir, VerifierCatchesMissingTerminator)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createAlloca(8);
+    auto problems = verifyFunction(*f);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesMidBlockTerminator)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    BasicBlock *bb = f->addBlock("entry");
+    b.setInsertPoint(bb);
+    Instruction *r = b.createRet();
+    b.setInsertPointAfter(r);
+    b.createRet();
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Ir, VerifierCatchesTypeErrors)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *a = b.createAlloca(8);
+    // Hand-build a store with swapped operands (value in ptr slot).
+    auto bad = std::make_unique<Instruction>(
+        Opcode::Store, Type::Void, f->nextInstrId());
+    bad->addOperand(a);           // "value" is a pointer: allowed
+    bad->addOperand(m.getInt(1)); // "ptr" is an int: error
+    bad->setAccessSize(8);
+    f->entry()->append(std::move(bad));
+    b.setInsertPoint(f->entry());
+    b.createRet();
+    auto problems = verifyFunction(*f);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("operand 1"), std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesBadAccessSize)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    Instruction *a = b.createAlloca(8);
+    Instruction *s = b.createStore(b.getInt(0), a, 8);
+    s->setAccessSize(3);
+    b.createRet();
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Ir, VerifierCatchesCrossFunctionOperand)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *g = m.addFunction("g", Type::Void);
+    b.setInsertPoint(g->addBlock("entry"));
+    Instruction *ga = b.createAlloca(8);
+    b.createRet();
+
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    b.createLoad(ga, 8); // operand from @g
+    b.createRet();
+    auto problems = verifyFunction(*f);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("another function"),
+              std::string::npos);
+}
+
+TEST(Ir, VerifierCatchesCallArityMismatch)
+{
+    Module m;
+    IRBuilder b(&m);
+    Function *g = m.addFunction("g", Type::Void);
+    g->addParam(Type::Int, "x");
+    b.setInsertPoint(g->addBlock("entry"));
+    b.createRet();
+
+    Function *f = m.addFunction("f", Type::Void);
+    b.setInsertPoint(f->addBlock("entry"));
+    auto call = std::make_unique<Instruction>(
+        Opcode::Call, Type::Void, f->nextInstrId());
+    call->setCallee(g); // zero args for a 1-param callee
+    f->entry()->append(std::move(call));
+    b.setInsertPoint(f->entry());
+    b.createRet();
+    EXPECT_FALSE(verifyFunction(*f).empty());
+}
+
+TEST(Ir, ClonerRemapsValuesAndTargets)
+{
+    auto m = makeKitchenSink();
+    Function *src = m->findFunction("main");
+    CloneResult res = cloneFunction(src, "main_PM");
+
+    ASSERT_NE(res.clone, nullptr);
+    EXPECT_EQ(m->findFunction("main_PM"), res.clone);
+    EXPECT_TRUE(verifyFunction(*res.clone).empty());
+    EXPECT_EQ(res.clone->instrCount(), src->instrCount());
+    EXPECT_EQ(res.clone->numParams(), src->numParams());
+    EXPECT_EQ(res.clone->idBound(), src->idBound());
+
+    // Every cloned instruction mirrors its source: same op, same id,
+    // operands remapped into the clone.
+    for (const auto &bb : src->blocks()) {
+        for (const auto &instr : *bb) {
+            Instruction *copy = res.instrMap.at(instr.get());
+            EXPECT_EQ(copy->op(), instr->op());
+            EXPECT_EQ(copy->id(), instr->id());
+            EXPECT_EQ(copy->loc(), instr->loc());
+            for (size_t i = 0; i < instr->numOperands(); i++) {
+                const Value *orig = instr->operand(i);
+                const Value *cl = copy->operand(i);
+                if (orig->kind() == ValueKind::Constant) {
+                    EXPECT_EQ(cl, orig);
+                } else {
+                    EXPECT_EQ(cl, res.valueMap.at(orig));
+                    EXPECT_NE(cl, orig);
+                }
+            }
+        }
+    }
+}
+
+TEST(Ir, ClonerCalleeRemapHook)
+{
+    auto m = makeKitchenSink();
+    Function *helper = m->findFunction("helper");
+    CloneResult helper_clone = cloneFunction(helper, "helper_PM");
+
+    Function *main_fn = m->findFunction("main");
+    CloneResult res = cloneFunction(
+        main_fn, "main_PM", [&](Function *callee) -> Function * {
+            return callee == helper ? helper_clone.clone : nullptr;
+        });
+
+    bool found = false;
+    for (const auto &bb : res.clone->blocks()) {
+        for (const auto &instr : *bb) {
+            if (instr->op() == Opcode::Call) {
+                EXPECT_EQ(instr->callee(), helper_clone.clone);
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+/** Fuzz sweep: mutated module text must parse-or-error, not crash. */
+class ParserFuzz : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ParserFuzz, MutatedTextNeverCrashesParser)
+{
+    auto m = makeKitchenSink();
+    std::string text = moduleToString(*m);
+    hippo::Rng rng(GetParam());
+
+    for (int round = 0; round < 40; round++) {
+        std::string mutated = text;
+        uint64_t edits = 1 + rng.nextBelow(4);
+        for (uint64_t e = 0; e < edits; e++) {
+            size_t pos = rng.nextBelow(mutated.size());
+            switch (rng.nextBelow(3)) {
+              case 0: // flip a character
+                mutated[pos] =
+                    (char)(32 + rng.nextBelow(95));
+                break;
+              case 1: // delete a span
+                mutated.erase(pos, 1 + rng.nextBelow(8));
+                break;
+              default: // duplicate a span
+                mutated.insert(pos,
+                               mutated.substr(pos,
+                                              1 + rng.nextBelow(8)));
+                break;
+            }
+            if (mutated.empty())
+                mutated = " ";
+        }
+        std::string error;
+        auto parsed = parseModule(mutated, &error);
+        if (parsed) {
+            // Whatever parses must at least be printable again.
+            EXPECT_FALSE(moduleToString(*parsed).empty());
+        } else {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(Ir, PrinterEmitsStableOpcodeSyntax)
+{
+    auto m = makeKitchenSink();
+    std::string text = moduleToString(*m);
+    for (const char *needle :
+         {"store.nt", "flush clflushopt", "flush clflush ",
+          "fence mfence", "fence sfence", "pmmap \"sink.pool\", 128",
+          "memcpy", "memset", "durpoint \"end\"", "print \"rv\"",
+          "select", "cmp eq", "gep", "!loc(sink.c:12)"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing: " << needle << "\n" << text;
+    }
+}
+
+} // namespace hippo::test

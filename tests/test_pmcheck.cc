@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Unit tests for the durability-bug detector, driving it with
+ * hand-built synthetic traces so each clause of the §2.1/§4.2
+ * semantics is pinned down independently of the VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmcheck/detector.hh"
+#include "pmem/pm_pool.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::pmcheck;
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+namespace
+{
+
+/** Fluent builder for synthetic traces. */
+class TraceBuilder
+{
+  public:
+    TraceBuilder()
+    {
+        obj_ = trace_.internObject("pm:r", true);
+    }
+
+    TraceBuilder &
+    store(uint64_t addr, uint64_t size = 8,
+          const std::string &fn = "writer", uint32_t id = 1)
+    {
+        Event e;
+        e.kind = EventKind::Store;
+        e.addr = addr;
+        e.size = size;
+        e.isPm = true;
+        e.objectId = obj_;
+        e.stack = {{fn, id, "s.c", (int)id}};
+        trace_.append(std::move(e));
+        return *this;
+    }
+
+    TraceBuilder &
+    ntStore(uint64_t addr, uint64_t size = 8)
+    {
+        Event e;
+        e.kind = EventKind::Store;
+        e.addr = addr;
+        e.size = size;
+        e.isPm = true;
+        e.nonTemporal = true;
+        e.objectId = obj_;
+        e.stack = {{"writer", 1, "s.c", 1}};
+        trace_.append(std::move(e));
+        return *this;
+    }
+
+    TraceBuilder &
+    flush(uint64_t addr,
+          pmem::FlushOp op = pmem::FlushOp::Clwb,
+          const std::string &fn = "writer", uint32_t id = 2)
+    {
+        Event e;
+        e.kind = EventKind::Flush;
+        e.addr = addr;
+        e.size = 64;
+        e.isPm = true;
+        e.sub = (uint8_t)op;
+        e.stack = {{fn, id, "s.c", (int)id}};
+        trace_.append(std::move(e));
+        return *this;
+    }
+
+    TraceBuilder &
+    fence(const std::string &fn = "writer", uint32_t id = 3)
+    {
+        Event e;
+        e.kind = EventKind::Fence;
+        e.stack = {{fn, id, "s.c", (int)id}};
+        trace_.append(std::move(e));
+        return *this;
+    }
+
+    TraceBuilder &
+    durpoint(const std::string &label = "commit",
+             const std::string &fn = "writer", uint32_t id = 4)
+    {
+        Event e;
+        e.kind = EventKind::DurPoint;
+        e.symbol = label;
+        e.stack = {{fn, id, "s.c", (int)id}};
+        trace_.append(std::move(e));
+        return *this;
+    }
+
+    const Trace &get() const { return trace_; }
+
+  private:
+    Trace trace_;
+    uint32_t obj_;
+};
+
+constexpr uint64_t A = pmem::pmBaseAddr;
+
+} // namespace
+
+TEST(Detector, CleanSequenceHasNoBugs)
+{
+    TraceBuilder tb;
+    tb.store(A).flush(A).fence().durpoint();
+    auto r = analyze(tb.get());
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.pmStoresSeen, 1u);
+    EXPECT_EQ(r.flushesSeen, 1u);
+    EXPECT_EQ(r.fencesSeen, 1u);
+    EXPECT_EQ(r.durPointsSeen, 1u);
+}
+
+TEST(Detector, MissingFlushWhenFenceExists)
+{
+    TraceBuilder tb;
+    tb.store(A).fence().durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFlush);
+    EXPECT_EQ(r.bugs[0].fenceStack[0].function, "writer");
+}
+
+TEST(Detector, MissingFenceWhenOnlyFlushed)
+{
+    TraceBuilder tb;
+    tb.store(A).flush(A).durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFence);
+    // The covering flush is identified for the fence-insertion fix.
+    ASSERT_FALSE(r.bugs[0].flushStack.empty());
+    EXPECT_EQ(r.bugs[0].flushStack[0].instrId, 2u);
+}
+
+TEST(Detector, MissingFlushFenceWhenNeither)
+{
+    TraceBuilder tb;
+    tb.store(A).durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFlushFence);
+    EXPECT_TRUE(r.bugs[0].fenceStack.empty());
+}
+
+TEST(Detector, ClflushNeedsNoFence)
+{
+    TraceBuilder tb;
+    tb.store(A).flush(A, pmem::FlushOp::Clflush).durpoint();
+    EXPECT_TRUE(analyze(tb.get()).clean());
+}
+
+TEST(Detector, NtStoreNeedsOnlyFence)
+{
+    {
+        TraceBuilder tb;
+        tb.ntStore(A).fence().durpoint();
+        EXPECT_TRUE(analyze(tb.get()).clean());
+    }
+    {
+        TraceBuilder tb;
+        tb.ntStore(A).durpoint();
+        auto r = analyze(tb.get());
+        ASSERT_EQ(r.bugs.size(), 1u);
+        EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFence);
+    }
+}
+
+TEST(Detector, FenceBeforeFlushDoesNotOrderIt)
+{
+    // store -> fence -> flush -> durpoint: the flush is not covered
+    // by any fence, so the store is missing a fence.
+    TraceBuilder tb;
+    tb.store(A).fence().flush(A).durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFence);
+}
+
+TEST(Detector, StoreAfterFlushIsItsOwnBug)
+{
+    // First store is properly persisted; the second (after the
+    // flush) is not.
+    TraceBuilder tb;
+    tb.store(A, 8, "writer", 1)
+        .flush(A)
+        .store(A + 8, 8, "writer", 9)
+        .fence()
+        .durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFlush);
+    EXPECT_EQ(r.bugs[0].storeStack[0].instrId, 9u);
+}
+
+TEST(Detector, MultiLineStoreNeedsEveryLineFlushed)
+{
+    // A 128-byte store covering two lines with only one flushed.
+    TraceBuilder tb;
+    tb.store(A, 128).flush(A).fence().durpoint();
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u);
+    EXPECT_EQ(r.bugs[0].kind, BugKind::MissingFlush);
+
+    TraceBuilder ok;
+    ok.store(A, 128).flush(A).flush(A + 64).fence().durpoint();
+    EXPECT_TRUE(analyze(ok.get()).clean());
+}
+
+TEST(Detector, RedundantFlushCounted)
+{
+    TraceBuilder tb;
+    tb.flush(A).store(A).flush(A).fence().durpoint();
+    auto r = analyze(tb.get());
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.redundantFlushes, 1u);
+}
+
+TEST(Detector, StaticDedupAndDynamicCounts)
+{
+    TraceBuilder tb;
+    for (int i = 0; i < 5; i++) {
+        tb.store(A + i * 8, 8, "writer", 1);
+        tb.durpoint();
+    }
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 1u) << "same site dedups statically";
+    // Occurrence 1 at its own durpoint + re-counted at the 4 later
+    // ones, plus 4 more first-reports folded in: 5 + 4+3+2+1 = 15.
+    EXPECT_EQ(r.bugs[0].dynCount, 15u);
+}
+
+TEST(Detector, DistinctCallPathsAreDistinctBugs)
+{
+    // Same store instruction reached through two different callers
+    // must produce two bugs (each call path needs its own fix).
+    TraceBuilder tb;
+    {
+        Event e;
+        e.kind = EventKind::Store;
+        e.addr = A;
+        e.size = 8;
+        e.isPm = true;
+        e.stack = {{"leaf", 1, "s.c", 1}, {"callerA", 10, "s.c", 10}};
+        const_cast<Trace &>(tb.get()).append(std::move(e));
+    }
+    {
+        Event e;
+        e.kind = EventKind::Store;
+        e.addr = A + 8;
+        e.size = 8;
+        e.isPm = true;
+        e.stack = {{"leaf", 1, "s.c", 1}, {"callerB", 20, "s.c", 20}};
+        const_cast<Trace &>(tb.get()).append(std::move(e));
+    }
+    tb.fence().durpoint();
+    auto r = analyze(tb.get());
+    EXPECT_EQ(r.bugs.size(), 2u);
+}
+
+TEST(Detector, ExitDurPointRespectsConfig)
+{
+    TraceBuilder tb;
+    tb.store(A).durpoint("exit");
+    DetectorConfig keep;
+    EXPECT_EQ(analyze(tb.get(), keep).bugs.size(), 1u);
+    DetectorConfig skip;
+    skip.checkExitDurPoint = false;
+    EXPECT_TRUE(analyze(tb.get(), skip).clean());
+}
+
+TEST(Detector, ReportTextRoundTrip)
+{
+    TraceBuilder tb;
+    tb.store(A).flush(A).durpoint();    // missing fence
+    tb.store(A + 64).fence().durpoint(); // missing flush
+    auto r = analyze(tb.get());
+    ASSERT_EQ(r.bugs.size(), 2u);
+
+    std::string text = r.writeText();
+    Report parsed;
+    std::string error;
+    ASSERT_TRUE(Report::readText(text, parsed, &error)) << error;
+    ASSERT_EQ(parsed.bugs.size(), r.bugs.size());
+    for (size_t i = 0; i < r.bugs.size(); i++) {
+        EXPECT_EQ(parsed.bugs[i].kind, r.bugs[i].kind);
+        EXPECT_EQ(parsed.bugs[i].addr, r.bugs[i].addr);
+        EXPECT_EQ(parsed.bugs[i].storeStack, r.bugs[i].storeStack);
+        EXPECT_EQ(parsed.bugs[i].durStack, r.bugs[i].durStack);
+        EXPECT_EQ(parsed.bugs[i].flushStack, r.bugs[i].flushStack);
+        EXPECT_EQ(parsed.bugs[i].fenceStack, r.bugs[i].fenceStack);
+        EXPECT_EQ(parsed.bugs[i].dynCount, r.bugs[i].dynCount);
+    }
+    EXPECT_EQ(parsed.pmStoresSeen, r.pmStoresSeen);
+    EXPECT_EQ(parsed.redundantFlushes, r.redundantFlushes);
+}
+
+TEST(OnlineDetector, MatchesOfflineAnalysis)
+{
+    TraceBuilder tb;
+    tb.store(A).fence().durpoint();             // missing flush
+    tb.store(A + 64).flush(A + 64).durpoint();  // missing fence
+    tb.store(A + 128).durpoint();               // missing both
+
+    Report offline = analyze(tb.get());
+    OnlineDetector online;
+    for (const auto &ev : tb.get().events())
+        online.onEvent(ev);
+
+    EXPECT_EQ(online.report().writeText(), offline.writeText());
+}
+
+TEST(OnlineDetector, StreamsFromTheVmWithoutMaterializingTrace)
+{
+    // Run the Listing 5 program with the sink attached: the VM's
+    // trace stays empty while the online report matches the offline
+    // pipeline's.
+    auto offline_report = [] {
+        auto m = buildListing5(true);
+        pmem::PmPool pool(1 << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m.get(), &pool, vc);
+        machine.run("foo");
+        return analyze(machine.trace());
+    }();
+
+    auto m = buildListing5(true);
+    pmem::PmPool pool(1 << 20);
+    OnlineDetector online;
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vc.eventSink = &online;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("foo");
+
+    EXPECT_TRUE(machine.trace().empty())
+        << "streaming mode must not materialize events";
+    ASSERT_EQ(online.report().bugs.size(),
+              offline_report.bugs.size());
+    EXPECT_EQ(online.report().writeText(),
+              offline_report.writeText());
+}
+
+TEST(Detector, VolatileEventsAreIgnored)
+{
+    TraceBuilder tb;
+    Event e;
+    e.kind = EventKind::Store;
+    e.addr = 0x10000000;
+    e.size = 8;
+    e.isPm = false;
+    e.stack = {{"writer", 1, "s.c", 1}};
+    const_cast<Trace &>(tb.get()).append(std::move(e));
+    tb.durpoint();
+    auto r = analyze(tb.get());
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.pmStoresSeen, 0u);
+}
+
+} // namespace hippo::test

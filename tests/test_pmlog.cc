@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for pmlog (the libpmemlog-analog substrate): functional
+ * append/walk/rewind behavior, the seeded bugs, repair with a hoist
+ * into the shared copy helper, torn-append recovery, and capacity
+ * handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pmlog.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using apps::buildPmlog;
+using apps::PmlogConfig;
+
+namespace
+{
+
+PmlogConfig
+fixedConfig()
+{
+    PmlogConfig cfg;
+    cfg.seedBugs = false;
+    cfg.capacity = 64 << 10;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Pmlog, AppendWalkRoundTrip)
+{
+    auto m = buildPmlog(fixedConfig());
+    pmem::PmPool pool(8u << 20);
+    vm::Vm machine(m.get(), &pool, {});
+    machine.run("log_init");
+    for (uint64_t i = 1; i <= 5; i++) {
+        EXPECT_EQ(machine.run("log_handle_append", {i, 40})
+                      .returnValue,
+                  1u);
+    }
+    EXPECT_EQ(machine.run("log_walk").returnValue, 5u);
+    // The tail holds the last seed byte replicated.
+    auto tail = machine.run("log_tail_read", {40});
+    EXPECT_EQ(tail.returnValue, 0x0505050505050505ULL);
+}
+
+TEST(Pmlog, RewindEmptiesTheLog)
+{
+    auto m = buildPmlog(fixedConfig());
+    pmem::PmPool pool(8u << 20);
+    vm::Vm machine(m.get(), &pool, {});
+    machine.run("log_init");
+    machine.run("log_handle_append", {1, 40});
+    machine.run("log_rewind");
+    EXPECT_EQ(machine.run("log_walk").returnValue, 0u);
+    machine.run("log_handle_append", {2, 40});
+    EXPECT_EQ(machine.run("log_walk").returnValue, 1u);
+}
+
+TEST(Pmlog, AppendFailsWhenFull)
+{
+    PmlogConfig cfg = fixedConfig();
+    cfg.capacity = 4096;
+    auto m = buildPmlog(cfg);
+    pmem::PmPool pool(8u << 20);
+    vm::Vm machine(m.get(), &pool, {});
+    machine.run("log_init");
+    uint64_t appended = 0;
+    for (int i = 0; i < 200; i++) {
+        if (machine.run("log_handle_append", {7, 200})
+                .returnValue == 0)
+            break;
+        appended++;
+    }
+    // 4096 / (8 + 200) = 19 entries fit.
+    EXPECT_EQ(appended, 19u);
+    EXPECT_EQ(machine.run("log_walk").returnValue, appended);
+}
+
+TEST(Pmlog, BuggyBuildHasThreeBugsAndRepairHoists)
+{
+    auto m = buildPmlog({});
+    auto res = runPipelineWithArg(m.get(), "log_example", 12);
+    EXPECT_EQ(res.before.bugs.size(), 3u)
+        << res.before.writeText();
+    EXPECT_TRUE(res.after.clean()) << res.after.writeText();
+    EXPECT_EQ(res.outputsBefore, res.outputsAfter);
+    // The payload copy hoists out of the shared helper; the volatile
+    // tail-read path keeps calling the original.
+    EXPECT_NE(m->findFunction("log_copy_PM"), nullptr);
+    EXPECT_GT(res.summary.interproceduralCount(), 0u);
+}
+
+TEST(Pmlog, FixedBuildIsClean)
+{
+    auto m = buildPmlog(fixedConfig());
+    pmem::PmPool pool(8u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("log_example", {12});
+    EXPECT_TRUE(pmcheck::analyze(machine.trace()).clean());
+}
+
+TEST(Pmlog, TornAppendIsInvisibleAfterCrash)
+{
+    // Crash at arbitrary steps inside an append; the walk must see
+    // exactly the acknowledged entries (the offset publish is the
+    // commit point).
+    auto m = buildPmlog(fixedConfig());
+    for (uint64_t crash_step : {50ull, 150ull, 400ull, 800ull}) {
+        pmem::PmPool pool(8u << 20);
+        uint64_t committed = 0;
+        {
+            vm::Vm machine(m.get(), &pool, {});
+            machine.run("log_init");
+        }
+        {
+            vm::VmConfig vc;
+            vc.crashAtStep = crash_step;
+            vm::Vm machine(m.get(), &pool, vc);
+            for (uint64_t i = 1; i <= 6; i++) {
+                auto r =
+                    machine.run("log_handle_append", {i, 40});
+                if (r.crashed)
+                    break;
+                committed++;
+            }
+        }
+        pool.crash();
+        vm::Vm recovery(m.get(), &pool, {});
+        EXPECT_EQ(recovery.run("log_walk").returnValue, committed)
+            << "crash @" << crash_step;
+    }
+}
+
+TEST(Pmlog, BuggyBuildLosesEntriesAcrossCrash)
+{
+    auto count_after_crash = [](ir::Module *m) {
+        pmem::PmPool pool(8u << 20);
+        {
+            vm::Vm machine(m, &pool, {});
+            machine.run("log_init");
+            for (uint64_t i = 1; i <= 4; i++)
+                machine.run("log_handle_append", {i, 40});
+        }
+        pool.crash();
+        vm::Vm recovery(m, &pool, {});
+        return recovery.run("log_walk").returnValue;
+    };
+
+    auto buggy = buildPmlog({});
+    EXPECT_LT(count_after_crash(buggy.get()), 4u);
+
+    auto repaired = buildPmlog({});
+    runPipelineWithArg(repaired.get(), "log_example", 12);
+    EXPECT_EQ(count_after_crash(repaired.get()), 4u);
+}
+
+} // namespace hippo::test

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Property-based tests: the executable analogue of the paper's
+ * safety theorems. A generator produces random PM programs (random
+ * mixes of direct stores, helper calls with PM/volatile pointers,
+ * memcpys, flushes, fences, durability points, and prints); for
+ * every program we check that Hippocrates
+ *
+ *   (1) leaves the module structurally valid,
+ *   (2) eliminates every detected durability bug,
+ *   (3) does no harm: the repaired program produces exactly the
+ *       same outputs (also under random cache-eviction injection),
+ *   (4) only *adds* instructions: every original instruction
+ *       survives with its opcode, and call sites only ever get
+ *       redirected to persistent clones of their original callees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/random.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** Snapshot of (function -> id -> opcode/callee) for property (4). */
+struct Snapshot
+{
+    std::map<std::string, std::map<uint32_t, Opcode>> ops;
+    std::map<std::string, std::map<uint32_t, std::string>> callees;
+};
+
+Snapshot
+takeSnapshot(const Module &m)
+{
+    Snapshot s;
+    for (const auto &f : m.functions()) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &instr : *bb) {
+                s.ops[f->name()][instr->id()] = instr->op();
+                if (instr->callee())
+                    s.callees[f->name()][instr->id()] =
+                        instr->callee()->name();
+            }
+        }
+    }
+    return s;
+}
+
+/** Build a random PM program. Deterministic per seed. */
+std::unique_ptr<Module>
+generateProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    auto m = std::make_unique<Module>("random-" +
+                                      std::to_string(seed));
+    IRBuilder b(m.get());
+
+    // A few leaf helpers writing through their pointer parameter,
+    // plus wrapper helpers one frame above them (so interprocedural
+    // fixes at hoist level 2 arise in random programs too).
+    std::vector<Function *> helpers;
+    uint64_t nhelpers = 1 + rng.nextBelow(3);
+    for (uint64_t h = 0; h < nhelpers; h++) {
+        Function *f = m->addFunction(
+            "helper" + std::to_string(h), Type::Void);
+        Argument *p = f->addParam(Type::Ptr, "p");
+        Argument *v = f->addParam(Type::Int, "v");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("rand.c", (int)(100 + h));
+        uint64_t writes = 1 + rng.nextBelow(2);
+        for (uint64_t w = 0; w < writes; w++) {
+            Instruction *gp =
+                b.createGep(p, b.getInt(rng.nextBelow(4) * 8));
+            b.createStore(v, gp, 8);
+            if (rng.chance(0.3))
+                b.createFlush(gp, FlushKind::Clwb);
+        }
+        b.createRet();
+        helpers.push_back(f);
+    }
+    uint64_t nleaves = helpers.size();
+    for (uint64_t h = 0; h < nleaves; h++) {
+        if (!rng.chance(0.5))
+            continue;
+        Function *f = m->addFunction(
+            "wrapper" + std::to_string(h), Type::Void);
+        Argument *p = f->addParam(Type::Ptr, "p");
+        Argument *v = f->addParam(Type::Int, "v");
+        b.setInsertPoint(f->addBlock("entry"));
+        b.setLoc("rand.c", (int)(150 + h));
+        b.createCall(helpers[h],
+                     {b.createGep(p, b.getInt(rng.nextBelow(3) * 8)),
+                      b.createAdd(v, b.getInt(1))});
+        b.createRet();
+        helpers.push_back(f);
+    }
+
+    Function *main_fn = m->addFunction("main", Type::Void);
+    b.setInsertPoint(main_fn->addBlock("entry"));
+    b.setLoc("rand.c", 1);
+    Instruction *pm1 = b.createPmMap("rp1", 512);
+    Instruction *pm2 = b.createPmMap("rp2", 512);
+    Instruction *vol = b.createAlloca(256);
+
+    auto random_ptr = [&]() -> Instruction * {
+        uint64_t off = rng.nextBelow(16) * 8;
+        switch (rng.nextBelow(3)) {
+          case 0:
+            return b.createGep(pm1, b.getInt(off));
+          case 1:
+            return b.createGep(pm2, b.getInt(off));
+          default:
+            return b.createGep(vol, b.getInt(off % 256));
+        }
+    };
+
+    uint64_t actions = 8 + rng.nextBelow(20);
+    int loop_count = 0;
+    for (uint64_t i = 0; i < actions; i++) {
+        b.setLoc("rand.c", (int)(10 + i));
+        switch (rng.nextBelow(9)) {
+          case 0:
+          case 1: { // direct store, sometimes flushed/fenced
+            Instruction *p = random_ptr();
+            b.createStore(b.getInt(rng.nextBelow(1000)), p, 8);
+            if (rng.chance(0.5))
+                b.createFlush(p, rng.chance(0.2)
+                                     ? FlushKind::Clflush
+                                     : FlushKind::Clwb);
+            if (rng.chance(0.4))
+                b.createFence(FenceKind::Sfence);
+            break;
+          }
+          case 2: { // helper call
+            Function *h = helpers[rng.nextBelow(helpers.size())];
+            b.createCall(
+                h, {random_ptr(), b.getInt(rng.nextBelow(100))});
+            break;
+          }
+          case 3: { // memcpy volatile -> PM or PM -> volatile
+            uint64_t len = 8 * (1 + rng.nextBelow(12));
+            if (rng.chance(0.6)) {
+                b.createMemcpy(b.createGep(pm1, b.getInt(0)), vol,
+                               b.getInt(len));
+            } else {
+                b.createMemcpy(vol, b.createGep(pm1, b.getInt(0)),
+                               b.getInt(len));
+            }
+            break;
+          }
+          case 4: // stray flush
+            b.createFlush(random_ptr(), FlushKind::Clwb);
+            break;
+          case 5: // fence
+            b.createFence(rng.chance(0.2) ? FenceKind::Mfence
+                                          : FenceKind::Sfence);
+            break;
+          case 6: // durability point
+            b.createDurPoint("dp" + std::to_string(i));
+            break;
+          case 7: { // bounded store loop (multi-block control flow)
+            int n = ++loop_count;
+            BasicBlock *loop = main_fn->addBlock(
+                "loop" + std::to_string(n));
+            BasicBlock *body = main_fn->addBlock(
+                "body" + std::to_string(n));
+            BasicBlock *cont = main_fn->addBlock(
+                "cont" + std::to_string(n));
+            Instruction *iv = b.createAlloca(8);
+            Instruction *base = b.createGep(
+                rng.chance(0.5) ? pm1 : pm2,
+                b.getInt(rng.nextBelow(56) * 8));
+            uint64_t trips = 2 + rng.nextBelow(4);
+            b.createStore(b.getInt(0), iv, 8);
+            b.createBr(loop);
+            b.setInsertPoint(loop);
+            Instruction *iv_val = b.createLoad(iv, 8);
+            b.createCondBr(b.createCmp(CmpPred::Ult, iv_val,
+                                       b.getInt(trips)),
+                           body, cont);
+            b.setInsertPoint(body);
+            b.createStore(
+                b.createAdd(iv_val, b.getInt(7)),
+                b.createGep(base, b.createMul(iv_val, b.getInt(8))),
+                8);
+            b.createStore(b.createAdd(iv_val, b.getInt(1)), iv, 8);
+            b.createBr(loop);
+            b.setInsertPoint(cont);
+            break;
+          }
+          default: { // observable output
+            Instruction *p = random_ptr();
+            b.createPrint("o" + std::to_string(i),
+                          b.createLoad(p, 8));
+            break;
+          }
+        }
+    }
+    // Deterministic tail: make everything observable.
+    b.setLoc("rand.c", 99);
+    b.createFence(FenceKind::Sfence);
+    b.createDurPoint("final");
+    for (int i = 0; i < 4; i++) {
+        b.createPrint("tail" + std::to_string(i),
+                      b.createLoad(b.createGep(pm1, b.getInt(i * 8)),
+                                   8));
+    }
+    b.createRet();
+    verifyOrDie(*m);
+    return m;
+}
+
+std::vector<vm::ProgramOutput>
+runWithEviction(ir::Module *m, double evict_chance, uint64_t seed)
+{
+    pmem::PmPool pool(1 << 20, evict_chance, seed);
+    vm::Vm machine(m, &pool, {});
+    machine.run("main");
+    return machine.outputs();
+}
+
+} // namespace
+
+class DoNoHarm : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DoNoHarm, RandomProgramRepairIsSafeAndComplete)
+{
+    uint64_t seed = GetParam();
+    auto m = generateProgram(seed);
+    Snapshot before = takeSnapshot(*m);
+    auto baseline_outputs = runWithEviction(m.get(), 0, 1);
+
+    auto res = runPipeline(m.get(), "main");
+
+    // (1) structurally valid
+    EXPECT_TRUE(res.summary.verifierProblems.empty())
+        << res.summary.verifierProblems.front();
+
+    // (2) complete: re-check is clean
+    EXPECT_TRUE(res.after.clean())
+        << "seed " << seed << "\n" << res.after.writeText();
+
+    // (3) do no harm: identical outputs, with and without eviction
+    EXPECT_EQ(res.outputsBefore, res.outputsAfter) << "seed " << seed;
+    EXPECT_EQ(runWithEviction(m.get(), 0, 1), baseline_outputs);
+    EXPECT_EQ(runWithEviction(m.get(), 0.5, seed),
+              baseline_outputs)
+        << "eviction injection must not change repaired behavior";
+
+    // (4) additive only: every original instruction survives with
+    // its opcode; callees only move to persistent clones.
+    Snapshot after = takeSnapshot(*m);
+    for (const auto &[fn, ids] : before.ops) {
+        for (const auto &[id, op] : ids) {
+            auto fit = after.ops.find(fn);
+            ASSERT_NE(fit, after.ops.end()) << fn;
+            auto iit = fit->second.find(id);
+            ASSERT_NE(iit, fit->second.end())
+                << fn << "#" << id << " was removed";
+            EXPECT_EQ(iit->second, op)
+                << fn << "#" << id << " changed opcode";
+        }
+    }
+    for (const auto &[fn, ids] : before.callees) {
+        for (const auto &[id, callee] : ids) {
+            const std::string &now = after.callees[fn][id];
+            if (now != callee) {
+                EXPECT_EQ(now.rfind(callee + "_PM", 0), 0u)
+                    << fn << "#" << id << ": " << callee << " -> "
+                    << now;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoNoHarm,
+                         ::testing::Range<uint64_t>(1, 33));
+
+class DoNoHarmIntra : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DoNoHarmIntra, HoldsWithHoistingDisabled)
+{
+    uint64_t seed = GetParam();
+    auto m = generateProgram(seed);
+    core::FixerConfig cfg;
+    cfg.enableHoisting = false;
+    auto res = runPipeline(m.get(), "main", cfg);
+    EXPECT_TRUE(res.after.clean()) << "seed " << seed;
+    EXPECT_EQ(res.outputsBefore, res.outputsAfter);
+    EXPECT_EQ(res.summary.interproceduralCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoNoHarmIntra,
+                         ::testing::Range<uint64_t>(1, 17));
+
+class DoNoHarmTraceAa : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DoNoHarmTraceAa, HoldsUnderTraceAa)
+{
+    uint64_t seed = GetParam();
+    auto m = generateProgram(seed);
+    core::FixerConfig cfg;
+    cfg.aaMode = analysis::AaMode::TraceAA;
+    auto res = runPipeline(m.get(), "main", cfg);
+    EXPECT_TRUE(res.after.clean()) << "seed " << seed;
+    EXPECT_EQ(res.outputsBefore, res.outputsAfter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoNoHarmTraceAa,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(DoNoHarm, RepairsPersistMoreAndChangeNoMemory)
+{
+    // For several random programs: the repaired program must leave
+    // exactly the same *contents* in PM (do no harm on program
+    // state) while having strictly no fewer bytes durable at exit
+    // (fixes only add durability). Both facts follow from fixes
+    // being pure flush/fence/clone additions (Lemmas 1-2).
+    for (uint64_t seed = 1; seed <= 12; seed++) {
+        auto original = generateProgram(seed);
+        auto repaired = generateProgram(seed);
+        runPipeline(repaired.get(), "main");
+
+        struct EndState
+        {
+            std::vector<uint8_t> cache;
+            size_t persistedBytes = 0;
+        };
+        auto run_to_end = [](ir::Module *m) {
+            pmem::PmPool pool(1 << 20);
+            vm::Vm machine(m, &pool, {});
+            machine.run("main");
+            EndState s;
+            s.cache.resize(1024);
+            pool.load(pool.findRegion("rp1")->base, s.cache.data(),
+                      512);
+            pool.load(pool.findRegion("rp2")->base,
+                      s.cache.data() + 512, 512);
+            for (uint64_t a = 0; a < 1024; a++) {
+                uint64_t addr =
+                    (a < 512 ? pool.findRegion("rp1")->base
+                             : pool.findRegion("rp2")->base - 512) +
+                    a;
+                s.persistedBytes += pool.isPersisted(addr, 1);
+            }
+            return s;
+        };
+
+        EndState orig = run_to_end(original.get());
+        EndState rep = run_to_end(repaired.get());
+        EXPECT_EQ(rep.cache, orig.cache)
+            << "seed " << seed
+            << ": repairs must not change memory contents";
+        EXPECT_GE(rep.persistedBytes, orig.persistedBytes)
+            << "seed " << seed
+            << ": repairs may only add durability";
+    }
+}
+
+} // namespace hippo::test

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the support library: strings, statistics, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/random.hh"
+#include "support/stats.hh"
+#include "support/stopwatch.hh"
+#include "support/strings.hh"
+
+namespace hippo::test
+{
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWhitespaceDropsRuns)
+{
+    auto parts = splitWhitespace("  foo \t bar\nbaz  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "foo");
+    EXPECT_EQ(parts[1], "bar");
+    EXPECT_EQ(parts[2], "baz");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(Strings, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("he", "hello"));
+    EXPECT_TRUE(endsWith("hello", "lo"));
+    EXPECT_FALSE(endsWith("lo", "hello"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_TRUE(endsWith("x", ""));
+}
+
+TEST(Strings, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(format("%05u", 7u), "00007");
+    // Long outputs exceed any small-string optimization.
+    std::string big = format("%0200d", 1);
+    EXPECT_EQ(big.size(), 200u);
+}
+
+TEST(Strings, ParseUintDecimalAndHex)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseUint("12345", v));
+    EXPECT_EQ(v, 12345u);
+    EXPECT_TRUE(parseUint("0xff", v));
+    EXPECT_EQ(v, 255u);
+    EXPECT_TRUE(parseUint("  8 ", v));
+    EXPECT_EQ(v, 8u);
+    EXPECT_FALSE(parseUint("", v));
+    EXPECT_FALSE(parseUint("0x", v));
+    EXPECT_FALSE(parseUint("12a", v));
+    EXPECT_FALSE(parseUint("-3", v));
+}
+
+TEST(Strings, ParseIntSigns)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(parseInt("-42", v));
+    EXPECT_EQ(v, -42);
+    EXPECT_TRUE(parseInt("+7", v));
+    EXPECT_EQ(v, 7);
+    EXPECT_FALSE(parseInt("--1", v));
+}
+
+TEST(Strings, FormatBytesUnits)
+{
+    EXPECT_EQ(formatBytes(512), "512.0 B");
+    EXPECT_EQ(formatBytes(2048), "2.0 KB");
+    EXPECT_EQ(formatBytes(3u << 20), "3.0 MB");
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Ci95UsesStudentT)
+{
+    SampleStats s;
+    s.add(10);
+    s.add(12);
+    // n=2, dof=1: t = 12.706, sd = sqrt(2), ci = t*sd/sqrt(2) = t.
+    EXPECT_NEAR(s.ci95(), 12.706, 1e-3);
+
+    SampleStats empty;
+    EXPECT_EQ(empty.ci95(), 0);
+    empty.add(1);
+    EXPECT_EQ(empty.ci95(), 0); // single sample: undefined -> 0
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 100; i++) {
+        uint64_t va = a.next(), vb = b.next(), vc = c.next();
+        all_equal &= va == vb;
+        any_diff |= va != vc;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowStaysInBounds)
+{
+    Rng r(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; i++)
+            EXPECT_LT(r.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng r(99);
+    int counts[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        counts[r.nextBelow(10)]++;
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 200; i++)
+        seen.insert(r.nextRange(5, 7));
+    EXPECT_EQ(seen, (std::set<uint64_t>{5, 6, 7}));
+}
+
+TEST(Stopwatch, MonotonicNonNegative)
+{
+    Stopwatch w;
+    double a = w.elapsedSeconds();
+    double b = w.elapsedSeconds();
+    EXPECT_GE(a, 0);
+    EXPECT_GE(b, a);
+    w.reset();
+    EXPECT_LT(w.elapsedSeconds(), 1.0);
+}
+
+TEST(Stopwatch, RssProbesReturnPlausibleValues)
+{
+    EXPECT_GT(peakRssBytes(), 1u << 20); // at least a megabyte
+    EXPECT_GT(currentRssBytes(), 1u << 20);
+}
+
+} // namespace hippo::test

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the trace substrate: event/object interning, stack
+ * string formats, and text round-tripping (the cross-process
+ * interface of the paper's pipeline), including a randomized
+ * round-trip property sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/random.hh"
+#include "trace/trace.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::trace;
+
+TEST(Trace, ObjectsInternBySite)
+{
+    Trace tr;
+    uint32_t a = tr.internObject("pm:pool", true);
+    uint32_t b = tr.internObject("f#3", false);
+    EXPECT_EQ(tr.internObject("pm:pool", true), a);
+    EXPECT_NE(a, b);
+    ASSERT_EQ(tr.objects().size(), 2u);
+    EXPECT_TRUE(tr.objects()[a].isPm);
+    EXPECT_FALSE(tr.objects()[b].isPm);
+}
+
+TEST(Trace, AppendAssignsSequenceNumbers)
+{
+    Trace tr;
+    Event e;
+    e.kind = EventKind::Fence;
+    e.stack = {{"f", 1, "a.c", 2}};
+    EXPECT_EQ(tr.append(e).seq, 0u);
+    EXPECT_EQ(tr.append(e).seq, 1u);
+    EXPECT_EQ(tr.size(), 2u);
+}
+
+TEST(Trace, StackStringRoundTrip)
+{
+    std::vector<StackFrame> stack = {
+        {"update", 3, "kv.c", 12},
+        {"modify", 7, "kv.c", 40},
+        {"main", 0xFFFFFFFEu, "", 0},
+    };
+    std::string s = stackToString(stack);
+    EXPECT_NE(s.find("update@3(kv.c:12)"), std::string::npos);
+    EXPECT_NE(s.find(" < "), std::string::npos);
+
+    std::vector<StackFrame> parsed;
+    ASSERT_TRUE(stackFromString(s, parsed));
+    EXPECT_EQ(parsed, stack);
+}
+
+TEST(Trace, StackStringRejectsGarbage)
+{
+    std::vector<StackFrame> parsed;
+    EXPECT_FALSE(stackFromString("not a stack", parsed));
+    EXPECT_FALSE(stackFromString("f@x(a.c:1)", parsed));
+    EXPECT_FALSE(stackFromString("f@1(noline)", parsed));
+    EXPECT_TRUE(stackFromString("", parsed));
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(Trace, TextRoundTripPreservesEverything)
+{
+    Trace tr;
+    uint32_t obj = tr.internObject("pm:pool", true);
+
+    Event map;
+    map.kind = EventKind::PmMap;
+    map.addr = 0x20000000;
+    map.size = 4096;
+    map.isPm = true;
+    map.objectId = obj;
+    map.symbol = "pool";
+    map.stack = {{"main", 0, "m.c", 1}};
+    tr.append(map);
+
+    Event store;
+    store.kind = EventKind::Store;
+    store.addr = 0x20000040;
+    store.size = 8;
+    store.isPm = true;
+    store.nonTemporal = true;
+    store.objectId = obj;
+    store.stack = {{"leaf", 5, "l.c", 9}, {"main", 2, "m.c", 3}};
+    tr.append(store);
+
+    Event flush;
+    flush.kind = EventKind::Flush;
+    flush.addr = 0x20000040;
+    flush.size = 64;
+    flush.isPm = true;
+    flush.sub = 1;
+    flush.stack = {{"main", 3, "m.c", 4}};
+    tr.append(flush);
+
+    Event out;
+    out.kind = EventKind::Output;
+    out.symbol = "count";
+    out.value = 1234;
+    out.stack = {{"main", 4, "m.c", 5}};
+    tr.append(out);
+
+    std::string text = tr.writeText();
+    Trace parsed;
+    std::string error;
+    ASSERT_TRUE(Trace::readText(text, parsed, &error)) << error;
+    ASSERT_EQ(parsed.size(), tr.size());
+    ASSERT_EQ(parsed.objects().size(), tr.objects().size());
+
+    for (size_t i = 0; i < tr.size(); i++) {
+        const Event &a = tr.at(i);
+        const Event &b = parsed.at(i);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.size, b.size);
+        EXPECT_EQ(a.isPm, b.isPm);
+        EXPECT_EQ(a.nonTemporal, b.nonTemporal);
+        EXPECT_EQ(a.sub, b.sub);
+        EXPECT_EQ(a.objectId, b.objectId);
+        EXPECT_EQ(a.symbol, b.symbol);
+        EXPECT_EQ(a.value, b.value);
+        EXPECT_EQ(a.stack, b.stack);
+    }
+}
+
+TEST(Trace, ReadTextRejectsMalformedInput)
+{
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(Trace::readText("#0 BOGUS | f@0(a:1)", out, &error));
+    EXPECT_FALSE(Trace::readText("#0 STORE addr=zz | f@0(a:1)", out,
+                                 &error));
+    EXPECT_FALSE(Trace::readText("#0 STORE addr=1", out, &error))
+        << "missing stack separator";
+    EXPECT_FALSE(Trace::readText("#5 FENCE | f@0(a:1)", out, &error))
+        << "non-contiguous sequence numbers";
+    EXPECT_TRUE(Trace::readText("", out, &error));
+    EXPECT_TRUE(out.empty());
+}
+
+/** Property sweep: random traces survive the text round-trip. */
+class TraceRoundTrip : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(TraceRoundTrip, RandomTraceSurvives)
+{
+    Rng rng(GetParam());
+    Trace tr;
+    uint32_t objs[3] = {
+        tr.internObject("pm:a", true),
+        tr.internObject("f#1", false),
+        tr.internObject("pm:b", true),
+    };
+    const char *functions[] = {"alpha", "beta_2", "gamma_x"};
+
+    uint64_t n = 20 + rng.nextBelow(60);
+    for (uint64_t i = 0; i < n; i++) {
+        Event e;
+        e.kind = (EventKind)rng.nextBelow(6);
+        e.addr = 0x20000000 + rng.nextBelow(1 << 16) * 8;
+        e.size = 1ULL << rng.nextBelow(4);
+        e.isPm = rng.chance(0.7);
+        e.nonTemporal = rng.chance(0.1);
+        e.sub = (uint8_t)rng.nextBelow(3);
+        e.objectId = objs[rng.nextBelow(3)];
+        if (e.kind == EventKind::PmMap ||
+            e.kind == EventKind::DurPoint ||
+            e.kind == EventKind::Output)
+            e.symbol = "sym" + std::to_string(rng.nextBelow(10));
+        if (e.kind == EventKind::Output)
+            e.value = rng.next();
+        uint64_t depth = 1 + rng.nextBelow(4);
+        for (uint64_t d = 0; d < depth; d++) {
+            e.stack.push_back({functions[rng.nextBelow(3)],
+                               (uint32_t)rng.nextBelow(100),
+                               rng.chance(0.8) ? "file.c" : "",
+                               (int)rng.nextBelow(500)});
+        }
+        tr.append(std::move(e));
+    }
+
+    std::string text = tr.writeText();
+    Trace parsed;
+    std::string error;
+    ASSERT_TRUE(Trace::readText(text, parsed, &error)) << error;
+    ASSERT_EQ(parsed.size(), tr.size());
+    EXPECT_EQ(parsed.writeText(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace hippo::test

@@ -1,0 +1,141 @@
+#include "test_util.hh"
+
+#include "support/logging.hh"
+
+namespace hippo::test
+{
+
+using namespace hippo::ir;
+
+std::unique_ptr<Module>
+buildListing5(bool with_fence, uint64_t vol_iters)
+{
+    auto m = std::make_unique<Module>("listing5");
+    IRBuilder b(m.get());
+
+    // update(addr, idx, val): addr[idx] = val
+    Function *update = m->addFunction("update", Type::Void);
+    {
+        Argument *addr = update->addParam(Type::Ptr, "addr");
+        Argument *idx = update->addParam(Type::Int, "idx");
+        Argument *val = update->addParam(Type::Int, "val");
+        b.setInsertPoint(update->addBlock("entry"));
+        b.setLoc("listing5.c", 2);
+        Instruction *p = b.createGep(addr, idx);
+        b.createStore(val, p, 1);
+        b.createRet();
+    }
+
+    // modify(addr): update(addr, 0, 42)
+    Function *modify = m->addFunction("modify", Type::Void);
+    {
+        Argument *addr = modify->addParam(Type::Ptr, "addr");
+        b.setInsertPoint(modify->addBlock("entry"));
+        b.setLoc("listing5.c", 5);
+        b.createCall(update, {addr, b.getInt(0), b.getInt(42)});
+        b.createRet();
+    }
+
+    // foo()
+    Function *foo = m->addFunction("foo", Type::Void);
+    {
+        BasicBlock *entry = foo->addBlock("entry");
+        BasicBlock *loop = foo->addBlock("loop");
+        BasicBlock *body = foo->addBlock("body");
+        BasicBlock *done = foo->addBlock("done");
+
+        b.setInsertPoint(entry);
+        b.setLoc("listing5.c", 17);
+        Instruction *vol = b.createAlloca(64);
+        Instruction *pm = b.createPmMap("pool", 64);
+        Instruction *iv = b.createAlloca(8);
+        b.createStore(b.getInt(0), iv, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        Instruction *more =
+            b.createCmp(CmpPred::Ult, i, b.getInt(vol_iters));
+        b.createCondBr(more, body, done);
+
+        b.setInsertPoint(body);
+        b.setLoc("listing5.c", 18);
+        b.createCall(modify, {vol});
+        b.createStore(b.createAdd(i, b.getInt(1)), iv, 8);
+        b.createBr(loop);
+
+        b.setInsertPoint(done);
+        b.setLoc("listing5.c", 19);
+        b.createCall(modify, {pm});
+        if (with_fence) {
+            b.setLoc("listing5.c", 22);
+            b.createFence(FenceKind::Sfence);
+        }
+        b.setLoc("listing5.c", 23);
+        b.createDurPoint("crash");
+        // Make the persisted value observable for equivalence checks.
+        Instruction *check = b.createLoad(pm, 1);
+        b.createPrint("pm_byte", check);
+        b.createRet();
+    }
+
+    verifyOrDie(*m);
+    return m;
+}
+
+namespace
+{
+
+PipelineResult
+runPipelineImpl(ir::Module *m, const std::string &entry,
+                const std::vector<uint64_t> &args,
+                core::FixerConfig cfg)
+{
+    PipelineResult res;
+
+    // Bug-finding run (tracing on).
+    {
+        pmem::PmPool pool(16u << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m, &pool, vc);
+        machine.run(entry, args);
+        res.before = pmcheck::analyze(machine.trace());
+        res.outputsBefore = machine.outputs();
+
+        core::Fixer fixer(m, cfg);
+        res.summary =
+            fixer.fix(res.before, machine.trace(),
+                      &machine.dynPointsTo());
+    }
+
+    // Validation run on the fixed module.
+    {
+        pmem::PmPool pool(16u << 20);
+        vm::VmConfig vc;
+        vc.traceEnabled = true;
+        vm::Vm machine(m, &pool, vc);
+        machine.run(entry, args);
+        res.after = pmcheck::analyze(machine.trace());
+        res.outputsAfter = machine.outputs();
+    }
+    return res;
+}
+
+} // namespace
+
+PipelineResult
+runPipeline(ir::Module *m, const std::string &entry,
+            core::FixerConfig cfg)
+{
+    return runPipelineImpl(m, entry, {}, cfg);
+}
+
+PipelineResult
+runPipelineWithArg(ir::Module *m, const std::string &entry,
+                   uint64_t arg, core::FixerConfig cfg)
+{
+    return runPipelineImpl(m, entry, {arg}, cfg);
+}
+
+} // namespace hippo::test

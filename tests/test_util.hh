@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the test suite: canned PMIR programs (including
+ * the paper's Listing 5/6 running example) and a one-call
+ * trace/detect/fix/re-check pipeline driver.
+ */
+
+#ifndef HIPPO_TESTS_TEST_UTIL_HH
+#define HIPPO_TESTS_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "core/fixer.hh"
+#include "ir/builder.hh"
+#include "ir/module.hh"
+#include "ir/verifier.hh"
+#include "pmcheck/detector.hh"
+#include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
+
+namespace hippo::test
+{
+
+/**
+ * Build the paper's Listing 5/6 running example:
+ *
+ *   void update(char *addr, int idx, char val) { addr[idx] = val; }
+ *   void modify(char *addr) { update(addr, 0, 42); }
+ *   void foo() {
+ *       for (i < volIters) modify(vol_addr);
+ *       modify(pm_addr);
+ *       SFENCE;            // only when withFence
+ *       ***CRASH***        // durpoint
+ *   }
+ *
+ * The PM store in update is never flushed: a missing-flush bug when
+ * @p with_fence, a missing-flush&fence bug otherwise.
+ */
+std::unique_ptr<ir::Module> buildListing5(bool with_fence,
+                                          uint64_t vol_iters = 100);
+
+/** Result of running the full pipeline once. */
+struct PipelineResult
+{
+    pmcheck::Report before;     ///< report on the buggy program
+    core::FixSummary summary;   ///< what Hippocrates did
+    pmcheck::Report after;      ///< report on the fixed program
+    std::vector<vm::ProgramOutput> outputsBefore;
+    std::vector<vm::ProgramOutput> outputsAfter;
+};
+
+/**
+ * Trace @p entry, detect bugs, fix them with @p cfg, re-run and
+ * re-detect. The module is mutated in place.
+ */
+PipelineResult runPipeline(ir::Module *m, const std::string &entry,
+                           core::FixerConfig cfg = {});
+
+/** Same, for entry points taking one integer argument. */
+PipelineResult runPipelineWithArg(ir::Module *m,
+                                  const std::string &entry,
+                                  uint64_t arg,
+                                  core::FixerConfig cfg = {});
+
+} // namespace hippo::test
+
+#endif // HIPPO_TESTS_TEST_UTIL_HH

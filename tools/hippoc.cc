@@ -1,0 +1,185 @@
+/**
+ * @file
+ * hippoc — the Hippocrates command-line driver.
+ *
+ * Runs the full Fig. 2 pipeline on a textual PMIR module:
+ * execute the entry point under the bug finder, report durability
+ * bugs, repair them, and write the repaired module back out.
+ *
+ *   hippoc prog.pmir                      # check + fix, print report
+ *   hippoc prog.pmir -o fixed.pmir        # write the repaired module
+ *   hippoc prog.pmir --check-only         # detector only (exit 1 on bugs)
+ *   hippoc prog.pmir --no-hoist           # intraprocedural fixes only
+ *   hippoc prog.pmir --trace-aa           # Trace-AA heuristic
+ *   hippoc prog.pmir --patch-plan         # source-level fix plan
+ *   hippoc prog.pmir --clean-flushes      # drop redundant flushes (§7)
+ *   hippoc prog.pmir --entry start        # entry point (default: main)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/fixer.hh"
+#include "core/flush_cleaner.hh"
+#include "core/patch_writer.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "pmcheck/detector.hh"
+#include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
+
+using namespace hippo;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <module.pmir> [--entry NAME] [--check-only]\n"
+        "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
+        "          [--clean-flushes] [--patch-plan] [--stats]\n"
+        "          [-o OUT.pmir]\n",
+        argv0);
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "hippoc: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input, output, entry = "main";
+    bool check_only = false, patch_plan = false;
+    bool clean_flushes = false, show_stats = false;
+    core::FixerConfig cfg;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--entry" && i + 1 < argc) {
+            entry = argv[++i];
+        } else if (arg == "-o" && i + 1 < argc) {
+            output = argv[++i];
+        } else if (arg == "--check-only") {
+            check_only = true;
+        } else if (arg == "--no-hoist") {
+            cfg.enableHoisting = false;
+        } else if (arg == "--no-reduce") {
+            cfg.enableReduction = false;
+        } else if (arg == "--trace-aa") {
+            cfg.aaMode = analysis::AaMode::TraceAA;
+        } else if (arg == "--clean-flushes") {
+            clean_flushes = true;
+        } else if (arg == "--patch-plan") {
+            patch_plan = true;
+        } else if (arg == "--stats") {
+            show_stats = true;
+        } else if (arg[0] == '-') {
+            usage(argv[0]);
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (input.empty())
+        usage(argv[0]);
+
+    std::string error;
+    auto m = ir::parseModule(readFile(input), &error);
+    if (!m) {
+        std::fprintf(stderr, "hippoc: parse error: %s\n",
+                     error.c_str());
+        return 2;
+    }
+    auto problems = ir::verifyModule(*m);
+    if (!problems.empty()) {
+        std::fprintf(stderr, "hippoc: invalid module: %s\n",
+                     problems.front().c_str());
+        return 2;
+    }
+    if (!m->findFunction(entry)) {
+        std::fprintf(stderr, "hippoc: no entry function @%s\n",
+                     entry.c_str());
+        return 2;
+    }
+
+    // Step 1 (Fig. 2): run the bug finder.
+    pmem::PmPool pool(64u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run(entry);
+    auto report = pmcheck::analyze(machine.trace());
+
+    if (show_stats)
+        std::printf("%s\n", machine.statsString().c_str());
+    std::printf("%s", report.writeText().c_str());
+    if (check_only)
+        return report.clean() ? 0 : 1;
+    if (report.clean()) {
+        std::printf("no durability bugs; nothing to fix\n");
+    } else {
+        // Steps 2-4: repair.
+        core::Fixer fixer(m.get(), cfg);
+        auto summary = fixer.fix(report, machine.trace(),
+                                 &machine.dynPointsTo());
+        std::printf("\n%s\n", summary.str().c_str());
+        for (const auto &f : summary.fixes)
+            std::printf("  %s\n", f.str().c_str());
+        if (patch_plan)
+            std::printf("\n%s",
+                        core::renderPatchPlan(*m, summary).c_str());
+
+        // Validate: the repaired module must re-check clean.
+        pmem::PmPool vpool(64u << 20);
+        vm::Vm check(m.get(), &vpool, vc);
+        check.run(entry);
+        auto after = pmcheck::analyze(check.trace());
+        if (!after.clean()) {
+            std::fprintf(stderr,
+                         "hippoc: %zu bug(s) remain after repair\n",
+                         after.bugs.size());
+            return 1;
+        }
+        std::printf("\nre-check: clean\n");
+    }
+
+    if (clean_flushes) {
+        auto stats = core::cleanRedundantFlushes(m.get());
+        std::printf("flush cleaner: removed %zu redundant "
+                    "flush(es), kept %zu\n",
+                    stats.flushesRemoved, stats.flushesKept);
+    }
+
+    if (!output.empty()) {
+        std::ofstream out(output);
+        if (!out) {
+            std::fprintf(stderr, "hippoc: cannot write %s\n",
+                         output.c_str());
+            return 2;
+        }
+        ir::printModule(*m, out);
+        std::printf("wrote %s\n", output.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_redis_ycsb.dir/bench_fig4_redis_ycsb.cc.o"
+  "CMakeFiles/bench_fig4_redis_ycsb.dir/bench_fig4_redis_ycsb.cc.o.d"
+  "bench_fig4_redis_ycsb"
+  "bench_fig4_redis_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_redis_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

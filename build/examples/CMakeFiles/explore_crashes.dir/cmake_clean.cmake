@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_crashes.dir/explore_crashes.cpp.o"
+  "CMakeFiles/explore_crashes.dir/explore_crashes.cpp.o.d"
+  "explore_crashes"
+  "explore_crashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_crashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

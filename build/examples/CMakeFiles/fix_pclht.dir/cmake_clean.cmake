@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_pclht.dir/fix_pclht.cpp.o"
+  "CMakeFiles/fix_pclht.dir/fix_pclht.cpp.o.d"
+  "fix_pclht"
+  "fix_pclht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_pclht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_redis.dir/port_redis.cpp.o"
+  "CMakeFiles/port_redis.dir/port_redis.cpp.o.d"
+  "port_redis"
+  "port_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

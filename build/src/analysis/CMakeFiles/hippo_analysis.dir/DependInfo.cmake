@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alias_scorer.cc" "src/analysis/CMakeFiles/hippo_analysis.dir/alias_scorer.cc.o" "gcc" "src/analysis/CMakeFiles/hippo_analysis.dir/alias_scorer.cc.o.d"
+  "/root/repo/src/analysis/call_graph.cc" "src/analysis/CMakeFiles/hippo_analysis.dir/call_graph.cc.o" "gcc" "src/analysis/CMakeFiles/hippo_analysis.dir/call_graph.cc.o.d"
+  "/root/repo/src/analysis/points_to.cc" "src/analysis/CMakeFiles/hippo_analysis.dir/points_to.cc.o" "gcc" "src/analysis/CMakeFiles/hippo_analysis.dir/points_to.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/hippo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hippo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hippo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/hippo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hippo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_analysis.dir/alias_scorer.cc.o"
+  "CMakeFiles/hippo_analysis.dir/alias_scorer.cc.o.d"
+  "CMakeFiles/hippo_analysis.dir/call_graph.cc.o"
+  "CMakeFiles/hippo_analysis.dir/call_graph.cc.o.d"
+  "CMakeFiles/hippo_analysis.dir/points_to.cc.o"
+  "CMakeFiles/hippo_analysis.dir/points_to.cc.o.d"
+  "libhippo_analysis.a"
+  "libhippo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_apps.dir/bugstudy.cc.o"
+  "CMakeFiles/hippo_apps.dir/bugstudy.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/bugsuite.cc.o"
+  "CMakeFiles/hippo_apps.dir/bugsuite.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/kv_driver.cc.o"
+  "CMakeFiles/hippo_apps.dir/kv_driver.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/pclht.cc.o"
+  "CMakeFiles/hippo_apps.dir/pclht.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/pmcache.cc.o"
+  "CMakeFiles/hippo_apps.dir/pmcache.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/pmkv.cc.o"
+  "CMakeFiles/hippo_apps.dir/pmkv.cc.o.d"
+  "CMakeFiles/hippo_apps.dir/pmlog.cc.o"
+  "CMakeFiles/hippo_apps.dir/pmlog.cc.o.d"
+  "libhippo_apps.a"
+  "libhippo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

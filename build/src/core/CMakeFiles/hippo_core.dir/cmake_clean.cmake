@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_core.dir/fixer.cc.o"
+  "CMakeFiles/hippo_core.dir/fixer.cc.o.d"
+  "CMakeFiles/hippo_core.dir/flush_cleaner.cc.o"
+  "CMakeFiles/hippo_core.dir/flush_cleaner.cc.o.d"
+  "CMakeFiles/hippo_core.dir/patch_writer.cc.o"
+  "CMakeFiles/hippo_core.dir/patch_writer.cc.o.d"
+  "libhippo_core.a"
+  "libhippo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/hippo_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/cloner.cc" "src/ir/CMakeFiles/hippo_ir.dir/cloner.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/cloner.cc.o.d"
+  "/root/repo/src/ir/ir.cc" "src/ir/CMakeFiles/hippo_ir.dir/ir.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/ir.cc.o.d"
+  "/root/repo/src/ir/parser.cc" "src/ir/CMakeFiles/hippo_ir.dir/parser.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/parser.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/hippo_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/hippo_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/hippo_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hippo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_ir.dir/builder.cc.o"
+  "CMakeFiles/hippo_ir.dir/builder.cc.o.d"
+  "CMakeFiles/hippo_ir.dir/cloner.cc.o"
+  "CMakeFiles/hippo_ir.dir/cloner.cc.o.d"
+  "CMakeFiles/hippo_ir.dir/ir.cc.o"
+  "CMakeFiles/hippo_ir.dir/ir.cc.o.d"
+  "CMakeFiles/hippo_ir.dir/parser.cc.o"
+  "CMakeFiles/hippo_ir.dir/parser.cc.o.d"
+  "CMakeFiles/hippo_ir.dir/printer.cc.o"
+  "CMakeFiles/hippo_ir.dir/printer.cc.o.d"
+  "CMakeFiles/hippo_ir.dir/verifier.cc.o"
+  "CMakeFiles/hippo_ir.dir/verifier.cc.o.d"
+  "libhippo_ir.a"
+  "libhippo_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

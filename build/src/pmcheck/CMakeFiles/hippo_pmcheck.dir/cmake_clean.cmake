@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_pmcheck.dir/crash_explorer.cc.o"
+  "CMakeFiles/hippo_pmcheck.dir/crash_explorer.cc.o.d"
+  "CMakeFiles/hippo_pmcheck.dir/detector.cc.o"
+  "CMakeFiles/hippo_pmcheck.dir/detector.cc.o.d"
+  "CMakeFiles/hippo_pmcheck.dir/pmtest_adapter.cc.o"
+  "CMakeFiles/hippo_pmcheck.dir/pmtest_adapter.cc.o.d"
+  "libhippo_pmcheck.a"
+  "libhippo_pmcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_pmcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_pmem.dir/pm_pool.cc.o"
+  "CMakeFiles/hippo_pmem.dir/pm_pool.cc.o.d"
+  "libhippo_pmem.a"
+  "libhippo_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

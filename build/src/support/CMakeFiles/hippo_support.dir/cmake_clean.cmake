@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_support.dir/logging.cc.o"
+  "CMakeFiles/hippo_support.dir/logging.cc.o.d"
+  "CMakeFiles/hippo_support.dir/random.cc.o"
+  "CMakeFiles/hippo_support.dir/random.cc.o.d"
+  "CMakeFiles/hippo_support.dir/stats.cc.o"
+  "CMakeFiles/hippo_support.dir/stats.cc.o.d"
+  "CMakeFiles/hippo_support.dir/stopwatch.cc.o"
+  "CMakeFiles/hippo_support.dir/stopwatch.cc.o.d"
+  "CMakeFiles/hippo_support.dir/strings.cc.o"
+  "CMakeFiles/hippo_support.dir/strings.cc.o.d"
+  "libhippo_support.a"
+  "libhippo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

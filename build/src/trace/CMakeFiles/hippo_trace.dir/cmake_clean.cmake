@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_trace.dir/trace.cc.o"
+  "CMakeFiles/hippo_trace.dir/trace.cc.o.d"
+  "libhippo_trace.a"
+  "libhippo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_vm.dir/vm.cc.o"
+  "CMakeFiles/hippo_vm.dir/vm.cc.o.d"
+  "libhippo_vm.a"
+  "libhippo_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

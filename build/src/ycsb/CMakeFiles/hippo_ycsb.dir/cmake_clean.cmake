@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_ycsb.dir/ycsb.cc.o"
+  "CMakeFiles/hippo_ycsb.dir/ycsb.cc.o.d"
+  "libhippo_ycsb.a"
+  "libhippo_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhippo_ycsb.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippo_test_util.dir/test_util.cc.o"
+  "CMakeFiles/hippo_test_util.dir/test_util.cc.o.d"
+  "libhippo_test_util.a"
+  "libhippo_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippo_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bugstudy.cc" "tests/CMakeFiles/test_bugstudy.dir/test_bugstudy.cc.o" "gcc" "tests/CMakeFiles/test_bugstudy.dir/test_bugstudy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/hippo_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hippo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hippo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hippo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmcheck/CMakeFiles/hippo_pmcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hippo_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/hippo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hippo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/hippo_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/hippo_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hippo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

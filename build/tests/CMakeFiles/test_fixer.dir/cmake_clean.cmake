@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixer.dir/test_fixer.cc.o"
+  "CMakeFiles/test_fixer.dir/test_fixer.cc.o.d"
+  "test_fixer"
+  "test_fixer.pdb"
+  "test_fixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmcheck.dir/test_pmcheck.cc.o"
+  "CMakeFiles/test_pmcheck.dir/test_pmcheck.cc.o.d"
+  "test_pmcheck"
+  "test_pmcheck.pdb"
+  "test_pmcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmkv.dir/test_pmkv.cc.o"
+  "CMakeFiles/test_pmkv.dir/test_pmkv.cc.o.d"
+  "test_pmkv"
+  "test_pmkv.pdb"
+  "test_pmkv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

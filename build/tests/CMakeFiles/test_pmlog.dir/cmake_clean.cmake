@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmlog.dir/test_pmlog.cc.o"
+  "CMakeFiles/test_pmlog.dir/test_pmlog.cc.o.d"
+  "test_pmlog"
+  "test_pmlog.pdb"
+  "test_pmlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hippoc.dir/hippoc.cc.o"
+  "CMakeFiles/hippoc.dir/hippoc.cc.o.d"
+  "hippoc"
+  "hippoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hippoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hippoc.
+# This may be replaced when dependencies are built.

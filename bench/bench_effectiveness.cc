@@ -7,6 +7,7 @@
  * heuristic variants produce identical fixes.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "apps/bugsuite.hh"
@@ -14,6 +15,7 @@
 #include "apps/pmcache.hh"
 #include "bench_util.hh"
 #include "pmem/pm_pool.hh"
+#include "support/thread_pool.hh"
 #include "vm/vm.hh"
 
 namespace
@@ -95,19 +97,29 @@ main()
     bench::banner("§6.1 Effectiveness — fixing all 23 reproduced "
                   "durability bugs");
 
+    unsigned jobs = (unsigned)bench::envKnob(
+        "HIPPO_JOBS", support::hardwareConcurrency());
+
     std::vector<TargetResult> results;
 
-    // The 11 PMDK issue reproductions, each its own module.
+    // The 11 PMDK issue reproductions, each its own module: the
+    // fix->re-verify pipeline fans out one worker per bug program.
     {
+        core::FixerConfig fcfg;
+        fcfg.jobs = jobs;
+        core::FixerConfig tcfg;
+        tcfg.jobs = jobs;
+        tcfg.aaMode = analysis::AaMode::TraceAA;
+        auto fulls = apps::evaluateCases(apps::pmdkBugCases(), fcfg);
+        auto trs = apps::evaluateCases(apps::pmdkBugCases(), tcfg);
+
         TargetResult pmdk;
         pmdk.name = "PMDK (unit tests)";
         pmdk.recheckClean = true;
         pmdk.aaModesAgree = true;
-        for (const auto &c : apps::pmdkBugCases()) {
-            auto full = apps::evaluateCase(c);
-            core::FixerConfig tcfg;
-            tcfg.aaMode = analysis::AaMode::TraceAA;
-            auto tr = apps::evaluateCase(c, tcfg);
+        for (size_t i = 0; i < fulls.size(); i++) {
+            const auto &full = fulls[i];
+            const auto &tr = trs[i];
             pmdk.bugsFound += full.detected ? 1 : 0;
             pmdk.bugsFixed += full.fixedClean ? 1 : 0;
             pmdk.recheckClean &= full.fixedClean && tr.fixedClean;
@@ -116,12 +128,22 @@ main()
         results.push_back(pmdk);
     }
 
-    results.push_back(runTarget(
-        "P-CLHT (RECIPE)",
-        [] { return apps::buildPclht({}); }, "clht_example", 24));
-    results.push_back(runTarget(
-        "memcached-pm",
-        [] { return apps::buildPmcache({}); }, "mc_example", 24));
+    // The two whole-program targets repair concurrently too.
+    results.resize(3);
+    {
+        support::ThreadPool pool(std::min(jobs, 2u));
+        pool.parallelForEach(1, 3, [&](uint64_t i) {
+            results[i] =
+                i == 1 ? runTarget("P-CLHT (RECIPE)",
+                                   [] { return apps::buildPclht({}); },
+                                   "clht_example", 24)
+                       : runTarget("memcached-pm",
+                                   [] {
+                                       return apps::buildPmcache({});
+                                   },
+                                   "mc_example", 24);
+        });
+    }
 
     bench::Table table({"Target", "Bugs found", "Bugs fixed",
                         "Re-check clean", "Full-AA == Trace-AA"});

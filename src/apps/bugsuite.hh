@@ -73,6 +73,16 @@ struct CaseResult
 CaseResult evaluateCase(const BugCase &c,
                         core::FixerConfig cfg = {});
 
+/**
+ * Evaluate many cases with one worker per bug program (`cfg.jobs`
+ * workers; 0 = hardware concurrency). Every case builds, fixes, and
+ * re-verifies its own modules/pools/VMs, so results come back in
+ * case order and identical to a serial evaluateCase loop.
+ */
+std::vector<CaseResult>
+evaluateCases(const std::vector<BugCase> &cases,
+              core::FixerConfig cfg = {});
+
 } // namespace hippo::apps
 
 #endif // HIPPO_APPS_BUGSUITE_HH

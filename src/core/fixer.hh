@@ -57,6 +57,15 @@ struct FixerConfig
     ir::FlushKind flushKind = ir::FlushKind::Clwb;
     ir::FenceKind fenceKind = ir::FenceKind::Sfence;
 
+    /**
+     * Suite-level fan-out: how many independent bug programs the
+     * batch drivers (apps::evaluateCases, the effectiveness benches,
+     * `hippoc --jobs`) detect/fix/re-verify concurrently. The Fixer
+     * itself stays single-threaded per module — it mutates it.
+     * 0 = one worker per hardware thread.
+     */
+    unsigned jobs = 0;
+
     bool verbose = false;
 };
 

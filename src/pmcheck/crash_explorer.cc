@@ -4,6 +4,7 @@
 
 #include "pmem/pm_pool.hh"
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "vm/vm.hh"
 
 namespace hippo::pmcheck
@@ -17,7 +18,7 @@ void
 profileRun(ir::Module *m, const CrashExplorerConfig &cfg,
            ExplorationResult &out)
 {
-    pmem::PmPool pool(cfg.poolBytes);
+    pmem::PmPool pool(cfg.poolBytes, cfg.evictChance, cfg.seed);
     vm::VmConfig vc;
     vc.traceEnabled = true;
     vc.durPointAtExit = false;
@@ -33,11 +34,22 @@ profileRun(ir::Module *m, const CrashExplorerConfig &cfg,
         recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
 }
 
+/** Pool RNG seed for the crash point at plan position @p k: a
+ *  function of the plan, never of the worker (splitmix64 step). */
+uint64_t
+replaySeed(const CrashExplorerConfig &cfg, uint64_t k)
+{
+    uint64_t z = cfg.seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 uint64_t
 crashAndRecover(ir::Module *m, const CrashExplorerConfig &cfg,
-                int64_t dur_point, uint64_t step)
+                int64_t dur_point, uint64_t step, uint64_t pool_seed)
 {
-    pmem::PmPool pool(cfg.poolBytes);
+    pmem::PmPool pool(cfg.poolBytes, cfg.evictChance, pool_seed);
     {
         vm::VmConfig vc;
         vc.crashAtDurPoint = dur_point;
@@ -48,6 +60,35 @@ crashAndRecover(ir::Module *m, const CrashExplorerConfig &cfg,
     pool.crash();
     vm::Vm recovery(m, &pool, {});
     return recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
+}
+
+/** One planned crash: where to pull the plug on the replay. */
+struct PlannedCrash
+{
+    bool atStep = false;
+    uint64_t crashPoint = 0;
+};
+
+/**
+ * Enumerate the crash plan: every durpoint crash first, then every
+ * step-stride crash, truncated to the budget. Serial and parallel
+ * execution both run exactly this plan, in this order.
+ */
+std::vector<PlannedCrash>
+planCrashes(const CrashExplorerConfig &cfg,
+            const ExplorationResult &profile)
+{
+    std::vector<PlannedCrash> plan;
+    if (cfg.exploreDurPoints)
+        for (uint64_t i = 0; i < profile.durPointsInRun; i++)
+            plan.push_back({false, i});
+    if (cfg.stepStride)
+        for (uint64_t s = cfg.stepStride; s < profile.stepsInRun;
+             s += cfg.stepStride)
+            plan.push_back({true, s});
+    if (plan.size() > cfg.maxCrashes)
+        plan.resize(cfg.maxCrashes);
+    return plan;
 }
 
 } // namespace
@@ -92,28 +133,31 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
     ExplorationResult out;
     profileRun(m, cfg, out);
 
-    uint64_t budget = cfg.maxCrashes;
-    if (cfg.exploreDurPoints) {
-        for (uint64_t i = 0; i < out.durPointsInRun && budget;
-             i++, budget--) {
-            CrashOutcome o;
-            o.atStep = false;
-            o.crashPoint = i;
-            o.recovered =
-                crashAndRecover(m, cfg, (int64_t)i, 0);
-            out.outcomes.push_back(o);
-        }
-    }
-    if (cfg.stepStride) {
-        for (uint64_t s = cfg.stepStride;
-             s < out.stepsInRun && budget;
-             s += cfg.stepStride, budget--) {
-            CrashOutcome o;
-            o.atStep = true;
-            o.crashPoint = s;
-            o.recovered = crashAndRecover(m, cfg, -1, s);
-            out.outcomes.push_back(o);
-        }
+    const std::vector<PlannedCrash> plan = planCrashes(cfg, out);
+    out.outcomes.resize(plan.size());
+
+    // Each plan entry replays on a private Vm + PmPool and writes
+    // only outcomes[k], so the merge is the plan order itself and
+    // the result is byte-identical at every jobs setting.
+    auto replay = [&](uint64_t k) {
+        const PlannedCrash &p = plan[k];
+        CrashOutcome o;
+        o.atStep = p.atStep;
+        o.crashPoint = p.crashPoint;
+        o.recovered = crashAndRecover(
+            m, cfg, p.atStep ? -1 : (int64_t)p.crashPoint,
+            p.atStep ? p.crashPoint : 0, replaySeed(cfg, k));
+        out.outcomes[k] = o;
+    };
+
+    unsigned jobs = support::resolveJobs(cfg.jobs);
+    jobs = (unsigned)std::min<uint64_t>(jobs, plan.size());
+    if (jobs <= 1) {
+        for (uint64_t k = 0; k < plan.size(); k++)
+            replay(k);
+    } else {
+        support::ThreadPool pool(jobs);
+        pool.parallelForEach(0, plan.size(), replay);
     }
     return out;
 }

@@ -38,9 +38,37 @@ struct CrashExplorerConfig
     std::vector<uint64_t> recoveryArgs;
 
     bool exploreDurPoints = true; ///< crash at every durpoint
+
     uint64_t stepStride = 0;      ///< also crash every N instrs
-    uint64_t maxCrashes = 512;    ///< exploration budget
+
+    /**
+     * Exploration budget. The crash plan enumerates every durpoint
+     * crash first, then every step-stride crash, and is truncated to
+     * this many entries *before* any replay runs: under budget
+     * pressure durpoint crashes are prioritized over step-stride
+     * crashes, and the surviving plan — hence the result — is
+     * identical at every `jobs` setting.
+     */
+    uint64_t maxCrashes = 512;
+
     uint64_t poolBytes = 16u << 20;
+
+    /**
+     * Replay workers. 0 = one per hardware thread; 1 = fully serial
+     * (no pool). Each crash point replays on its own Vm + PmPool and
+     * outcomes merge back in crash-plan order, so every value of
+     * `jobs` yields a byte-identical ExplorationResult.
+     */
+    unsigned jobs = 0;
+
+    /**
+     * Random-eviction injection for replay pools (see PmPool). The
+     * RNG for crash point k is seeded from (seed, k) — by plan
+     * position, not by worker — so eviction timing is reproducible
+     * and independent of `jobs`.
+     */
+    double evictChance = 0.0;
+    uint64_t seed = 1;
 };
 
 /** One explored crash. */
@@ -49,6 +77,8 @@ struct CrashOutcome
     bool atStep = false;      ///< step-based (vs durpoint-based)
     uint64_t crashPoint = 0;  ///< durpoint index or step count
     uint64_t recovered = 0;   ///< recovery entry's return value
+
+    bool operator==(const CrashOutcome &o) const = default;
 };
 
 /** Aggregate exploration result. */
@@ -59,6 +89,8 @@ struct ExplorationResult
     uint64_t stepsInRun = 0;
     uint64_t cleanRunRecovered = 0; ///< recovery after no crash
 
+    bool operator==(const ExplorationResult &o) const = default;
+
     /** Recovered values at successive durpoints never decrease
      *  (the natural invariant of append/insert workloads). */
     bool durPointRecoveryNonDecreasing() const;
@@ -68,7 +100,11 @@ struct ExplorationResult
     uint64_t maxRecovered() const;
 };
 
-/** Run the exploration. The module is not modified. */
+/**
+ * Run the exploration. The module is not modified; with `jobs > 1`
+ * it is shared read-only across the replay workers (see the
+ * "Threading model" section of DESIGN.md).
+ */
 ExplorationResult exploreCrashes(ir::Module *m,
                                  const CrashExplorerConfig &cfg);
 

@@ -70,6 +70,11 @@ struct PmRegion
  * The simulated persistent pool. Addresses handed out are absolute
  * (>= pmBaseAddr) so they can share the VM's single address space
  * with volatile memory.
+ *
+ * Not thread-safe: a pool belongs to one worker at a time (each
+ * parallel crash replay builds its own pool; see DESIGN.md
+ * "Threading model"). The eviction RNG is per-pool, seeded by the
+ * constructor, so replay randomness is independent of scheduling.
  */
 class PmPool
 {

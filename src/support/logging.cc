@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,13 +9,15 @@ namespace hippo
 
 namespace
 {
-bool quietMode = false;
+// Atomic so worker threads may warn() while a driver toggles
+// quiet mode; this is the library's only mutable global.
+std::atomic<bool> quietMode{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quietMode = quiet;
+    quietMode.store(quiet, std::memory_order_relaxed);
 }
 
 void

@@ -1,0 +1,129 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+
+namespace hippo::support
+{
+
+unsigned
+hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    return jobs ? jobs : hardwareConcurrency();
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    unsigned n = resolveJobs(workers);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; i++)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerMain()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        workCv_.wait(lock, [&] {
+            return shutdown_ || (!batch_.done && generation_ != seen);
+        });
+        if (shutdown_)
+            return;
+        seen = generation_;
+        runBatchItems(lock);
+    }
+}
+
+void
+ThreadPool::runBatchItems(std::unique_lock<std::mutex> &lock)
+{
+    Batch &b = batch_;
+    b.pending++;
+    lock.unlock();
+    std::exception_ptr error;
+    while (true) {
+        if (b.failed.cancelled())
+            break;
+        if (b.cancel && b.cancel->cancelled())
+            break;
+        uint64_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b.end)
+            break;
+        try {
+            (*b.fn)(i);
+        } catch (...) {
+            error = std::current_exception();
+            b.failed.cancel();
+            break;
+        }
+    }
+    lock.lock();
+    if (error && !b.firstError)
+        b.firstError = error;
+    if (--b.pending == 0)
+        doneCv_.notify_all();
+}
+
+void
+ThreadPool::parallelForEach(uint64_t begin, uint64_t end,
+                            const std::function<void(uint64_t)> &fn,
+                            CancelToken *cancel)
+{
+    if (begin >= end)
+        return;
+    // One batch at a time. Items must not dispatch onto their own
+    // pool (that would deadlock here); nested parallelism uses a
+    // separate pool instance.
+    std::unique_lock<std::mutex> callers(callersMu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_.next.store(begin, std::memory_order_relaxed);
+    batch_.end = end;
+    batch_.fn = &fn;
+    batch_.cancel = cancel;
+    batch_.failed.reset();
+    batch_.firstError = nullptr;
+    batch_.pending = 0;
+    batch_.done = false;
+    generation_++;
+    workCv_.notify_all();
+
+    doneCv_.wait(lock, [&] {
+        if (batch_.pending)
+            return false;
+        return batch_.next.load(std::memory_order_relaxed) >=
+                   batch_.end ||
+               batch_.failed.cancelled() ||
+               (batch_.cancel && batch_.cancel->cancelled());
+    });
+    // Late-waking workers check done before touching batch state
+    // (fn and cancel dangle once this frame returns).
+    batch_.done = true;
+    batch_.fn = nullptr;
+    batch_.cancel = nullptr;
+    std::exception_ptr error = batch_.firstError;
+    batch_.firstError = nullptr;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace hippo::support

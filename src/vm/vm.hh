@@ -131,6 +131,12 @@ class DynPointsTo
  * persistent image can survive across runs (crash-recovery tests
  * construct one pool and run the program, crash it, then run a
  * recovery entry point against the same pool).
+ *
+ * Threading contract (DESIGN.md "Threading model"): a Vm never
+ * mutates the Module it executes, so independent Vm instances over
+ * distinct pools may run concurrently against one shared module.
+ * The Vm itself (and its pool, trace, and points-to table) is
+ * single-threaded — one Vm per worker.
  */
 class Vm
 {

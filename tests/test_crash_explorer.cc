@@ -113,6 +113,36 @@ TEST(CrashExplorer, BudgetIsRespected)
     EXPECT_EQ(res.outcomes.size(), 7u);
 }
 
+TEST(CrashExplorer, BudgetPrioritizesDurPointsOverStepCrashes)
+{
+    // The crash plan lists every durpoint crash before any
+    // step-stride crash and is truncated to maxCrashes before any
+    // replay runs: under budget pressure the step crashes are the
+    // ones dropped, and only once the budget exceeds the durpoint
+    // count do step crashes get the remainder.
+    apps::PmlogConfig cfg;
+    cfg.seedBugs = false;
+    auto m = apps::buildPmlog(cfg);
+
+    CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {10}; // 11 durpoints (init + 10 appends)
+    xc.recovery = "log_walk";
+    xc.stepStride = 40;
+    xc.maxCrashes = 14;
+
+    auto res = exploreCrashes(m.get(), xc);
+    ASSERT_EQ(res.durPointsInRun, 11u);
+    ASSERT_EQ(res.outcomes.size(), 14u);
+    for (size_t i = 0; i < 11; i++)
+        EXPECT_FALSE(res.outcomes[i].atStep) << "outcome " << i;
+    for (size_t i = 11; i < 14; i++) {
+        EXPECT_TRUE(res.outcomes[i].atStep) << "outcome " << i;
+        EXPECT_EQ(res.outcomes[i].crashPoint,
+                  (i - 10) * xc.stepStride);
+    }
+}
+
 TEST(CrashExplorer, RepairedPclhtIsMonotone)
 {
     auto repaired = apps::buildPclht({});

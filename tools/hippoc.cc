@@ -14,12 +14,21 @@
  *   hippoc prog.pmir --patch-plan         # source-level fix plan
  *   hippoc prog.pmir --clean-flushes      # drop redundant flushes (§7)
  *   hippoc prog.pmir --entry start        # entry point (default: main)
+ *   hippoc a.pmir b.pmir --jobs 8         # repair modules in parallel
+ *
+ * With several input modules the full pipeline runs once per module,
+ * one worker per program (--jobs N workers; default: one per
+ * hardware thread), and reports print in argument order.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/fixer.hh"
 #include "core/flush_cleaner.hh"
@@ -29,6 +38,8 @@
 #include "ir/verifier.hh"
 #include "pmcheck/detector.hh"
 #include "pmem/pm_pool.hh"
+#include "support/strings.hh"
+#include "support/thread_pool.hh"
 #include "vm/vm.hh"
 
 using namespace hippo;
@@ -41,10 +52,10 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s <module.pmir> [--entry NAME] [--check-only]\n"
+        "usage: %s <module.pmir>... [--entry NAME] [--check-only]\n"
         "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
         "          [--clean-flushes] [--patch-plan] [--stats]\n"
-        "          [-o OUT.pmir]\n",
+        "          [--jobs N] [-o OUT.pmir]\n",
         argv0);
     std::exit(2);
 }
@@ -63,63 +74,40 @@ readFile(const std::string &path)
     return ss.str();
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** Everything one pipeline run needs, shared read-only by workers. */
+struct Options
 {
-    std::string input, output, entry = "main";
-    bool check_only = false, patch_plan = false;
-    bool clean_flushes = false, show_stats = false;
+    std::string output, entry = "main";
+    bool checkOnly = false, patchPlan = false;
+    bool cleanFlushes = false, showStats = false;
     core::FixerConfig cfg;
+};
 
-    for (int i = 1; i < argc; i++) {
-        std::string arg = argv[i];
-        if (arg == "--entry" && i + 1 < argc) {
-            entry = argv[++i];
-        } else if (arg == "-o" && i + 1 < argc) {
-            output = argv[++i];
-        } else if (arg == "--check-only") {
-            check_only = true;
-        } else if (arg == "--no-hoist") {
-            cfg.enableHoisting = false;
-        } else if (arg == "--no-reduce") {
-            cfg.enableReduction = false;
-        } else if (arg == "--trace-aa") {
-            cfg.aaMode = analysis::AaMode::TraceAA;
-        } else if (arg == "--clean-flushes") {
-            clean_flushes = true;
-        } else if (arg == "--patch-plan") {
-            patch_plan = true;
-        } else if (arg == "--stats") {
-            show_stats = true;
-        } else if (arg[0] == '-') {
-            usage(argv[0]);
-        } else if (input.empty()) {
-            input = arg;
-        } else {
-            usage(argv[0]);
-        }
-    }
-    if (input.empty())
-        usage(argv[0]);
-
+/**
+ * The full Fig. 2 pipeline on one module. Output is buffered into
+ * @p out / @p err so concurrent pipelines don't interleave; the
+ * caller prints the buffers in argument order.
+ */
+int
+processModule(const std::string &input, const Options &opt,
+              std::string &out, std::string &err)
+{
     std::string error;
     auto m = ir::parseModule(readFile(input), &error);
     if (!m) {
-        std::fprintf(stderr, "hippoc: parse error: %s\n",
-                     error.c_str());
+        err += format("hippoc: %s: parse error: %s\n",
+                      input.c_str(), error.c_str());
         return 2;
     }
     auto problems = ir::verifyModule(*m);
     if (!problems.empty()) {
-        std::fprintf(stderr, "hippoc: invalid module: %s\n",
-                     problems.front().c_str());
+        err += format("hippoc: %s: invalid module: %s\n",
+                      input.c_str(), problems.front().c_str());
         return 2;
     }
-    if (!m->findFunction(entry)) {
-        std::fprintf(stderr, "hippoc: no entry function @%s\n",
-                     entry.c_str());
+    if (!m->findFunction(opt.entry)) {
+        err += format("hippoc: %s: no entry function @%s\n",
+                      input.c_str(), opt.entry.c_str());
         return 2;
     }
 
@@ -128,58 +116,129 @@ main(int argc, char **argv)
     vm::VmConfig vc;
     vc.traceEnabled = true;
     vm::Vm machine(m.get(), &pool, vc);
-    machine.run(entry);
+    machine.run(opt.entry);
     auto report = pmcheck::analyze(machine.trace());
 
-    if (show_stats)
-        std::printf("%s\n", machine.statsString().c_str());
-    std::printf("%s", report.writeText().c_str());
-    if (check_only)
+    if (opt.showStats)
+        out += machine.statsString() + "\n";
+    out += report.writeText();
+    if (opt.checkOnly)
         return report.clean() ? 0 : 1;
     if (report.clean()) {
-        std::printf("no durability bugs; nothing to fix\n");
+        out += "no durability bugs; nothing to fix\n";
     } else {
         // Steps 2-4: repair.
-        core::Fixer fixer(m.get(), cfg);
+        core::Fixer fixer(m.get(), opt.cfg);
         auto summary = fixer.fix(report, machine.trace(),
                                  &machine.dynPointsTo());
-        std::printf("\n%s\n", summary.str().c_str());
+        out += "\n" + summary.str() + "\n";
         for (const auto &f : summary.fixes)
-            std::printf("  %s\n", f.str().c_str());
-        if (patch_plan)
-            std::printf("\n%s",
-                        core::renderPatchPlan(*m, summary).c_str());
+            out += "  " + f.str() + "\n";
+        if (opt.patchPlan)
+            out += "\n" + core::renderPatchPlan(*m, summary);
 
         // Validate: the repaired module must re-check clean.
         pmem::PmPool vpool(64u << 20);
         vm::Vm check(m.get(), &vpool, vc);
-        check.run(entry);
+        check.run(opt.entry);
         auto after = pmcheck::analyze(check.trace());
         if (!after.clean()) {
-            std::fprintf(stderr,
-                         "hippoc: %zu bug(s) remain after repair\n",
-                         after.bugs.size());
+            err += format("hippoc: %s: %zu bug(s) remain after "
+                          "repair\n",
+                          input.c_str(), after.bugs.size());
             return 1;
         }
-        std::printf("\nre-check: clean\n");
+        out += "\nre-check: clean\n";
     }
 
-    if (clean_flushes) {
+    if (opt.cleanFlushes) {
         auto stats = core::cleanRedundantFlushes(m.get());
-        std::printf("flush cleaner: removed %zu redundant "
-                    "flush(es), kept %zu\n",
-                    stats.flushesRemoved, stats.flushesKept);
+        out += format("flush cleaner: removed %zu redundant "
+                      "flush(es), kept %zu\n",
+                      stats.flushesRemoved, stats.flushesKept);
     }
 
-    if (!output.empty()) {
-        std::ofstream out(output);
-        if (!out) {
-            std::fprintf(stderr, "hippoc: cannot write %s\n",
-                         output.c_str());
+    if (!opt.output.empty()) {
+        std::ofstream ofs(opt.output);
+        if (!ofs) {
+            err += format("hippoc: cannot write %s\n",
+                          opt.output.c_str());
             return 2;
         }
-        ir::printModule(*m, out);
-        std::printf("wrote %s\n", output.c_str());
+        ir::printModule(*m, ofs);
+        out += format("wrote %s\n", opt.output.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    Options opt;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--entry" && i + 1 < argc) {
+            opt.entry = argv[++i];
+        } else if (arg == "-o" && i + 1 < argc) {
+            opt.output = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            opt.cfg.jobs = (unsigned)std::atoi(argv[++i]);
+        } else if (arg == "--check-only") {
+            opt.checkOnly = true;
+        } else if (arg == "--no-hoist") {
+            opt.cfg.enableHoisting = false;
+        } else if (arg == "--no-reduce") {
+            opt.cfg.enableReduction = false;
+        } else if (arg == "--trace-aa") {
+            opt.cfg.aaMode = analysis::AaMode::TraceAA;
+        } else if (arg == "--clean-flushes") {
+            opt.cleanFlushes = true;
+        } else if (arg == "--patch-plan") {
+            opt.patchPlan = true;
+        } else if (arg == "--stats") {
+            opt.showStats = true;
+        } else if (arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty())
+        usage(argv[0]);
+    if (inputs.size() > 1 && !opt.output.empty()) {
+        std::fprintf(stderr,
+                     "hippoc: -o requires a single input module\n");
+        return 2;
+    }
+
+    std::vector<std::string> outs(inputs.size()),
+        errs(inputs.size());
+    std::vector<int> codes(inputs.size(), 0);
+    auto one = [&](uint64_t i) {
+        codes[i] = processModule(inputs[i], opt, outs[i], errs[i]);
+    };
+
+    unsigned jobs = support::resolveJobs(opt.cfg.jobs);
+    jobs = (unsigned)std::min<size_t>(jobs, inputs.size());
+    if (jobs <= 1) {
+        for (uint64_t i = 0; i < inputs.size(); i++)
+            one(i);
+    } else {
+        support::ThreadPool pool(jobs);
+        pool.parallelForEach(0, inputs.size(), one);
+    }
+
+    int rc = 0;
+    for (size_t i = 0; i < inputs.size(); i++) {
+        if (inputs.size() > 1)
+            std::printf("==> %s <==\n", inputs[i].c_str());
+        std::fputs(outs[i].c_str(), stdout);
+        std::fputs(errs[i].c_str(), stderr);
+        rc = std::max(rc, codes[i]);
+    }
+    return rc;
 }

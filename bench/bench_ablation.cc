@@ -32,13 +32,14 @@ struct Config
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
     bench::banner("Ablation — Hippocrates phases on flush-free pmkv");
 
-    uint64_t ops = bench::envKnob("HIPPO_ABL_OPS", 600);
-    uint64_t trials = bench::envKnob("HIPPO_ABL_TRIALS", 5);
+    uint64_t ops = bench::knob(opt, "HIPPO_ABL_OPS", 600, 96);
+    uint64_t trials = bench::knob(opt, "HIPPO_ABL_TRIALS", 5, 2);
 
     // One shared bug-finding run.
     auto traced = apps::buildPmkv({});
@@ -100,6 +101,12 @@ main()
              format("+%zu", m->instrCount() - before),
              format("%.0f", a_stats.mean()),
              format("%.0f", c_stats.mean())});
+
+        auto &reg = support::MetricsRegistry::global();
+        std::string p = std::string("ablation.") + c.name;
+        summary.exportMetrics(reg, p + ".fixer");
+        reg.doubleSum(p + ".ycsb_a_mean").add(a_stats.mean());
+        reg.doubleSum(p + ".ycsb_c_mean").add(c_stats.mean());
     }
     table.print();
 
@@ -109,5 +116,6 @@ main()
         "loop); reduction is the fix-count phase (disabling it "
         "plans per-bug instead of per-site, with the same final "
         "binary thanks to apply-time dedup).\n");
+    bench::finishBench(opt, "bench_ablation");
     return 0;
 }

@@ -14,9 +14,10 @@
 #include "ir/printer.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
     bench::banner("§6.4 — Impact of fixes on program size");
 
     auto baseline = apps::buildPmkv({});
@@ -75,5 +76,15 @@ main()
                 "number (tens of IR instructions, bounded by clone "
                 "reuse); the percentage is not, because pmkv is ~3 "
                 "orders of magnitude smaller than Redis.\n");
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("size.baseline_instrs").inc(base_instrs);
+    reg.counter("size.full_instrs")
+        .inc(variants.hippoFull->instrCount());
+    reg.counter("size.intra_instrs")
+        .inc(variants.hippoIntra->instrCount());
+    reg.counter("size.manual_instrs").inc(manual->instrCount());
+    reg.counter("size.full_added").inc(full_added);
+    bench::finishBench(opt, "bench_binary_size");
     return 0;
 }

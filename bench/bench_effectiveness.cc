@@ -91,14 +91,17 @@ runTarget(const std::string &name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
     bench::banner("§6.1 Effectiveness — fixing all 23 reproduced "
                   "durability bugs");
 
-    unsigned jobs = (unsigned)bench::envKnob(
-        "HIPPO_JOBS", support::hardwareConcurrency());
+    // Smoke fixes the worker count so the run is host-independent
+    // (the counters are anyway; this pins scheduling too).
+    unsigned jobs = (unsigned)bench::knob(
+        opt, "HIPPO_JOBS", support::hardwareConcurrency(), 2);
 
     std::vector<TargetResult> results;
 
@@ -163,5 +166,11 @@ main()
     std::printf("\nPaper reference: 23/23 bugs fixed (11 PMDK, "
                 "2 P-CLHT, 10 memcached-pm); both heuristics "
                 "produced the same set of fixes on all systems.\n");
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("effectiveness.bugs_found").inc(total_found);
+    reg.counter("effectiveness.bugs_fixed").inc(total_fixed);
+    reg.counter("effectiveness.targets").inc(results.size());
+    bench::finishBench(opt, "bench_effectiveness");
     return total_found == 23 && total_fixed == 23 ? 0 : 1;
 }

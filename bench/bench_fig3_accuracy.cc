@@ -18,10 +18,11 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hippo;
     using apps::DevFixStyle;
+    auto opt = bench::parseBenchOptions(argc, argv);
     bench::banner("Fig. 3 — Hippocrates fixes vs PMDK developer "
                   "fixes (11 reproduced unit-test bugs)");
 
@@ -36,11 +37,15 @@ main()
     std::map<std::string, Row> rows;
 
     bool all_ok = true;
+    size_t cases = 0, identical = 0;
     for (const auto &c : apps::pmdkBugCases()) {
         auto res = apps::evaluateCase(c);
         bool valid = res.detected && res.fixedClean && res.devClean &&
                      res.persistedStateMatches;
         all_ok &= valid;
+        cases++;
+        identical +=
+            c.devStyle == DevFixStyle::InterproceduralFlushFence;
 
         std::string hippo =
             res.hippoKind == core::FixKind::Interprocedural
@@ -80,5 +85,12 @@ main()
                 "the durability point.\n");
     std::printf("Paper reference: 8/11 functionally identical, 3/11 "
                 "functionally equivalent (452, 940, 943).\n");
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("accuracy.cases").inc(cases);
+    reg.counter("accuracy.identical").inc(identical);
+    reg.counter("accuracy.equivalent").inc(cases - identical);
+    reg.counter("accuracy.validated").inc(all_ok ? cases : 0);
+    bench::finishBench(opt, "bench_fig3_accuracy");
     return all_ok ? 0 : 1;
 }

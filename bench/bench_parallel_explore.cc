@@ -24,9 +24,10 @@
 #include "support/thread_pool.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
     bench::banner("Parallel crash exploration — serial vs. "
                   "work-queue engine");
 
@@ -37,9 +38,9 @@ main()
 
     pmcheck::CrashExplorerConfig xc;
     xc.entry = "log_example";
-    xc.entryArgs = {bench::envKnob("HIPPO_PAR_APPENDS", 64)};
+    xc.entryArgs = {bench::knob(opt, "HIPPO_PAR_APPENDS", 64, 64)};
     xc.recovery = "log_walk";
-    xc.stepStride = bench::envKnob("HIPPO_PAR_STRIDE", 64);
+    xc.stepStride = bench::knob(opt, "HIPPO_PAR_STRIDE", 64, 64);
     xc.maxCrashes = 1u << 20;
 
     // Untimed warm-up so the jobs=1 baseline doesn't absorb the
@@ -53,8 +54,11 @@ main()
 
     unsigned hw = support::hardwareConcurrency();
     std::vector<unsigned> jobList = {1, 2, 4};
-    if (std::find(jobList.begin(), jobList.end(), hw) ==
-        jobList.end())
+    // In smoke mode the jobs list stays fixed so the exploration
+    // counters don't depend on the host's hardware-thread count.
+    if (!opt.smoke &&
+        std::find(jobList.begin(), jobList.end(), hw) ==
+            jobList.end())
         jobList.push_back(hw);
 
     double serialSeconds = 0;
@@ -95,6 +99,12 @@ main()
                 "in crash-plan order.\n",
                 baseline.outcomes.size(),
                 (unsigned long long)xc.entryArgs[0]);
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("parallel.crash_points").inc(baseline.outcomes.size());
+    reg.counter("parallel.jobs_settings").inc(jobList.size());
+    reg.counter("parallel.identical").inc(identical);
+    bench::finishBench(opt, "bench_parallel_explore");
 
     if (!identical) {
         std::printf("FAIL: parallel result diverged from serial\n");

@@ -1,8 +1,18 @@
 /**
  * @file
  * Small shared helpers for the figure/table reproduction binaries:
- * fixed-width table printing and environment-variable knobs so the
- * long-running experiments can be scaled down or up.
+ * fixed-width table printing, environment-variable knobs so the
+ * long-running experiments can be scaled down or up, and the shared
+ * --smoke/--stats harness behind the CI bench gate:
+ *
+ *   bench_xxx --smoke            # fixed reduced workload (ignores
+ *                                # the env knobs, so counters are
+ *                                # baseline-comparable)
+ *   bench_xxx --stats out.json   # write the metrics registry as a
+ *                                # stats document (FORMATS.md §5)
+ *
+ * The CI bench-smoke job runs every bench with both flags and diffs
+ * the JSON against bench/baselines/ with tools/bench_check.
  */
 
 #ifndef HIPPO_BENCH_BENCH_UTIL_HH
@@ -13,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "support/metrics.hh"
 #include "support/strings.hh"
 
 namespace hippo::bench
@@ -77,6 +88,68 @@ envKnob(const char *name, uint64_t def)
     if (!hippo::parseUint(v, out))
         return def;
     return out;
+}
+
+/** Common bench command line (see the file comment). */
+struct BenchOptions
+{
+    bool smoke = false;     ///< fixed reduced workload
+    std::string statsPath;  ///< --stats: write metrics JSON here
+};
+
+/** Parse --smoke / --stats FILE; exits 2 on anything else. */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--smoke") {
+            opt.smoke = true;
+        } else if (arg == "--stats" && i + 1 < argc) {
+            opt.statsPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--stats OUT.json]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+/**
+ * Workload knob: the fixed @p smoke_def in smoke mode (the env is
+ * deliberately ignored so smoke counters are identical everywhere),
+ * the environment override or @p def otherwise.
+ */
+inline uint64_t
+knob(const BenchOptions &opt, const char *name, uint64_t def,
+     uint64_t smoke_def)
+{
+    return opt.smoke ? smoke_def : envKnob(name, def);
+}
+
+/**
+ * End-of-bench hook: write the global metrics registry to the
+ * --stats path (tagged with the bench name and mode). Exits 2 when
+ * the file cannot be written so CI fails loudly.
+ */
+inline void
+finishBench(const BenchOptions &opt, const char *bench_name)
+{
+    if (opt.statsPath.empty())
+        return;
+    std::string error;
+    if (!support::writeStatsJson(
+            opt.statsPath, support::MetricsRegistry::global(),
+            {{"bench", bench_name},
+             {"mode", opt.smoke ? "smoke" : "full"}},
+            &error)) {
+        std::fprintf(stderr, "%s: %s\n", bench_name, error.c_str());
+        std::exit(2);
+    }
+    std::printf("stats written to %s\n", opt.statsPath.c_str());
 }
 
 /** Section banner. */

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "ir/module.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 
 namespace hippo::analysis
@@ -127,6 +128,7 @@ PointsTo::PointsTo(const ir::Module &m)
     }
 
     solve();
+    recordMetrics();
 }
 
 void
@@ -145,6 +147,7 @@ PointsTo::solve()
         uint32_t n = work.front();
         work.pop_front();
         queued[n] = 0;
+        solveIterations_++;
         for (uint32_t s : succ_[n]) {
             size_t before = pts_[s].size();
             pts_[s].insert(pts_[n].begin(), pts_[n].end());
@@ -154,6 +157,21 @@ PointsTo::solve()
             }
         }
     }
+}
+
+void
+PointsTo::recordMetrics() const
+{
+    auto &reg = support::MetricsRegistry::global();
+    const std::string p = "analysis.andersen";
+    reg.counter(p + ".runs").inc();
+    reg.counter(p + ".nodes").inc(pts_.size());
+    reg.counter(p + ".edges").inc(edgeCount_);
+    reg.counter(p + ".objects").inc(objects_.size());
+    reg.counter(p + ".solve_iterations").inc(solveIterations_);
+    auto &sizes = reg.histogram(p + ".pts_size");
+    for (const auto &s : pts_)
+        sizes.observe((double)s.size());
 }
 
 const std::set<uint32_t> &

@@ -66,11 +66,15 @@ class PointsTo
     /** Number of inclusion edges in the constraint graph. */
     size_t edgeCount() const { return edgeCount_; }
 
+    /** Worklist iterations the solver ran (nodes popped). */
+    uint64_t solveIterations() const { return solveIterations_; }
+
   private:
     uint32_t nodeOf(const ir::Value *v);
     void addEdge(const ir::Value *from, const ir::Value *to);
     void seed(const ir::Value *v, uint32_t object);
     void solve();
+    void recordMetrics() const;
 
     std::vector<MemObject> objects_;
     std::map<std::string, uint32_t> objectByKey_;
@@ -79,6 +83,7 @@ class PointsTo
     std::vector<std::set<uint32_t>> pts_;
     std::vector<std::vector<uint32_t>> succ_; ///< inclusion edges
     size_t edgeCount_ = 0;
+    uint64_t solveIterations_ = 0;
 };
 
 } // namespace hippo::analysis

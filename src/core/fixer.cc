@@ -11,6 +11,7 @@
 #include "ir/cloner.hh"
 #include "ir/verifier.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
 
@@ -67,6 +68,30 @@ FixSummary::str() const
         elapsedSeconds);
 }
 
+void
+FixSummary::exportMetrics(support::MetricsRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.counter(prefix + ".runs").inc();
+    reg.counter(prefix + ".bugs").inc(bugsFixed);
+    reg.counter(prefix + ".fixes_planned").inc(fixesPlanned);
+    reg.counter(prefix + ".fixes_after_reduction")
+        .inc(fixesAfterReduction);
+    reg.counter(prefix + ".fixes_applied").inc(fixes.size());
+    reg.counter(prefix + ".fixes_intra").inc(intraproceduralCount());
+    reg.counter(prefix + ".fixes_inter").inc(interproceduralCount());
+    reg.counter(prefix + ".flushes_inserted").inc(flushesInserted);
+    reg.counter(prefix + ".fences_inserted").inc(fencesInserted);
+    reg.counter(prefix + ".functions_cloned").inc(functionsCloned);
+    reg.counter(prefix + ".ir_instrs_added")
+        .inc(irInstrsAfter - irInstrsBefore);
+    reg.counter(prefix + ".verifier_problems")
+        .inc(verifierProblems.size());
+    reg.timer(prefix + ".run_ns")
+        .addNanos((uint64_t)(elapsedSeconds * 1e9));
+    reg.gauge(prefix + ".peak_rss_bytes").setMax((double)peakRssBytes);
+}
+
 /** One reduced fix plan (possibly covering several bugs). */
 struct Fixer::PlannedFix
 {
@@ -105,7 +130,9 @@ class Fixer::Impl
 
         collectBugStores();
         planIntraFixes();   // Phase 1
+        summary.fixesPlanned = plans_.size();
         reduceFixes();      // Phase 2
+        summary.fixesAfterReduction = plans_.size();
         if (cfg_.enableHoisting)
             hoistFixes();   // Phase 3
         applyFixes(summary);

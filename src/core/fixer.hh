@@ -100,6 +100,8 @@ struct FixSummary
 {
     std::vector<AppliedFix> fixes;
     size_t bugsFixed = 0;
+    size_t fixesPlanned = 0;        ///< after phase 1
+    size_t fixesAfterReduction = 0; ///< after phase 2
     uint32_t flushesInserted = 0;
     uint32_t fencesInserted = 0;
     uint32_t functionsCloned = 0;
@@ -108,6 +110,15 @@ struct FixSummary
     double elapsedSeconds = 0;
     uint64_t peakRssBytes = 0;
     std::vector<std::string> verifierProblems;
+
+    /**
+     * Accumulate the fix census (bugs, fixes planned / after
+     * reduction / applied, intra vs. interprocedural split, inserted
+     * flushes and fences, clones, IR growth) into @p reg under
+     * "<prefix>.", plus the wall-clock run timer and peak-RSS gauge.
+     */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "fixer") const;
 
     size_t
     interproceduralCount() const

@@ -4,6 +4,7 @@
 
 #include "pmem/pm_pool.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/thread_pool.hh"
 #include "vm/vm.hh"
 
@@ -131,15 +132,35 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
     hippo_assert(!cfg.entry.empty() && !cfg.recovery.empty(),
                  "explorer needs entry and recovery");
     ExplorationResult out;
-    profileRun(m, cfg, out);
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("explorer.runs").inc();
+    {
+        support::ScopedTimer t(reg.timer("explorer.profile_ns"));
+        profileRun(m, cfg, out);
+    }
+    reg.counter("explorer.profile.durpoints")
+        .inc(out.durPointsInRun);
+    reg.counter("explorer.profile.steps").inc(out.stepsInRun);
 
     const std::vector<PlannedCrash> plan = planCrashes(cfg, out);
     out.outcomes.resize(plan.size());
 
+    uint64_t step_crashes = 0;
+    for (const PlannedCrash &p : plan)
+        step_crashes += p.atStep;
+    reg.counter("explorer.crash_points.total").inc(plan.size());
+    reg.counter("explorer.crash_points.durpoint")
+        .inc(plan.size() - step_crashes);
+    reg.counter("explorer.crash_points.step").inc(step_crashes);
+
     // Each plan entry replays on a private Vm + PmPool and writes
     // only outcomes[k], so the merge is the plan order itself and
-    // the result is byte-identical at every jobs setting.
+    // the result is byte-identical at every jobs setting. The
+    // metric instruments are shared but order-independent, so the
+    // exported counts are deterministic too; only the wall-clock
+    // replay_ns timer varies run to run.
     auto replay = [&](uint64_t k) {
+        support::ScopedTimer t(reg.timer("explorer.replay_ns"));
         const PlannedCrash &p = plan[k];
         CrashOutcome o;
         o.atStep = p.atStep;
@@ -147,6 +168,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
         o.recovered = crashAndRecover(
             m, cfg, p.atStep ? -1 : (int64_t)p.crashPoint,
             p.atStep ? p.crashPoint : 0, replaySeed(cfg, k));
+        reg.histogram("explorer.recovered").observe((double)o.recovered);
         out.outcomes[k] = o;
     };
 

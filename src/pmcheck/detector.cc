@@ -5,6 +5,7 @@
 
 #include "pmem/pm_pool.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 
 namespace hippo::pmcheck
@@ -80,6 +81,7 @@ class OnlineDetector::Engine
     void
     feed(const trace::Event &ev)
     {
+        report_.eventsScanned++;
         switch (ev.kind) {
           case trace::EventKind::Store:
             onStore(ev);
@@ -325,13 +327,37 @@ analyze(const trace::Trace &trace, DetectorConfig cfg)
     return engine.report();
 }
 
+void
+Report::exportMetrics(support::MetricsRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.counter(prefix + ".events_scanned").inc(eventsScanned);
+    reg.counter(prefix + ".pm_stores").inc(pmStoresSeen);
+    reg.counter(prefix + ".flushes").inc(flushesSeen);
+    reg.counter(prefix + ".fences").inc(fencesSeen);
+    reg.counter(prefix + ".durpoints").inc(durPointsSeen);
+    reg.counter(prefix + ".redundant_flushes").inc(redundantFlushes);
+    reg.counter(prefix + ".bugs.total").inc(bugs.size());
+    uint64_t dyn = 0;
+    std::map<BugKind, uint64_t> byKind;
+    for (const Bug &b : bugs) {
+        byKind[b.kind]++;
+        dyn += b.dynCount;
+    }
+    reg.counter(prefix + ".bugs.dynamic").inc(dyn);
+    for (const auto &[kind, count] : byKind)
+        reg.counter(prefix + ".bugs." + bugKindName(kind)).inc(count);
+}
+
 std::string
 Report::writeText() const
 {
     std::ostringstream os;
-    os << format("SUMMARY bugs=%zu stores=%llu flushes=%llu "
-                 "fences=%llu durpoints=%llu redundant=%llu\n",
-                 bugs.size(), (unsigned long long)pmStoresSeen,
+    os << format("SUMMARY bugs=%zu events=%llu stores=%llu "
+                 "flushes=%llu fences=%llu durpoints=%llu "
+                 "redundant=%llu\n",
+                 bugs.size(), (unsigned long long)eventsScanned,
+                 (unsigned long long)pmStoresSeen,
                  (unsigned long long)flushesSeen,
                  (unsigned long long)fencesSeen,
                  (unsigned long long)durPointsSeen,
@@ -394,7 +420,9 @@ Report::readText(const std::string &text, Report &out,
                 uint64_t v;
                 if (!parseUint(kv[1], v))
                     return fail("bad summary value");
-                if (kv[0] == "stores")
+                if (kv[0] == "events")
+                    out.eventsScanned = v;
+                else if (kv[0] == "stores")
                     out.pmStoresSeen = v;
                 else if (kv[0] == "flushes")
                     out.flushesSeen = v;

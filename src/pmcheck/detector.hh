@@ -24,6 +24,11 @@
 
 #include "trace/trace.hh"
 
+namespace hippo::support
+{
+class MetricsRegistry;
+} // namespace hippo::support
+
 namespace hippo::pmcheck
 {
 
@@ -89,6 +94,7 @@ struct Bug
 struct Report
 {
     std::vector<Bug> bugs;
+    uint64_t eventsScanned = 0; ///< every trace event fed in
     uint64_t pmStoresSeen = 0;
     uint64_t flushesSeen = 0;
     uint64_t fencesSeen = 0;
@@ -96,6 +102,14 @@ struct Report
     uint64_t redundantFlushes = 0; ///< flushes of clean PM lines
 
     bool clean() const { return bugs.empty(); }
+
+    /**
+     * Accumulate the detector census (events scanned, stores/flushes/
+     * fences/durpoints, redundant flushes, bugs total and per kind)
+     * into @p reg under "<prefix>.".
+     */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "pmcheck") const;
 
     /** Serialize in a line-oriented text format. */
     std::string writeText() const;

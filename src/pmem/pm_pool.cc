@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace hippo::pmem
 {
@@ -71,12 +72,15 @@ PmPool::store(uint64_t addr, const uint8_t *data, uint64_t size,
             wbQueue_[line].assign(
                 cacheImage_.begin() + line * cacheLineSize,
                 cacheImage_.begin() + (line + 1) * cacheLineSize);
+            stats_.linesNtQueued++;
         }
     } else {
         uint64_t first = lineIndex(addr);
         uint64_t last = lineIndex(addr + size - 1);
-        for (uint64_t line = first; line <= last; line++)
+        for (uint64_t line = first; line <= last; line++) {
+            stats_.linesDirtied += !dirty_[line];
             dirty_[line] = 1;
+        }
         maybeEvict();
     }
 }
@@ -105,8 +109,10 @@ PmPool::flush(uint64_t addr, FlushOp op)
         // other CLFLUSHes (Intel SDM), so the line reaches PM without
         // waiting for a fence.
         persistLine(line, snapshot);
+        stats_.linesClflushed++;
     } else {
         wbQueue_[line].assign(snapshot, snapshot + cacheLineSize);
+        stats_.linesWbQueued++;
     }
 }
 
@@ -114,6 +120,7 @@ void
 PmPool::fence()
 {
     stats_.fences++;
+    stats_.linesFenceDrained += wbQueue_.size();
     for (const auto &[line, data] : wbQueue_)
         persistLine(line, data.data());
     wbQueue_.clear();
@@ -141,6 +148,7 @@ PmPool::maybeEvict()
             dirty_[line] = 0;
             persistLine(line, &cacheImage_[line * cacheLineSize]);
             stats_.evictions++;
+            stats_.linesEvicted++;
             return;
         }
     }
@@ -178,6 +186,27 @@ PmPool::dirtyLineCount() const
     for (uint8_t d : dirty_)
         n += d;
     return n;
+}
+
+void
+PmPool::exportMetrics(support::MetricsRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.counter(prefix + ".stores").inc(stats_.stores);
+    reg.counter(prefix + ".stored_bytes").inc(stats_.storedBytes);
+    reg.counter(prefix + ".flushes").inc(stats_.flushes);
+    reg.counter(prefix + ".redundant_flushes")
+        .inc(stats_.redundantFlushes);
+    reg.counter(prefix + ".fences").inc(stats_.fences);
+    reg.counter(prefix + ".evictions").inc(stats_.evictions);
+    reg.counter(prefix + ".nt_stores").inc(stats_.ntStores);
+    reg.counter(prefix + ".lines.dirtied").inc(stats_.linesDirtied);
+    reg.counter(prefix + ".lines.wb_queued").inc(stats_.linesWbQueued);
+    reg.counter(prefix + ".lines.nt_queued").inc(stats_.linesNtQueued);
+    reg.counter(prefix + ".lines.clflushed").inc(stats_.linesClflushed);
+    reg.counter(prefix + ".lines.fence_drained")
+        .inc(stats_.linesFenceDrained);
+    reg.counter(prefix + ".lines.evicted").inc(stats_.linesEvicted);
 }
 
 } // namespace hippo::pmem

@@ -34,6 +34,11 @@
 
 #include "support/random.hh"
 
+namespace hippo::support
+{
+class MetricsRegistry;
+} // namespace hippo::support
+
 namespace hippo::pmem
 {
 
@@ -56,6 +61,17 @@ struct PmPoolStats
     uint64_t fences = 0;
     uint64_t evictions = 0;
     uint64_t ntStores = 0;
+
+    /// @name Cache-line state transitions (the persistency model's
+    /// clean -> dirty -> write-back-pending -> persisted walk)
+    /// @{
+    uint64_t linesDirtied = 0;     ///< clean -> dirty
+    uint64_t linesWbQueued = 0;    ///< dirty -> pending (CLWB/OPT)
+    uint64_t linesNtQueued = 0;    ///< NT store -> pending
+    uint64_t linesClflushed = 0;   ///< dirty -> persisted (CLFLUSH)
+    uint64_t linesFenceDrained = 0; ///< pending -> persisted
+    uint64_t linesEvicted = 0;     ///< dirty -> persisted (evict)
+    /// @}
 };
 
 /** A named region inside the pool. */
@@ -137,6 +153,14 @@ class PmPool
 
     const PmPoolStats &stats() const { return stats_; }
     void resetStats() { stats_ = PmPoolStats(); }
+
+    /**
+     * Accumulate this pool's operation and line-state-transition
+     * counters into @p reg under "<prefix>.". Deterministic: every
+     * value is an order-independent sum.
+     */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "pmem") const;
 
     uint64_t capacity() const { return capacity_; }
 

@@ -1,0 +1,388 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/strings.hh"
+
+namespace hippo::json
+{
+
+void
+Value::append(Value v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    arr_.push_back(std::move(v));
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    return obj_[key];
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+void
+dumpString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if ((unsigned char)c < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+dumpNumber(std::string &out, double n)
+{
+    if (!std::isfinite(n)) {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    double rounded = std::nearbyint(n);
+    if (rounded == n && std::fabs(n) < 9.007199254740992e15) {
+        out += format("%lld", (long long)rounded);
+        return;
+    }
+    // %.17g round-trips any double.
+    out += format("%.17g", n);
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append((size_t)indent * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        dumpNumber(out, num_);
+        break;
+      case Kind::String:
+        dumpString(out, str_);
+        break;
+      case Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const Value &v : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto &[key, v] : obj_) {
+            if (!first)
+                out += ',';
+            first = false;
+            newline(depth + 1);
+            dumpString(out, key);
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    run(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ && error_->empty())
+            *error_ = format("offset %zu: %s", pos_, msg.c_str());
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace((unsigned char)text_[pos_]))
+            pos_++;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected string");
+        pos_++;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= (unsigned)(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= (unsigned)(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= (unsigned)(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (no surrogate
+                // pairing; the metrics layer never emits them).
+                if (code < 0x80) {
+                    out += (char)code;
+                } else if (code < 0x800) {
+                    out += (char)(0xC0 | (code >> 6));
+                    out += (char)(0x80 | (code & 0x3F));
+                } else {
+                    out += (char)(0xE0 | (code >> 12));
+                    out += (char)(0x80 | ((code >> 6) & 0x3F));
+                    out += (char)(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape character");
+            }
+        }
+        if (pos_ >= text_.size())
+            return fail("unterminated string");
+        pos_++; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > 200)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == 'n') {
+            out = Value();
+            return literal("null");
+        }
+        if (c == 't') {
+            out = Value(true);
+            return literal("true");
+        }
+        if (c == 'f') {
+            out = Value(false);
+            return literal("false");
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        if (c == '[') {
+            pos_++;
+            out = Value::makeArray();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                Value elem;
+                skipWs();
+                if (!parseValue(elem, depth + 1))
+                    return false;
+                out.array().push_back(std::move(elem));
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated array");
+                if (text_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    pos_++;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '{') {
+            pos_++;
+            out = Value::makeObject();
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return fail("expected ':'");
+                pos_++;
+                skipWs();
+                Value member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                out.object()[key] = std::move(member);
+                skipWs();
+                if (pos_ >= text_.size())
+                    return fail("unterminated object");
+                if (text_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    pos_++;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        // Number.
+        size_t start = pos_;
+        if (c == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit((unsigned char)text_[pos_]) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            pos_++;
+        if (pos_ == start)
+            return fail("unexpected character");
+        std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double v = std::strtod(num.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number");
+        out = Value(v);
+        return true;
+    }
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.run(out);
+}
+
+} // namespace hippo::json

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A minimal JSON value type with a parser and serializer, built for
+ * the metrics layer (stats files, committed bench baselines) so the
+ * repo needs no external JSON dependency. Supports the full JSON
+ * data model except that numbers are stored as doubles (exact for
+ * the integer counters this repo emits, which stay below 2^53).
+ */
+
+#ifndef HIPPO_SUPPORT_JSON_HH
+#define HIPPO_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hippo::json
+{
+
+/** JSON value kinds. */
+enum class Kind : uint8_t
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+/**
+ * One JSON value. Objects preserve key order via std::map (sorted),
+ * which keeps serialized output canonical: two structurally equal
+ * values always dump to the same text.
+ */
+class Value
+{
+  public:
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(uint64_t n) : kind_(Kind::Number), num_((double)n) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Value makeArray() { return withKind(Kind::Array); }
+    static Value makeObject() { return withKind(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+
+    const std::vector<Value> &array() const { return arr_; }
+    std::vector<Value> &array() { return arr_; }
+
+    const std::map<std::string, Value> &object() const
+    {
+        return obj_;
+    }
+    std::map<std::string, Value> &object() { return obj_; }
+
+    /** Append to an array value (converts a null to an array). */
+    void append(Value v);
+
+    /**
+     * Member access on an object value (converts a null to an
+     * object); creates the member as null if absent.
+     */
+    Value &operator[](const std::string &key);
+
+    /** Member lookup; null when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Serialize. @p indent > 0 pretty-prints with that many
+     *  spaces per level; 0 emits compact single-line output. */
+    std::string dump(int indent = 0) const;
+
+    bool operator==(const Value &o) const = default;
+
+  private:
+    static Value
+    withKind(Kind k)
+    {
+        Value v;
+        v.kind_ = k;
+        return v;
+    }
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::map<std::string, Value> obj_;
+};
+
+/**
+ * Parse JSON text. On failure returns false and, when @p error is
+ * non-null, stores a message with the offending position.
+ */
+bool parse(std::string_view text, Value &out,
+           std::string *error = nullptr);
+
+} // namespace hippo::json
+
+#endif // HIPPO_SUPPORT_JSON_HH

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 
 namespace hippo::vm
@@ -158,6 +159,7 @@ Vm::execStore(Frame &frame, const ir::Instruction &instr)
     bool pm = isPmAddr(addr);
     rawStore(addr, bytes, size, instr.nonTemporal());
     simNanos_ += cfg_.costs.storeNs;
+    ntStores_ += pm && instr.nonTemporal();
 
     recordDynPts(frame, instr.operand(1), addr);
     if (cfg_.traceEnabled && pm) {
@@ -179,6 +181,7 @@ Vm::execFlush(Frame &frame, const ir::Instruction &instr)
     uint64_t addr = eval(frame, instr.operand(0));
     bool pm = isPmAddr(addr);
     auto kind = instr.flushKind();
+    flushCounts_[kind]++;
     simNanos_ += kind == ir::FlushKind::Clflush ? cfg_.costs.clflushNs
                                                 : cfg_.costs.flushNs;
     if (pm) {
@@ -201,6 +204,7 @@ void
 Vm::execFence(Frame &frame, const ir::Instruction &instr)
 {
     uint64_t pending = pool_->pendingWritebacks();
+    fenceCounts_[instr.fenceKind()]++;
     simNanos_ += cfg_.costs.fenceBaseNs;
     if (pending > 0) {
         simNanos_ += cfg_.costs.fenceDrainNs +
@@ -536,6 +540,27 @@ Vm::statsString() const
     return out;
 }
 
+void
+Vm::exportMetrics(support::MetricsRegistry &reg,
+                  const std::string &prefix) const
+{
+    reg.counter(prefix + ".runs").inc(runs_);
+    reg.counter(prefix + ".instructions").inc(steps_);
+    reg.doubleSum(prefix + ".sim_ns").add(simNanos_);
+    reg.counter(prefix + ".crashes_injected").inc(crashesInjected_);
+    reg.counter(prefix + ".nt_stores").inc(ntStores_);
+    for (const auto &[op, count] : opcodeCounts_)
+        reg.counter(prefix + ".opcode." + ir::opcodeName(op))
+            .inc(count);
+    for (const auto &[kind, count] : flushCounts_)
+        reg.counter(prefix + ".flush." + ir::flushKindName(kind))
+            .inc(count);
+    for (const auto &[kind, count] : fenceCounts_)
+        reg.counter(prefix + ".fence." + ir::fenceKindName(kind))
+            .inc(count);
+    pool_->exportMetrics(reg, prefix + ".pool");
+}
+
 RunResult
 Vm::run(const std::string &function, std::vector<uint64_t> args)
 {
@@ -552,11 +577,13 @@ Vm::run(const std::string &function, std::vector<uint64_t> args)
     uint64_t steps_before = steps_;
     runStartSteps_ = steps_;
 
+    runs_++;
     RunResult res;
     try {
         res.returnValue = callFunction(f, args, 0);
     } catch (CrashSignal &) {
         res.crashed = true;
+        crashesInjected_++;
         volatileSp_ = 0;
         liveAllocs_.clear();
     }

@@ -20,6 +20,11 @@
 #include "pmem/pm_pool.hh"
 #include "trace/trace.hh"
 
+namespace hippo::support
+{
+class MetricsRegistry;
+} // namespace hippo::support
+
 namespace hippo::vm
 {
 
@@ -175,6 +180,18 @@ class Vm
     /** Render the execution statistics as a small table. */
     std::string statsString() const;
 
+    /**
+     * Accumulate this Vm's execution census (runs, instructions,
+     * simulated ns, per-opcode counts, flushes/fences by kind, NT
+     * stores, injected crashes) and its pool's line-state counters
+     * into @p reg under "<prefix>." / "<prefix>.pool.". Safe to
+     * call concurrently from many workers: every count lands in an
+     * order-independent counter, so the totals are deterministic
+     * at any `jobs` setting.
+     */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "vm") const;
+
   private:
     struct Frame;
 
@@ -234,9 +251,14 @@ class Vm
 
     double simNanos_ = 0;
     uint64_t steps_ = 0;
+    uint64_t runs_ = 0;
+    uint64_t crashesInjected_ = 0;
+    uint64_t ntStores_ = 0;
     uint64_t runStartSteps_ = 0;
     uint64_t sinkSeq_ = 0; ///< event numbering in streaming mode
     std::map<ir::Opcode, uint64_t> opcodeCounts_;
+    std::map<ir::FlushKind, uint64_t> flushCounts_;
+    std::map<ir::FenceKind, uint64_t> fenceCounts_;
     int64_t durPointsSeen_ = 0;
 
     /** Dynamic call-chain bookkeeping for stack capture. */

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * bench_check — the CI regression gate over bench --stats documents.
+ *
+ *   bench_check <baseline.json> <fresh.json> [--tolerance F]
+ *               [--check-timers]
+ *
+ * Compares every *comparable* instrument (counters, sums,
+ * histograms — the deterministic ones; see src/support/metrics.hh)
+ * in the baseline against the fresh run and fails when the
+ * symmetric relative deviation exceeds the tolerance (default 0.2,
+ * the ">20% regression" gate) or when a baseline metric is missing
+ * from the fresh run. Wall-clock timers and gauges are
+ * host-dependent, so they are skipped unless --check-timers is
+ * given (useful locally, too flaky for CI).
+ *
+ * Files with different schema_version values are never compared:
+ * refresh the baseline instead (docs/FORMATS.md §5).
+ *
+ * Exit codes: 0 pass, 1 regression, 2 usage/parse error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/metrics.hh"
+
+using namespace hippo;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <fresh.json> "
+                 "[--tolerance F] [--check-timers]\n",
+                 argv0);
+    std::exit(2);
+}
+
+json::Value
+loadStats(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_check: cannot open %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    json::Value doc;
+    std::string error;
+    if (!json::parse(ss.str(), doc, &error)) {
+        std::fprintf(stderr, "bench_check: %s: %s\n", path.c_str(),
+                     error.c_str());
+        std::exit(2);
+    }
+    if (!doc.isObject() || !doc.find("metrics") ||
+        !doc.find("schema_version")) {
+        std::fprintf(stderr,
+                     "bench_check: %s: not a stats document\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return doc;
+}
+
+/** One scalar to compare: "<path>" or "<path>.count" etc. */
+struct Leaf
+{
+    std::string path;
+    double value = 0;
+};
+
+/** True when @p node is a serialized instrument (has a "kind"). */
+bool
+isInstrument(const json::Value &node, std::string &kind)
+{
+    if (!node.isObject())
+        return false;
+    const json::Value *k = node.find("kind");
+    if (!k || !k->isString())
+        return false;
+    kind = k->str();
+    return true;
+}
+
+void
+collectLeaves(const json::Value &node, const std::string &path,
+              bool check_timers, std::vector<Leaf> &out)
+{
+    std::string kind;
+    if (isInstrument(node, kind)) {
+        auto num = [&](const char *member) {
+            const json::Value *v = node.find(member);
+            return v && v->isNumber() ? v->number() : 0.0;
+        };
+        if (kind == "counter" || kind == "sum") {
+            out.push_back({path, num("value")});
+        } else if (kind == "hist") {
+            out.push_back({path + ".count", num("count")});
+            out.push_back({path + ".sum", num("sum")});
+        } else if (kind == "timer" && check_timers) {
+            out.push_back({path + ".total_ns", num("total_ns")});
+        }
+        // gauges (and timers by default) are informational only
+        return;
+    }
+    if (!node.isObject())
+        return;
+    for (const auto &[key, child] : node.object())
+        collectLeaves(child, path.empty() ? key : path + "." + key,
+                      check_timers, out);
+}
+
+/** Symmetric relative deviation: 0 when both are 0. */
+double
+deviation(double a, double b)
+{
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return scale == 0 ? 0 : std::fabs(a - b) / scale;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    double tolerance = 0.2;
+    bool check_timers = false;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--tolerance" && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else if (arg == "--check-timers") {
+            check_timers = true;
+        } else if (arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        usage(argv[0]);
+
+    json::Value base = loadStats(files[0]);
+    json::Value fresh = loadStats(files[1]);
+
+    double base_ver = base.find("schema_version")->number();
+    double fresh_ver = fresh.find("schema_version")->number();
+    if (base_ver != fresh_ver) {
+        std::fprintf(stderr,
+                     "bench_check: schema_version mismatch (%g vs "
+                     "%g); refresh the baseline\n",
+                     base_ver, fresh_ver);
+        return 2;
+    }
+
+    std::vector<Leaf> base_leaves, fresh_leaves;
+    collectLeaves(*base.find("metrics"), "", check_timers,
+                  base_leaves);
+    collectLeaves(*fresh.find("metrics"), "", check_timers,
+                  fresh_leaves);
+
+    auto find = [](const std::vector<Leaf> &leaves,
+                   const std::string &path) -> const Leaf * {
+        for (const Leaf &l : leaves)
+            if (l.path == path)
+                return &l;
+        return nullptr;
+    };
+
+    int failures = 0;
+    for (const Leaf &b : base_leaves) {
+        const Leaf *f = find(fresh_leaves, b.path);
+        if (!f) {
+            std::printf("FAIL %-50s missing from fresh run\n",
+                        b.path.c_str());
+            failures++;
+            continue;
+        }
+        double dev = deviation(b.value, f->value);
+        if (dev > tolerance) {
+            std::printf("FAIL %-50s baseline %.6g, fresh %.6g "
+                        "(%.1f%% > %.0f%%)\n",
+                        b.path.c_str(), b.value, f->value,
+                        100 * dev, 100 * tolerance);
+            failures++;
+        }
+    }
+    size_t extra = 0;
+    for (const Leaf &f : fresh_leaves)
+        extra += find(base_leaves, f.path) == nullptr;
+    if (extra) {
+        std::printf("note: %zu metric(s) in the fresh run have no "
+                    "baseline yet (not a failure; refresh the "
+                    "baseline to gate them)\n",
+                    extra);
+    }
+
+    std::printf("%s: %zu metric(s) compared, %d failure(s), "
+                "tolerance %.0f%%\n",
+                failures ? "FAIL" : "OK", base_leaves.size(),
+                failures, 100 * tolerance);
+    return failures ? 1 : 0;
+}

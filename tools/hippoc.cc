@@ -14,6 +14,7 @@
  *   hippoc prog.pmir --patch-plan         # source-level fix plan
  *   hippoc prog.pmir --clean-flushes      # drop redundant flushes (§7)
  *   hippoc prog.pmir --entry start        # entry point (default: main)
+ *   hippoc prog.pmir --stats out.json     # write pipeline metrics
  *   hippoc a.pmir b.pmir --jobs 8         # repair modules in parallel
  *
  * With several input modules the full pipeline runs once per module,
@@ -38,6 +39,7 @@
 #include "ir/verifier.hh"
 #include "pmcheck/detector.hh"
 #include "pmem/pm_pool.hh"
+#include "support/metrics.hh"
 #include "support/strings.hh"
 #include "support/thread_pool.hh"
 #include "vm/vm.hh"
@@ -54,8 +56,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s <module.pmir>... [--entry NAME] [--check-only]\n"
         "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
-        "          [--clean-flushes] [--patch-plan] [--stats]\n"
-        "          [--jobs N] [-o OUT.pmir]\n",
+        "          [--clean-flushes] [--patch-plan]\n"
+        "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n",
         argv0);
     std::exit(2);
 }
@@ -78,8 +80,9 @@ readFile(const std::string &path)
 struct Options
 {
     std::string output, entry = "main";
+    std::string statsPath; ///< --stats: write metrics JSON here
     bool checkOnly = false, patchPlan = false;
-    bool cleanFlushes = false, showStats = false;
+    bool cleanFlushes = false;
     core::FixerConfig cfg;
 };
 
@@ -111,6 +114,8 @@ processModule(const std::string &input, const Options &opt,
         return 2;
     }
 
+    auto &metrics = support::MetricsRegistry::global();
+
     // Step 1 (Fig. 2): run the bug finder.
     pmem::PmPool pool(64u << 20);
     vm::VmConfig vc;
@@ -118,9 +123,10 @@ processModule(const std::string &input, const Options &opt,
     vm::Vm machine(m.get(), &pool, vc);
     machine.run(opt.entry);
     auto report = pmcheck::analyze(machine.trace());
+    machine.exportMetrics(metrics);
+    report.exportMetrics(metrics);
+    metrics.counter("pipeline.modules").inc();
 
-    if (opt.showStats)
-        out += machine.statsString() + "\n";
     out += report.writeText();
     if (opt.checkOnly)
         return report.clean() ? 0 : 1;
@@ -131,6 +137,7 @@ processModule(const std::string &input, const Options &opt,
         core::Fixer fixer(m.get(), opt.cfg);
         auto summary = fixer.fix(report, machine.trace(),
                                  &machine.dynPointsTo());
+        summary.exportMetrics(metrics);
         out += "\n" + summary.str() + "\n";
         for (const auto &f : summary.fixes)
             out += "  " + f.str() + "\n";
@@ -142,6 +149,10 @@ processModule(const std::string &input, const Options &opt,
         vm::Vm check(m.get(), &vpool, vc);
         check.run(opt.entry);
         auto after = pmcheck::analyze(check.trace());
+        check.exportMetrics(metrics, "reverify.vm");
+        after.exportMetrics(metrics, "reverify.pmcheck");
+        metrics.counter("pipeline.reverify_passes").inc();
+        metrics.counter("pipeline.reverify_clean").inc(after.clean());
         if (!after.clean()) {
             err += format("hippoc: %s: %zu bug(s) remain after "
                           "repair\n",
@@ -199,8 +210,8 @@ main(int argc, char **argv)
             opt.cleanFlushes = true;
         } else if (arg == "--patch-plan") {
             opt.patchPlan = true;
-        } else if (arg == "--stats") {
-            opt.showStats = true;
+        } else if (arg == "--stats" && i + 1 < argc) {
+            opt.statsPath = argv[++i];
         } else if (arg[0] == '-') {
             usage(argv[0]);
         } else {
@@ -239,6 +250,19 @@ main(int argc, char **argv)
         std::fputs(outs[i].c_str(), stdout);
         std::fputs(errs[i].c_str(), stderr);
         rc = std::max(rc, codes[i]);
+    }
+
+    if (!opt.statsPath.empty()) {
+        std::string error;
+        if (!support::writeStatsJson(
+                opt.statsPath, support::MetricsRegistry::global(),
+                {{"tool", "hippoc"},
+                 {"modules", std::to_string(inputs.size())},
+                 {"jobs", std::to_string(jobs)}},
+                &error)) {
+            std::fprintf(stderr, "hippoc: %s\n", error.c_str());
+            return 2;
+        }
     }
     return rc;
 }

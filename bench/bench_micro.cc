@@ -41,6 +41,39 @@ BM_PmPool_StoreFlushFence(benchmark::State &state)
 }
 BENCHMARK(BM_PmPool_StoreFlushFence);
 
+/**
+ * One exploration fork: snapshot the master pool, construct a fork
+ * from it, crash the fork, and touch one line — the per-crash-point
+ * cost of the snapshot replay engine (DESIGN.md "Snapshot replay
+ * engine"). COW pages make this O(dirty lines), not O(pool bytes).
+ */
+void
+BM_PmPool_SnapshotFork(benchmark::State &state)
+{
+    pmem::PmPool master(16u << 20);
+    uint64_t base = master.mapRegion("r", 4u << 20);
+    uint64_t v = 7;
+    // A realistic master image: a few hundred persisted lines plus
+    // some lines left dirty at the snapshot point.
+    for (uint64_t off = 0; off < (256u << 10); off += 64) {
+        master.store(base + off, reinterpret_cast<uint8_t *>(&v), 8);
+        master.flush(base + off, pmem::FlushOp::Clwb);
+    }
+    master.fence();
+    for (uint64_t off = 0; off < (16u << 10); off += 64)
+        master.store(base + off, reinterpret_cast<uint8_t *>(&v), 8);
+
+    for (auto _ : state) {
+        pmem::PmPool::Snapshot snap = master.snapshot();
+        pmem::PmPool fork(snap);
+        fork.crash();
+        fork.store(base, reinterpret_cast<uint8_t *>(&v), 8);
+        benchmark::DoNotOptimize(fork.stats().stores);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmPool_SnapshotFork);
+
 /** A tight PMIR countdown loop to measure interpreter dispatch. */
 std::unique_ptr<ir::Module>
 makeLoopModule()
@@ -133,6 +166,34 @@ BM_PointsTo_Solve(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PointsTo_Solve);
+
+/**
+ * All-pairs mayAlias over the module's pointer-valued instructions,
+ * on a solved Andersen instance: exercises the sorted-vector
+ * intersection path (linear merge, no per-query allocation).
+ */
+void
+BM_PointsTo_MayAlias(benchmark::State &state)
+{
+    auto m = apps::buildPmkv({});
+    analysis::PointsTo pts(*m);
+    std::vector<const ir::Value *> ptrs;
+    for (const auto &f : m->functions())
+        for (const auto &bb : f->blocks())
+            for (const auto &instr : *bb)
+                if (instr->type() == ir::Type::Ptr)
+                    ptrs.push_back(instr.get());
+    for (auto _ : state) {
+        uint64_t hits = 0;
+        for (size_t i = 0; i < ptrs.size(); i++)
+            for (size_t j = i + 1; j < ptrs.size(); j++)
+                hits += pts.mayAlias(ptrs[i], ptrs[j]);
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(state.iterations() * ptrs.size() *
+                            (ptrs.size() - 1) / 2);
+}
+BENCHMARK(BM_PointsTo_MayAlias);
 
 /** Full fixer pipeline with configurable phases (ablation). */
 void

@@ -1,5 +1,7 @@
 #include "analysis/alias_scorer.hh"
 
+#include <algorithm>
+
 #include "ir/module.hh"
 #include "support/logging.hh"
 
@@ -47,7 +49,7 @@ AliasScorer::AliasScorer(const PointsTo &pts, AaMode mode,
     }
 }
 
-std::set<uint32_t>
+std::vector<uint32_t>
 AliasScorer::objectSet(const std::string &function,
                        const ir::Value *v) const
 {
@@ -69,12 +71,14 @@ AliasScorer::objectSet(const std::string &function,
       default:
         return {};
     }
-    std::set<uint32_t> out;
+    std::vector<uint32_t> out;
     for (uint32_t t : dyn_->lookup(function, key)) {
         auto it = traceToAnalysis_.find(t);
         if (it != traceToAnalysis_.end())
-            out.insert(it->second);
+            out.push_back(it->second);
     }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
 }
 

@@ -64,7 +64,8 @@ class AliasScorer
     AaMode mode() const { return mode_; }
 
   private:
-    std::set<uint32_t>
+    /** Sorted unique analysis-object indices @p v may point to. */
+    std::vector<uint32_t>
     objectSet(const std::string &function, const ir::Value *v) const;
 
     const PointsTo &pts_;

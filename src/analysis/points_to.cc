@@ -1,6 +1,8 @@
 #include "analysis/points_to.hh"
 
+#include <algorithm>
 #include <deque>
+#include <iterator>
 
 #include "ir/module.hh"
 #include "support/metrics.hh"
@@ -35,7 +37,10 @@ PointsTo::addEdge(const ir::Value *from, const ir::Value *to)
 void
 PointsTo::seed(const ir::Value *v, uint32_t object)
 {
-    pts_[nodeOf(v)].insert(object);
+    std::vector<uint32_t> &set = pts_[nodeOf(v)];
+    auto it = std::lower_bound(set.begin(), set.end(), object);
+    if (it == set.end() || *it != object)
+        set.insert(it, object);
 }
 
 PointsTo::PointsTo(const ir::Module &m)
@@ -134,24 +139,54 @@ PointsTo::PointsTo(const ir::Module &m)
 void
 PointsTo::solve()
 {
-    // Standard worklist propagation of inclusion constraints.
+    // Worklist propagation of inclusion constraints with difference
+    // propagation: popping n pushes only delta[n] — the objects
+    // added to pts_[n] since its previous pop. Everything older was
+    // already pushed to every successor back then, so the growth
+    // (and requeue) events — hence solveIterations_ — match the
+    // full-set propagation exactly; only the per-pop work shrinks
+    // from O(|pts|) to O(|new|).
     std::deque<uint32_t> work;
     std::vector<uint8_t> queued(pts_.size(), 0);
+    std::vector<std::vector<uint32_t>> delta(pts_.size());
     for (uint32_t i = 0; i < pts_.size(); i++) {
         if (!pts_[i].empty()) {
+            delta[i] = pts_[i];
             work.push_back(i);
             queued[i] = 1;
         }
     }
+    std::vector<uint32_t> d, added, merged;
     while (!work.empty()) {
         uint32_t n = work.front();
         work.pop_front();
         queued[n] = 0;
         solveIterations_++;
+        d.clear();
+        d.swap(delta[n]);
         for (uint32_t s : succ_[n]) {
-            size_t before = pts_[s].size();
-            pts_[s].insert(pts_[n].begin(), pts_[n].end());
-            if (pts_[s].size() != before && !queued[s]) {
+            added.clear();
+            std::set_difference(d.begin(), d.end(), pts_[s].begin(),
+                                pts_[s].end(),
+                                std::back_inserter(added));
+            if (added.empty())
+                continue;
+            merged.clear();
+            merged.reserve(pts_[s].size() + added.size());
+            std::merge(pts_[s].begin(), pts_[s].end(), added.begin(),
+                       added.end(), std::back_inserter(merged));
+            pts_[s].swap(merged);
+            if (delta[s].empty()) {
+                delta[s] = added;
+            } else {
+                merged.clear();
+                merged.reserve(delta[s].size() + added.size());
+                std::set_union(delta[s].begin(), delta[s].end(),
+                               added.begin(), added.end(),
+                               std::back_inserter(merged));
+                delta[s].swap(merged);
+            }
+            if (!queued[s]) {
                 work.push_back(s);
                 queued[s] = 1;
             }
@@ -174,10 +209,10 @@ PointsTo::recordMetrics() const
         sizes.observe((double)s.size());
 }
 
-const std::set<uint32_t> &
+const std::vector<uint32_t> &
 PointsTo::pointsTo(const ir::Value *v) const
 {
-    static const std::set<uint32_t> empty;
+    static const std::vector<uint32_t> empty;
     auto it = nodeIndex_.find(v);
     return it == nodeIndex_.end() ? empty : pts_[it->second];
 }
@@ -187,9 +222,15 @@ PointsTo::mayAlias(const ir::Value *a, const ir::Value *b) const
 {
     const auto &pa = pointsTo(a);
     const auto &pb = pointsTo(b);
-    for (uint32_t o : pa) {
-        if (pb.count(o))
+    auto ia = pa.begin();
+    auto ib = pb.begin();
+    while (ia != pa.end() && ib != pb.end()) {
+        if (*ia == *ib)
             return true;
+        if (*ia < *ib)
+            ++ia;
+        else
+            ++ib;
     }
     return false;
 }
@@ -204,15 +245,18 @@ PointsTo::flowsTo(const ir::Value *src, const ir::Value *dst) const
     if (sit == nodeIndex_.end() || dit == nodeIndex_.end())
         return false;
     std::deque<uint32_t> work{sit->second};
-    std::set<uint32_t> seen{sit->second};
+    std::vector<uint8_t> seen(succ_.size(), 0);
+    seen[sit->second] = 1;
     while (!work.empty()) {
         uint32_t n = work.front();
         work.pop_front();
         if (n == dit->second)
             return true;
         for (uint32_t s : succ_[n]) {
-            if (seen.insert(s).second)
+            if (!seen[s]) {
+                seen[s] = 1;
                 work.push_back(s);
+            }
         }
     }
     return false;

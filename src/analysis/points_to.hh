@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -47,10 +46,12 @@ class PointsTo
 
     const std::vector<MemObject> &objects() const { return objects_; }
 
-    /** Points-to set of @p v (object indices); empty when unknown. */
-    const std::set<uint32_t> &pointsTo(const ir::Value *v) const;
+    /** Points-to set of @p v: sorted unique object indices; empty
+     *  when unknown. */
+    const std::vector<uint32_t> &pointsTo(const ir::Value *v) const;
 
-    /** True when the points-to sets of @p a and @p b intersect. */
+    /** True when the points-to sets of @p a and @p b intersect
+     *  (linear merge walk over the sorted sets). */
     bool mayAlias(const ir::Value *a, const ir::Value *b) const;
 
     /** Object index by key; ~0u when absent. */
@@ -66,7 +67,14 @@ class PointsTo
     /** Number of inclusion edges in the constraint graph. */
     size_t edgeCount() const { return edgeCount_; }
 
-    /** Worklist iterations the solver ran (nodes popped). */
+    /**
+     * Worklist iterations the solver ran (nodes popped). The solver
+     * uses difference propagation — each pop pushes only the objects
+     * added since the node's previous pop — but a node requeues
+     * exactly when a successor set grows, the same growth events the
+     * full-set propagation saw, so the count (and the exported
+     * analysis.andersen.solve_iterations metric) is unchanged.
+     */
     uint64_t solveIterations() const { return solveIterations_; }
 
   private:
@@ -80,7 +88,7 @@ class PointsTo
     std::map<std::string, uint32_t> objectByKey_;
 
     std::map<const ir::Value *, uint32_t> nodeIndex_;
-    std::vector<std::set<uint32_t>> pts_;
+    std::vector<std::vector<uint32_t>> pts_; ///< sorted unique
     std::vector<std::vector<uint32_t>> succ_; ///< inclusion edges
     size_t edgeCount_ = 0;
     uint64_t solveIterations_ = 0;

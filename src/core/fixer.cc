@@ -744,4 +744,19 @@ Fixer::fix(const pmcheck::Report &report, const trace::Trace &trace,
     return impl.run();
 }
 
+pmcheck::ExplorationResult
+Fixer::verifyFixed(pmcheck::CrashExplorerConfig vc) const
+{
+    if (vc.jobs == 0)
+        vc.jobs = cfg_.jobs;
+    auto &reg = support::MetricsRegistry::global();
+    support::ScopedTimer t(reg.timer("fixer.verify_ns"));
+    pmcheck::ExplorationResult res = pmcheck::exploreCrashes(module_, vc);
+    reg.counter("fixer.verify.runs").inc();
+    reg.counter("fixer.verify.crash_points").inc(res.outcomes.size());
+    reg.counter("fixer.verify.durpoint_monotonic")
+        .inc(res.durPointRecoveryNonDecreasing());
+    return res;
+}
+
 } // namespace hippo::core

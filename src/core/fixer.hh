@@ -28,6 +28,7 @@
 
 #include "analysis/alias_scorer.hh"
 #include "ir/module.hh"
+#include "pmcheck/crash_explorer.hh"
 #include "pmcheck/detector.hh"
 #include "trace/trace.hh"
 #include "vm/vm.hh"
@@ -160,6 +161,16 @@ class Fixer
     FixSummary fix(const pmcheck::Report &report,
                    const trace::Trace &trace,
                    const vm::DynPointsTo *dyn = nullptr);
+
+    /**
+     * Step 4's "re-verify" half (paper §6.1), as crash exploration:
+     * run the crash explorer over the (repaired) module — one master
+     * execution, recovery per crash point via the snapshot engine.
+     * A zero @p vc.jobs inherits the fixer's jobs setting. Counters
+     * land under "fixer.verify.*" on top of the explorer's own.
+     */
+    pmcheck::ExplorationResult
+    verifyFixed(pmcheck::CrashExplorerConfig vc) const;
 
   private:
     struct PlannedFix;

@@ -14,26 +14,20 @@ namespace hippo::pmcheck
 namespace
 {
 
-/** Count durpoints executed by one clean run (via the trace). */
-void
-profileRun(ir::Module *m, const CrashExplorerConfig &cfg,
-           ExplorationResult &out)
+/** How one planned crash point is materialized into a pool state. */
+enum class ReplayMode
 {
-    pmem::PmPool pool(cfg.poolBytes, cfg.evictChance, cfg.seed);
-    vm::VmConfig vc;
-    vc.traceEnabled = true;
-    vc.durPointAtExit = false;
-    vm::Vm machine(m, &pool, vc);
-    auto run = machine.run(cfg.entry, cfg.entryArgs);
-    out.stepsInRun = run.steps;
-    for (const auto &ev : machine.trace().events())
-        out.durPointsInRun += ev.kind == trace::EventKind::DurPoint;
+    Legacy, ///< full entry re-execution with crashAt* knobs
+    Fork,   ///< fork the master-run snapshot (evictChance == 0)
+    Log,    ///< replay the recorded pool-op log prefix (evict > 0)
+};
 
-    pool.crash();
-    vm::Vm recovery(m, &pool, {});
-    out.cleanRunRecovered =
-        recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
-}
+/** One planned crash: where to pull the plug on the replay. */
+struct PlannedCrash
+{
+    bool atStep = false;
+    uint64_t crashPoint = 0;
+};
 
 /** Pool RNG seed for the crash point at plan position @p k: a
  *  function of the plan, never of the worker (splitmix64 step). */
@@ -46,29 +40,87 @@ replaySeed(const CrashExplorerConfig &cfg, uint64_t k)
     return z ^ (z >> 31);
 }
 
-uint64_t
-crashAndRecover(ir::Module *m, const CrashExplorerConfig &cfg,
-                int64_t dur_point, uint64_t step, uint64_t pool_seed)
+/** Everything the master execution captures for the replay phase. */
+struct MasterState
 {
-    pmem::PmPool pool(cfg.poolBytes, cfg.evictChance, pool_seed);
-    {
-        vm::VmConfig vc;
-        vc.crashAtDurPoint = dur_point;
-        vc.crashAtStep = step;
-        vm::Vm machine(m, &pool, vc);
-        machine.run(cfg.entry, cfg.entryArgs);
+    /** Pool snapshot per durpoint / per step-stride boundary (Fork
+     *  mode), in crash-plan order, capped at the crash budget. */
+    std::vector<pmem::PmPool::Snapshot> durSnaps;
+    std::vector<pmem::PmPool::Snapshot> stepSnaps;
+
+    /** Op-log cursors at the same boundaries (Log mode). */
+    std::vector<size_t> durLogPos;
+    std::vector<size_t> stepLogPos;
+
+    /** In-run step count at durpoint i — what a legacy replay of
+     *  that crash would have executed (steps_saved accounting). */
+    std::vector<uint64_t> durSteps;
+
+    uint64_t snapshots = 0;   ///< snapshot() calls on the master pool
+    uint64_t pagesCopied = 0; ///< COW clones charged to the master
+};
+
+/**
+ * The single master execution: runs the entry program while counting
+ * durpoints/steps (the profile the crash plan is built from) and
+ * capturing per-crash-point pool snapshots or op-log cursors, then
+ * crashes the pool and runs recovery once for cleanRunRecovered.
+ * With @p mode == Legacy nothing is captured — this is exactly the
+ * legacy engine's profile run. Returns the recovery run's steps.
+ */
+uint64_t
+masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
+          ReplayMode mode, pmem::PmOpLog *log, ExplorationResult &out,
+          MasterState &ms)
+{
+    pmem::PmPool pool(cfg.poolBytes, cfg.evictChance, cfg.seed);
+    if (log)
+        pool.setOpLog(log);
+
+    vm::VmConfig vc;
+    vc.durPointAtExit = false;
+    uint64_t durpoints = 0;
+    vc.durPointProbe = [&](uint64_t n, uint64_t in_run) {
+        durpoints++;
+        if (mode == ReplayMode::Legacy || !cfg.exploreDurPoints ||
+            n >= cfg.maxCrashes)
+            return;
+        ms.durSteps.push_back(in_run);
+        if (mode == ReplayMode::Fork)
+            ms.durSnaps.push_back(pool.snapshot());
+        else
+            ms.durLogPos.push_back(log->position());
+    };
+    if (cfg.stepStride && mode != ReplayMode::Legacy) {
+        vc.stepProbeStride = cfg.stepStride;
+        vc.stepProbe = [&](uint64_t) {
+            if (mode == ReplayMode::Fork) {
+                if (ms.stepSnaps.size() < cfg.maxCrashes)
+                    ms.stepSnaps.push_back(pool.snapshot());
+            } else {
+                if (ms.stepLogPos.size() < cfg.maxCrashes)
+                    ms.stepLogPos.push_back(log->position());
+            }
+        };
     }
+
+    vm::Vm machine(m, &pool, vc);
+    auto run = machine.run(cfg.entry, cfg.entryArgs);
+    out.stepsInRun = run.steps;
+    out.durPointsInRun = durpoints;
+
+    // Recovery ops must not enter the log: replay cursors reference
+    // the entry run only.
+    pool.setOpLog(nullptr);
     pool.crash();
     vm::Vm recovery(m, &pool, {});
-    return recovery.run(cfg.recovery, cfg.recoveryArgs).returnValue;
-}
+    auto rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+    out.cleanRunRecovered = rec.returnValue;
 
-/** One planned crash: where to pull the plug on the replay. */
-struct PlannedCrash
-{
-    bool atStep = false;
-    uint64_t crashPoint = 0;
-};
+    ms.snapshots = pool.stats().snapshots;
+    ms.pagesCopied = pool.stats().pagesCopied;
+    return rec.steps;
+}
 
 /**
  * Enumerate the crash plan: every durpoint crash first, then every
@@ -134,13 +186,48 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
     ExplorationResult out;
     auto &reg = support::MetricsRegistry::global();
     reg.counter("explorer.runs").inc();
+
+    ReplayMode mode = ReplayMode::Fork;
+    if (cfg.engine == ExploreEngine::Legacy)
+        mode = ReplayMode::Legacy;
+    else if (cfg.evictChance > 0)
+        mode = ReplayMode::Log;
+
+    pmem::PmOpLog log(cfg.opLogMaxBytes);
+    MasterState ms;
+    uint64_t master_recovery_steps = 0;
     {
         support::ScopedTimer t(reg.timer("explorer.profile_ns"));
-        profileRun(m, cfg, out);
+        master_recovery_steps =
+            masterRun(m, cfg, mode,
+                      mode == ReplayMode::Log ? &log : nullptr, out,
+                      ms);
     }
-    reg.counter("explorer.profile.durpoints")
-        .inc(out.durPointsInRun);
+    reg.counter("explorer.profile.durpoints").inc(out.durPointsInRun);
     reg.counter("explorer.profile.steps").inc(out.stepsInRun);
+    reg.counter("explorer.recovery.steps").inc(master_recovery_steps);
+
+    if (mode == ReplayMode::Log && log.overflowed()) {
+        // The op log blew its byte budget: the recorded cursors are
+        // unusable, so every crash point replays the legacy way.
+        // Same result, just slower.
+        reg.counter("explorer.oplog.overflows").inc();
+        mode = ReplayMode::Legacy;
+    }
+    switch (mode) {
+      case ReplayMode::Fork:
+        reg.counter("explorer.engine.snapshot_fork").inc();
+        break;
+      case ReplayMode::Log:
+        reg.counter("explorer.engine.oplog").inc();
+        reg.counter("explorer.oplog.ops").inc(log.position());
+        break;
+      case ReplayMode::Legacy:
+        reg.counter("explorer.engine.legacy").inc();
+        break;
+    }
+    reg.counter("explorer.snapshot.count").inc(ms.snapshots);
+    reg.counter("explorer.snapshot.pages_copied").inc(ms.pagesCopied);
 
     const std::vector<PlannedCrash> plan = planCrashes(cfg, out);
     out.outcomes.resize(plan.size());
@@ -153,21 +240,84 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
         .inc(plan.size() - step_crashes);
     reg.counter("explorer.crash_points.step").inc(step_crashes);
 
-    // Each plan entry replays on a private Vm + PmPool and writes
+    // Each plan entry recovers on a private Vm + PmPool and writes
     // only outcomes[k], so the merge is the plan order itself and
-    // the result is byte-identical at every jobs setting. The
-    // metric instruments are shared but order-independent, so the
-    // exported counts are deterministic too; only the wall-clock
-    // replay_ns timer varies run to run.
+    // the result is byte-identical at every jobs setting and in
+    // every replay mode. The metric instruments are shared but
+    // order-independent, so the exported counts are deterministic
+    // too; only the wall-clock timers vary run to run.
     auto replay = [&](uint64_t k) {
         support::ScopedTimer t(reg.timer("explorer.replay_ns"));
         const PlannedCrash &p = plan[k];
         CrashOutcome o;
         o.atStep = p.atStep;
         o.crashPoint = p.crashPoint;
-        o.recovered = crashAndRecover(
-            m, cfg, p.atStep ? -1 : (int64_t)p.crashPoint,
-            p.atStep ? p.crashPoint : 0, replaySeed(cfg, k));
+
+        // The entry-run steps a legacy replay of this point executes
+        // (a step crash stops at exactly crashPoint steps; a durpoint
+        // crash stops inside the durpoint instruction, whose in-run
+        // step the master recorded — in the fast modes only).
+        uint64_t legacy_steps = 0;
+        if (mode != ReplayMode::Legacy)
+            legacy_steps =
+                p.atStep ? p.crashPoint : ms.durSteps[p.crashPoint];
+
+        vm::RunResult rec;
+        switch (mode) {
+          case ReplayMode::Legacy: {
+            pmem::PmPool pool(cfg.poolBytes, cfg.evictChance,
+                              replaySeed(cfg, k));
+            {
+                vm::VmConfig vc;
+                vc.crashAtDurPoint =
+                    p.atStep ? -1 : (int64_t)p.crashPoint;
+                vc.crashAtStep = p.atStep ? p.crashPoint : 0;
+                vm::Vm machine(m, &pool, vc);
+                uint64_t steps =
+                    machine.run(cfg.entry, cfg.entryArgs).steps;
+                reg.counter("explorer.replay.steps_executed")
+                    .inc(steps);
+            }
+            pool.crash();
+            vm::Vm recovery(m, &pool, {});
+            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            break;
+          }
+          case ReplayMode::Fork: {
+            const pmem::PmPool::Snapshot &snap =
+                p.atStep
+                    ? ms.stepSnaps[p.crashPoint / cfg.stepStride - 1]
+                    : ms.durSnaps[p.crashPoint];
+            pmem::PmPool pool(snap);
+            pool.resetStats();
+            pool.crash();
+            vm::Vm recovery(m, &pool, {});
+            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            reg.counter("explorer.snapshot.pages_copied")
+                .inc(pool.stats().pagesCopied);
+            reg.counter("explorer.replay.steps_saved")
+                .inc(legacy_steps);
+            break;
+          }
+          case ReplayMode::Log: {
+            pmem::PmPool pool(cfg.poolBytes, cfg.evictChance,
+                              replaySeed(cfg, k));
+            size_t pos =
+                p.atStep
+                    ? ms.stepLogPos[p.crashPoint / cfg.stepStride - 1]
+                    : ms.durLogPos[p.crashPoint];
+            log.replayTo(pool, pos);
+            pool.crash();
+            vm::Vm recovery(m, &pool, {});
+            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            reg.counter("explorer.replay.steps_saved")
+                .inc(legacy_steps);
+            break;
+          }
+        }
+
+        o.recovered = rec.returnValue;
+        reg.counter("explorer.recovery.steps").inc(rec.steps);
         reg.histogram("explorer.recovered").observe((double)o.recovered);
         out.outcomes[k] = o;
     };

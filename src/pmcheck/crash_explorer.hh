@@ -12,6 +12,16 @@
  * actually crash consistent, beyond the detector's trace-order
  * checking: the detector proves orderings exist, the explorer
  * demonstrates recovery works from real torn states.
+ *
+ * Two engines produce byte-identical ExplorationResults (DESIGN.md
+ * "Snapshot replay engine"):
+ *  - the *snapshot* engine (default) runs the entry program once,
+ *    forking a copy-on-write pool snapshot at every planned crash
+ *    point (or, under eviction injection, replaying a recorded
+ *    pool-op log prefix per point), so only recovery executes per
+ *    crash — O(S + C·R) VM steps instead of O(C·S);
+ *  - the *legacy* engine re-executes the entry run once per crash
+ *    point, kept for differential testing.
  */
 
 #ifndef HIPPO_PMCHECK_CRASH_EXPLORER_HH
@@ -28,6 +38,23 @@ class Module;
 
 namespace hippo::pmcheck
 {
+
+/** How exploreCrashes replays the planned crash points. */
+enum class ExploreEngine : uint8_t
+{
+    /** Pick automatically (currently always Snapshot). */
+    Auto,
+    /** One full entry re-execution per crash point. */
+    Legacy,
+    /**
+     * One master entry execution; per crash point, fork a pool
+     * snapshot (evictChance == 0) or replay the recorded pool-op
+     * log prefix against a per-point-seeded pool (evictChance > 0,
+     * falling back to Legacy replays if the log overflows its byte
+     * budget). Results are byte-identical to Legacy in both modes.
+     */
+    Snapshot,
+};
 
 /** What to run and where to crash. */
 struct CrashExplorerConfig
@@ -69,6 +96,16 @@ struct CrashExplorerConfig
      */
     double evictChance = 0.0;
     uint64_t seed = 1;
+
+    /** Replay engine (see ExploreEngine). */
+    ExploreEngine engine = ExploreEngine::Auto;
+
+    /**
+     * Byte budget for the checkpointed-replay op log (the
+     * evictChance > 0 snapshot mode). Overflow falls back to
+     * per-point legacy replays; the result is unchanged either way.
+     */
+    uint64_t opLogMaxBytes = 64u << 20;
 };
 
 /** One explored crash. */

@@ -1,5 +1,6 @@
 #include "pmem/pm_pool.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -8,19 +9,318 @@
 namespace hippo::pmem
 {
 
+namespace
+{
+
+/** Backing bytes for absent (all-zero) pages, borrowed by peek(). */
+const CowImage::Page zeroPage{};
+
+/** splitmix64 finalizer — the wb-queue slot hash. */
+uint64_t
+hashLine(uint64_t line)
+{
+    uint64_t z = line + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+// -------------------------------------------------------- CowImage
+
+CowImage::Page *
+CowImage::writablePage(size_t idx, uint64_t &copies)
+{
+    PageRef &ref = pages_[idx];
+    if (!ref) {
+        ref = std::make_shared<Page>(); // value-init: zeros
+    } else if (ref.use_count() != 1) {
+        // Shared with a snapshot or fork: clone before writing. A
+        // count of 1 can only mean this image is the sole owner, so
+        // in-place writes are safe even with concurrent forks.
+        ref = std::make_shared<Page>(*ref);
+        copies++;
+    }
+    return ref.get();
+}
+
+void
+CowImage::read(uint64_t off, uint8_t *out, uint64_t n) const
+{
+    while (n) {
+        size_t idx = off / pmPageSize;
+        uint64_t in_page = off % pmPageSize;
+        uint64_t chunk = std::min(n, pmPageSize - in_page);
+        const PageRef &ref = pages_[idx];
+        if (ref)
+            std::memcpy(out, ref->data() + in_page, chunk);
+        else
+            std::memset(out, 0, chunk);
+        out += chunk;
+        off += chunk;
+        n -= chunk;
+    }
+}
+
+uint64_t
+CowImage::write(uint64_t off, const uint8_t *data, uint64_t n)
+{
+    uint64_t copies = 0;
+    while (n) {
+        size_t idx = off / pmPageSize;
+        uint64_t in_page = off % pmPageSize;
+        uint64_t chunk = std::min(n, pmPageSize - in_page);
+        Page *page = writablePage(idx, copies);
+        std::memcpy(page->data() + in_page, data, chunk);
+        data += chunk;
+        off += chunk;
+        n -= chunk;
+    }
+    return copies;
+}
+
+const uint8_t *
+CowImage::peek(uint64_t off, uint64_t n) const
+{
+    uint64_t in_page = off % pmPageSize;
+    hippo_assert(in_page + n <= pmPageSize,
+                 "peek straddles a page boundary");
+    const PageRef &ref = pages_[off / pmPageSize];
+    return ref ? ref->data() + in_page : zeroPage.data() + in_page;
+}
+
+bool
+CowImage::rangeEquals(const CowImage &o, uint64_t off, uint64_t n) const
+{
+    while (n) {
+        size_t idx = off / pmPageSize;
+        uint64_t in_page = off % pmPageSize;
+        uint64_t chunk = std::min(n, pmPageSize - in_page);
+        const PageRef &a = pages_[idx];
+        const PageRef &b = o.pages_[idx];
+        if (a != b) {
+            const uint8_t *pa =
+                a ? a->data() + in_page : zeroPage.data() + in_page;
+            const uint8_t *pb =
+                b ? b->data() + in_page : zeroPage.data() + in_page;
+            if (std::memcmp(pa, pb, chunk) != 0)
+                return false;
+        }
+        off += chunk;
+        n -= chunk;
+    }
+    return true;
+}
+
+// --------------------------------------------------------- WbQueue
+
+void
+WbQueue::grow()
+{
+    size_t target = slots_.empty() ? 64 : slots_.size() * 2;
+    slots_.assign(target, Slot());
+    gen_ = 1;
+    size_t mask = slots_.size() - 1;
+    for (uint32_t e = 0; e < entries_.size(); e++) {
+        size_t i = hashLine(entries_[e].line) & mask;
+        while (slots_[i].gen == gen_)
+            i = (i + 1) & mask;
+        slots_[i] = {gen_, e};
+    }
+}
+
+bool
+WbQueue::put(uint64_t line, const uint8_t *bytes)
+{
+    // Grow at 3/4 load so probe chains stay short.
+    if ((entries_.size() + 1) * 4 > slots_.size() * 3)
+        grow();
+    size_t mask = slots_.size() - 1;
+    size_t i = hashLine(line) & mask;
+    while (slots_[i].gen == gen_) {
+        Entry &e = entries_[slots_[i].idx];
+        if (e.line == line) {
+            std::memcpy(e.data.data(), bytes, cacheLineSize);
+            return false;
+        }
+        i = (i + 1) & mask;
+    }
+    slots_[i] = {gen_, (uint32_t)entries_.size()};
+    Entry e;
+    e.line = line;
+    std::memcpy(e.data.data(), bytes, cacheLineSize);
+    entries_.push_back(e);
+    return true;
+}
+
+void
+WbQueue::clear()
+{
+    entries_.clear();
+    // Stale slots are invalidated by bumping the generation; only a
+    // (4-billion-clear) wraparound pays for a table wipe.
+    if (++gen_ == 0) {
+        slots_.assign(slots_.size(), Slot());
+        gen_ = 1;
+    }
+}
+
+// --------------------------------------------------------- PmOpLog
+
+bool
+PmOpLog::charge(uint64_t add)
+{
+    if (overflowed_)
+        return false;
+    bytes_ += sizeof(Op) + add;
+    if (bytes_ > maxBytes_) {
+        overflowed_ = true;
+        return false;
+    }
+    return true;
+}
+
+void
+PmOpLog::recordMap(const std::string &name, uint64_t size)
+{
+    if (!charge(name.size()))
+        return;
+    Op op;
+    op.kind = Op::Kind::Map;
+    op.addr = size;
+    op.dataOff = names_.size();
+    names_.push_back(name);
+    ops_.push_back(op);
+}
+
+void
+PmOpLog::recordStore(uint64_t addr, const uint8_t *data, uint64_t size,
+                     bool non_temporal)
+{
+    if (!charge(size))
+        return;
+    Op op;
+    op.kind = Op::Kind::Store;
+    op.nonTemporal = non_temporal;
+    op.size = (uint32_t)size;
+    op.addr = addr;
+    op.dataOff = data_.size();
+    data_.insert(data_.end(), data, data + size);
+    ops_.push_back(op);
+}
+
+void
+PmOpLog::recordFlush(uint64_t addr, FlushOp fop)
+{
+    if (!charge(0))
+        return;
+    Op op;
+    op.kind = Op::Kind::Flush;
+    op.flushOp = fop;
+    op.addr = addr;
+    ops_.push_back(op);
+}
+
+void
+PmOpLog::recordFence()
+{
+    if (!charge(0))
+        return;
+    Op op;
+    op.kind = Op::Kind::Fence;
+    ops_.push_back(op);
+}
+
+void
+PmOpLog::replayTo(PmPool &pool, size_t end) const
+{
+    hippo_assert(end <= ops_.size(), "replay cursor past log end");
+    for (size_t i = 0; i < end; i++) {
+        const Op &op = ops_[i];
+        switch (op.kind) {
+          case Op::Kind::Map:
+            pool.mapRegion(names_[op.dataOff], op.addr);
+            break;
+          case Op::Kind::Store:
+            pool.store(op.addr, data_.data() + op.dataOff, op.size,
+                       op.nonTemporal);
+            break;
+          case Op::Kind::Flush:
+            pool.flush(op.addr, op.flushOp);
+            break;
+          case Op::Kind::Fence:
+            pool.fence();
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------- PmPool
+
 PmPool::PmPool(uint64_t capacity, double evict_chance, uint64_t seed)
     : capacity_((capacity + cacheLineSize - 1) & ~(cacheLineSize - 1)),
-      cacheImage_(capacity_, 0), persistImage_(capacity_, 0),
-      dirty_(capacity_ / cacheLineSize, 0), evictChance_(evict_chance),
-      rng_(seed)
+      cacheImage_(capacity_), persistImage_(capacity_),
+      dirtyPos_(capacity_ / cacheLineSize, dirtyNpos),
+      evictChance_(evict_chance), rng_(seed)
 {
     hippo_assert(capacity_ > 0, "empty pool");
+}
+
+PmPool::PmPool(const Snapshot &s)
+    : capacity_(s.capacity), cacheImage_(s.cache),
+      persistImage_(s.persist), dirtyLines_(s.dirtyLines),
+      dirtyPos_(s.capacity / cacheLineSize, dirtyNpos),
+      wbQueue_(s.wbQueue), regions_(s.regions),
+      allocCursor_(s.allocCursor), evictChance_(s.evictChance),
+      rng_(s.rng), stats_(s.stats)
+{
+    hippo_assert(capacity_ > 0, "empty snapshot");
+    for (uint32_t p = 0; p < dirtyLines_.size(); p++)
+        dirtyPos_[dirtyLines_[p]] = p;
+}
+
+void
+PmPool::markDirty(uint64_t line)
+{
+    dirtyPos_[line] = (uint32_t)dirtyLines_.size();
+    dirtyLines_.push_back((uint32_t)line);
+}
+
+void
+PmPool::clearDirty(uint64_t line)
+{
+    uint32_t pos = dirtyPos_[line];
+    uint32_t last = dirtyLines_.back();
+    dirtyLines_[pos] = last;
+    dirtyPos_[last] = pos;
+    dirtyLines_.pop_back();
+    dirtyPos_[line] = dirtyNpos;
+}
+
+void
+PmPool::clearAllDirty()
+{
+    for (uint32_t line : dirtyLines_)
+        dirtyPos_[line] = dirtyNpos;
+    dirtyLines_.clear();
+}
+
+void
+PmPool::adoptDirty(const std::vector<uint32_t> &lines)
+{
+    clearAllDirty();
+    dirtyLines_ = lines;
+    for (uint32_t p = 0; p < dirtyLines_.size(); p++)
+        dirtyPos_[dirtyLines_[p]] = p;
 }
 
 uint64_t
 PmPool::mapRegion(const std::string &name, uint64_t size)
 {
     hippo_assert(size > 0, "empty region");
+    if (opLog_)
+        opLog_->recordMap(name, size);
     auto it = regions_.find(name);
     if (it != regions_.end()) {
         hippo_assert(it->second.size == size,
@@ -56,8 +356,10 @@ PmPool::store(uint64_t addr, const uint8_t *data, uint64_t size,
               bool non_temporal)
 {
     hippo_assert(contains(addr, size), "PM store out of bounds");
+    if (opLog_)
+        opLog_->recordStore(addr, data, size, non_temporal);
     uint64_t off = addr - pmBaseAddr;
-    std::memcpy(&cacheImage_[off], data, size);
+    stats_.pagesCopied += cacheImage_.write(off, data, size);
     stats_.stores++;
     stats_.storedBytes += size;
 
@@ -69,17 +371,18 @@ PmPool::store(uint64_t addr, const uint8_t *data, uint64_t size,
         uint64_t first = lineIndex(addr);
         uint64_t last = lineIndex(addr + size - 1);
         for (uint64_t line = first; line <= last; line++) {
-            wbQueue_[line].assign(
-                cacheImage_.begin() + line * cacheLineSize,
-                cacheImage_.begin() + (line + 1) * cacheLineSize);
+            wbQueue_.put(line, cacheImage_.peek(line * cacheLineSize,
+                                                cacheLineSize));
             stats_.linesNtQueued++;
         }
     } else {
         uint64_t first = lineIndex(addr);
         uint64_t last = lineIndex(addr + size - 1);
         for (uint64_t line = first; line <= last; line++) {
-            stats_.linesDirtied += !dirty_[line];
-            dirty_[line] = 1;
+            if (!isDirty(line)) {
+                stats_.linesDirtied++;
+                markDirty(line);
+            }
         }
         maybeEvict();
     }
@@ -89,21 +392,24 @@ void
 PmPool::load(uint64_t addr, uint8_t *out, uint64_t size) const
 {
     hippo_assert(contains(addr, size), "PM load out of bounds");
-    std::memcpy(out, &cacheImage_[addr - pmBaseAddr], size);
+    cacheImage_.read(addr - pmBaseAddr, out, size);
 }
 
 void
 PmPool::flush(uint64_t addr, FlushOp op)
 {
     hippo_assert(contains(addr), "PM flush out of bounds");
+    if (opLog_)
+        opLog_->recordFlush(addr, op);
     stats_.flushes++;
     uint64_t line = lineIndex(addr);
-    if (!dirty_[line]) {
+    if (!isDirty(line)) {
         stats_.redundantFlushes++;
         return;
     }
-    dirty_[line] = 0;
-    const uint8_t *snapshot = &cacheImage_[line * cacheLineSize];
+    clearDirty(line);
+    const uint8_t *snapshot =
+        cacheImage_.peek(line * cacheLineSize, cacheLineSize);
     if (op == FlushOp::Clflush) {
         // CLFLUSH executions are ordered with respect to stores and
         // other CLFLUSHes (Intel SDM), so the line reaches PM without
@@ -111,7 +417,7 @@ PmPool::flush(uint64_t addr, FlushOp op)
         persistLine(line, snapshot);
         stats_.linesClflushed++;
     } else {
-        wbQueue_[line].assign(snapshot, snapshot + cacheLineSize);
+        wbQueue_.put(line, snapshot);
         stats_.linesWbQueued++;
     }
 }
@@ -119,18 +425,20 @@ PmPool::flush(uint64_t addr, FlushOp op)
 void
 PmPool::fence()
 {
+    if (opLog_)
+        opLog_->recordFence();
     stats_.fences++;
     stats_.linesFenceDrained += wbQueue_.size();
-    for (const auto &[line, data] : wbQueue_)
-        persistLine(line, data.data());
+    for (const WbQueue::Entry &e : wbQueue_.entries())
+        persistLine(e.line, e.data.data());
     wbQueue_.clear();
 }
 
 void
 PmPool::persistLine(uint64_t line, const uint8_t *snapshot)
 {
-    std::memcpy(&persistImage_[line * cacheLineSize], snapshot,
-                cacheLineSize);
+    stats_.pagesCopied += persistImage_.write(line * cacheLineSize,
+                                              snapshot, cacheLineSize);
 }
 
 void
@@ -139,27 +447,72 @@ PmPool::maybeEvict()
     if (evictChance_ <= 0 || !rng_.chance(evictChance_))
         return;
     // Pick a random dirty line and write it back, as a real cache
-    // might under memory pressure.
-    uint64_t nlines = dirty_.size();
+    // might under memory pressure. The legacy dense scan walked
+    // cyclically from `start` to the first dirty line; the index scan
+    // below selects that same line (minimal cyclic distance), so the
+    // RNG draw sequence *and* the victim match seeded legacy runs.
+    uint64_t nlines = capacity_ / cacheLineSize;
     uint64_t start = rng_.nextBelow(nlines);
-    for (uint64_t i = 0; i < nlines; i++) {
-        uint64_t line = (start + i) % nlines;
-        if (dirty_[line]) {
-            dirty_[line] = 0;
-            persistLine(line, &cacheImage_[line * cacheLineSize]);
-            stats_.evictions++;
-            stats_.linesEvicted++;
-            return;
+    if (dirtyLines_.empty())
+        return;
+    uint64_t victim = 0;
+    uint64_t best = ~0ULL;
+    for (uint32_t line : dirtyLines_) {
+        uint64_t dist =
+            line >= start ? line - start : line + nlines - start;
+        if (dist < best) {
+            best = dist;
+            victim = line;
         }
     }
+    clearDirty(victim);
+    persistLine(victim,
+                cacheImage_.peek(victim * cacheLineSize, cacheLineSize));
+    stats_.evictions++;
+    stats_.linesEvicted++;
 }
 
 void
 PmPool::crash()
 {
-    cacheImage_ = persistImage_;
-    std::fill(dirty_.begin(), dirty_.end(), 0);
+    cacheImage_ = persistImage_; // page-table copy; pages now shared
+    clearAllDirty();
     wbQueue_.clear();
+}
+
+PmPool::Snapshot
+PmPool::snapshot()
+{
+    stats_.snapshots++;
+    Snapshot s;
+    s.capacity = capacity_;
+    s.cache = cacheImage_;
+    s.persist = persistImage_;
+    s.dirtyLines = dirtyLines_;
+    s.wbQueue = wbQueue_;
+    s.regions = regions_;
+    s.allocCursor = allocCursor_;
+    s.evictChance = evictChance_;
+    s.rng = rng_;
+    s.stats = stats_;
+    return s;
+}
+
+void
+PmPool::restoreFrom(const Snapshot &s)
+{
+    hippo_assert(s.capacity == capacity_,
+                 "snapshot from a different-capacity pool");
+    cacheImage_ = s.cache;
+    persistImage_ = s.persist;
+    adoptDirty(s.dirtyLines);
+    wbQueue_ = s.wbQueue;
+    regions_ = s.regions;
+    allocCursor_ = s.allocCursor;
+    evictChance_ = s.evictChance;
+    rng_ = s.rng;
+    stats_ = s.stats;
+    stats_.restores++;
 }
 
 void
@@ -167,7 +520,7 @@ PmPool::loadPersisted(uint64_t addr, uint8_t *out, uint64_t size) const
 {
     hippo_assert(contains(addr, size),
                  "persisted load out of bounds");
-    std::memcpy(out, &persistImage_[addr - pmBaseAddr], size);
+    persistImage_.read(addr - pmBaseAddr, out, size);
 }
 
 bool
@@ -175,17 +528,7 @@ PmPool::isPersisted(uint64_t addr, uint64_t size) const
 {
     hippo_assert(contains(addr, size), "isPersisted out of bounds");
     uint64_t off = addr - pmBaseAddr;
-    return std::memcmp(&cacheImage_[off], &persistImage_[off], size) ==
-           0;
-}
-
-uint64_t
-PmPool::dirtyLineCount() const
-{
-    uint64_t n = 0;
-    for (uint8_t d : dirty_)
-        n += d;
-    return n;
+    return cacheImage_.rangeEquals(persistImage_, off, size);
 }
 
 void
@@ -207,6 +550,10 @@ PmPool::exportMetrics(support::MetricsRegistry &reg,
     reg.counter(prefix + ".lines.fence_drained")
         .inc(stats_.linesFenceDrained);
     reg.counter(prefix + ".lines.evicted").inc(stats_.linesEvicted);
+    reg.counter(prefix + ".snapshot.count").inc(stats_.snapshots);
+    reg.counter(prefix + ".snapshot.restores").inc(stats_.restores);
+    reg.counter(prefix + ".snapshot.pages_copied")
+        .inc(stats_.pagesCopied);
 }
 
 } // namespace hippo::pmem

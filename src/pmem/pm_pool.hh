@@ -22,13 +22,21 @@
  *  - optional random eviction persists dirty lines spontaneously,
  *    modeling why an unflushed store *may* still become durable
  *    (the possibility used in the safety proofs of Lemmas 1 and 2).
+ *
+ * Both images are sparse copy-on-write page tables (see CowImage), so
+ * snapshot(), crash(), and forking a pool are O(pages) pointer copies
+ * rather than O(capacity) byte copies. This is what makes the crash
+ * explorer's snapshot engine affordable (DESIGN.md "Snapshot replay
+ * engine").
  */
 
 #ifndef HIPPO_PMEM_PM_POOL_HH
 #define HIPPO_PMEM_PM_POOL_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +52,10 @@ namespace hippo::pmem
 
 /** Cache-line size used throughout the simulator. */
 constexpr uint64_t cacheLineSize = 64;
+
+/** COW page granularity of the pool images (a multiple of the line
+ *  size, so a cache line never straddles two pages). */
+constexpr uint64_t pmPageSize = 4096;
 
 /** Base virtual address at which PM regions are mapped. */
 constexpr uint64_t pmBaseAddr = 0x20000000ULL;
@@ -72,6 +84,13 @@ struct PmPoolStats
     uint64_t linesFenceDrained = 0; ///< pending -> persisted
     uint64_t linesEvicted = 0;     ///< dirty -> persisted (evict)
     /// @}
+
+    /// @name Snapshot / copy-on-write accounting
+    /// @{
+    uint64_t snapshots = 0;   ///< snapshot() calls on this pool
+    uint64_t restores = 0;    ///< restoreFrom() calls on this pool
+    uint64_t pagesCopied = 0; ///< COW page clones (shared page written)
+    /// @}
 };
 
 /** A named region inside the pool. */
@@ -83,18 +102,192 @@ struct PmRegion
 };
 
 /**
+ * A sparse, copy-on-write byte image. Pages are allocated lazily (an
+ * absent page reads as zeros) and shared between images by reference;
+ * a write to a shared page clones it first. Copying a CowImage copies
+ * the page table only, so snapshots and crash() are cheap, and a page
+ * is never mutated while shared — concurrent readers of forked images
+ * are race-free (DESIGN.md "Snapshot replay engine").
+ */
+class CowImage
+{
+  public:
+    using Page = std::array<uint8_t, pmPageSize>;
+    using PageRef = std::shared_ptr<Page>;
+
+    CowImage() = default;
+    explicit CowImage(uint64_t capacity)
+        : pages_((capacity + pmPageSize - 1) / pmPageSize)
+    {}
+
+    void read(uint64_t off, uint8_t *out, uint64_t n) const;
+
+    /**
+     * Write @p n bytes at @p off, cloning any shared page touched.
+     * Returns the number of pages cloned (COW copies; fresh zero
+     * pages are not counted).
+     */
+    uint64_t write(uint64_t off, const uint8_t *data, uint64_t n);
+
+    /**
+     * Borrow a read-only pointer to the @p n bytes at @p off. The
+     * range must not straddle a page boundary (cache lines never
+     * do); absent pages yield a pointer into a shared zero page.
+     */
+    const uint8_t *peek(uint64_t off, uint64_t n) const;
+
+    /** Bytewise equality against @p o over [off, off+n). Shared
+     *  pages compare equal by pointer without touching bytes. */
+    bool rangeEquals(const CowImage &o, uint64_t off, uint64_t n) const;
+
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    Page *writablePage(size_t idx, uint64_t &copies);
+
+    std::vector<PageRef> pages_;
+};
+
+/**
+ * The flushed-but-unfenced line snapshots, keyed by line: a repeated
+ * flush of the same line before the fence replaces the pending
+ * snapshot (the write-backs coalesce in the memory subsystem), so the
+ * fence drains each distinct line exactly once. Entries carry inline
+ * 64-byte buffers in first-queued order — no per-line heap
+ * allocation, and the drain order is deterministic.
+ */
+class WbQueue
+{
+  public:
+    struct Entry
+    {
+        uint64_t line = 0;
+        std::array<uint8_t, cacheLineSize> data{};
+    };
+
+    /** Insert or overwrite the snapshot for @p line; true = new. */
+    bool put(uint64_t line, const uint8_t *bytes);
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    void clear();
+
+    /** Pending entries in drain (first-queued) order. */
+    const std::vector<Entry> &entries() const { return entries_; }
+
+  private:
+    /** Open-addressing index into entries_: a slot is live only when
+     *  its generation matches gen_, so clear() is O(1). */
+    struct Slot
+    {
+        uint32_t gen = 0;
+        uint32_t idx = 0;
+    };
+
+    void grow();
+
+    std::vector<Entry> entries_;
+    std::vector<Slot> slots_; ///< power-of-two size
+    uint32_t gen_ = 1;
+};
+
+class PmPool;
+
+/**
+ * A replayable record of every pool-mutating call (map / store /
+ * flush / fence). The crash explorer's checkpointed-replay mode
+ * records one log during the master run and replays prefixes of it
+ * against fresh pools: because random evictions never change the
+ * cache image (only the persistent image and dirty flags), the
+ * program's instruction stream — and therefore this op stream — is
+ * identical for every eviction seed, so replaying ops [0, k) through
+ * the public pool API reproduces the pool state a full re-execution
+ * with that seed would reach, RNG draws included.
+ */
+class PmOpLog
+{
+  public:
+    explicit PmOpLog(uint64_t max_bytes = ~0ULL) : maxBytes_(max_bytes)
+    {}
+
+    /** Current log position (op count); a replay cursor. */
+    size_t position() const { return ops_.size(); }
+
+    /** True when the byte budget stopped recording: positions taken
+     *  after the overflow are unusable. */
+    bool overflowed() const { return overflowed_; }
+
+    uint64_t approxBytes() const { return bytes_; }
+
+    /// @name Recording (PmPool calls these when a log is attached)
+    /// @{
+    void recordMap(const std::string &name, uint64_t size);
+    void recordStore(uint64_t addr, const uint8_t *data, uint64_t size,
+                     bool non_temporal);
+    void recordFlush(uint64_t addr, FlushOp op);
+    void recordFence();
+    /// @}
+
+    /** Apply ops [0, end) to @p pool through its public API. */
+    void replayTo(PmPool &pool, size_t end) const;
+
+  private:
+    struct Op
+    {
+        enum class Kind : uint8_t { Map, Store, Flush, Fence };
+        Kind kind = Kind::Fence;
+        bool nonTemporal = false;
+        FlushOp flushOp = FlushOp::Clwb;
+        uint32_t size = 0;
+        uint64_t addr = 0;    ///< store/flush address; map size
+        uint64_t dataOff = 0; ///< store payload offset / map name idx
+    };
+
+    bool charge(uint64_t add);
+
+    std::vector<Op> ops_;
+    std::vector<uint8_t> data_;       ///< store payload arena
+    std::vector<std::string> names_;  ///< region names (Map ops)
+    uint64_t bytes_ = 0;
+    uint64_t maxBytes_;
+    bool overflowed_ = false;
+};
+
+/**
  * The simulated persistent pool. Addresses handed out are absolute
  * (>= pmBaseAddr) so they can share the VM's single address space
  * with volatile memory.
  *
  * Not thread-safe: a pool belongs to one worker at a time (each
  * parallel crash replay builds its own pool; see DESIGN.md
- * "Threading model"). The eviction RNG is per-pool, seeded by the
- * constructor, so replay randomness is independent of scheduling.
+ * "Threading model"). Pools *forked* from one Snapshot may run
+ * concurrently: the shared COW pages are immutable while shared.
+ * The eviction RNG is per-pool, seeded by the constructor, so replay
+ * randomness is independent of scheduling.
  */
 class PmPool
 {
   public:
+    /**
+     * A cheap point-in-time copy of the complete pool state (both
+     * images by page reference, dirty set, write-back queue, region
+     * table, RNG, stats). Restore it into the originating pool or
+     * fork any number of independent pools from it.
+     */
+    struct Snapshot
+    {
+        uint64_t capacity = 0;
+        CowImage cache;
+        CowImage persist;
+        std::vector<uint32_t> dirtyLines;
+        WbQueue wbQueue;
+        std::map<std::string, PmRegion> regions;
+        uint64_t allocCursor = 0;
+        double evictChance = 0;
+        Rng rng{1};
+        PmPoolStats stats;
+    };
+
     /**
      * @param capacity Pool capacity in bytes (rounded up to a line).
      * @param evict_chance Per-store probability of evicting a random
@@ -103,6 +296,9 @@ class PmPool
      */
     explicit PmPool(uint64_t capacity, double evict_chance = 0.0,
                     uint64_t seed = 1);
+
+    /** Fork: a pool whose state is @p s (stats included). */
+    explicit PmPool(const Snapshot &s);
 
     /**
      * Map (or re-map) the named region. Mapping the same name twice
@@ -134,8 +330,19 @@ class PmPool
     /**
      * Simulate a power failure: the cache image is discarded and
      * reloaded from the persistent image; all line state clears.
+     * O(dirty lines + pages) — no byte copying.
      */
     void crash();
+
+    /** Capture the complete pool state. O(pages) pointer copies. */
+    Snapshot snapshot();
+
+    /**
+     * Rewind this pool to @p s (which must come from a pool of the
+     * same capacity). Stats rewind too; the restore itself is then
+     * counted on top of the restored figures.
+     */
+    void restoreFrom(const Snapshot &s);
 
     /** Read bytes as they would appear after a crash right now. */
     void loadPersisted(uint64_t addr, uint8_t *out,
@@ -145,11 +352,18 @@ class PmPool
      *  image and persistent image agree). */
     bool isPersisted(uint64_t addr, uint64_t size) const;
 
-    /** Number of cache lines currently dirty (unflushed). */
-    uint64_t dirtyLineCount() const;
+    /** Number of cache lines currently dirty (unflushed). O(1). */
+    uint64_t dirtyLineCount() const { return dirtyLines_.size(); }
 
     /** Entries waiting in the write-back queue (flushed, unfenced). */
     uint64_t pendingWritebacks() const { return wbQueue_.size(); }
+
+    /**
+     * Attach (or detach, with null) an op log; every subsequent
+     * mutating call is recorded. The log must outlive the
+     * attachment. Recording does not alter pool behavior.
+     */
+    void setOpLog(PmOpLog *log) { opLog_ = log; }
 
     const PmPoolStats &stats() const { return stats_; }
     void resetStats() { stats_ = PmPoolStats(); }
@@ -165,26 +379,36 @@ class PmPool
     uint64_t capacity() const { return capacity_; }
 
   private:
+    static constexpr uint32_t dirtyNpos = ~0u;
+
     uint64_t lineIndex(uint64_t addr) const
     {
         return (addr - pmBaseAddr) / cacheLineSize;
     }
 
+    bool isDirty(uint64_t line) const
+    {
+        return dirtyPos_[line] != dirtyNpos;
+    }
+    void markDirty(uint64_t line);
+    void clearDirty(uint64_t line);
+    void clearAllDirty();
+    void adoptDirty(const std::vector<uint32_t> &lines);
+
     void persistLine(uint64_t line, const uint8_t *snapshot);
     void maybeEvict();
 
     uint64_t capacity_;
-    std::vector<uint8_t> cacheImage_;   ///< what loads observe
-    std::vector<uint8_t> persistImage_; ///< what survives a crash
-    std::vector<uint8_t> dirty_;        ///< per-line dirty flag
+    CowImage cacheImage_;   ///< what loads observe
+    CowImage persistImage_; ///< what survives a crash
 
-    /**
-     * Flushed-but-unfenced line snapshots, keyed by line: a repeated
-     * flush of the same line before the fence replaces the pending
-     * snapshot (the write-backs coalesce in the memory subsystem),
-     * so the fence drains each distinct line once.
-     */
-    std::map<uint64_t, std::vector<uint8_t>> wbQueue_;
+    /** Dirty-line index: the unordered line list plus each line's
+     *  position in it (dirtyNpos = clean), for O(1) membership,
+     *  count, insert, and swap-removal. */
+    std::vector<uint32_t> dirtyLines_;
+    std::vector<uint32_t> dirtyPos_;
+
+    WbQueue wbQueue_;
 
     std::map<std::string, PmRegion> regions_;
     uint64_t allocCursor_ = 0;
@@ -192,6 +416,7 @@ class PmPool
     double evictChance_;
     Rng rng_;
     PmPoolStats stats_;
+    PmOpLog *opLog_ = nullptr;
 };
 
 } // namespace hippo::pmem

@@ -328,6 +328,9 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
         if (cfg_.crashAtStep &&
             steps_ - runStartSteps_ >= cfg_.crashAtStep)
             throw CrashSignal{};
+        if (cfg_.stepProbeStride &&
+            (steps_ - runStartSteps_) % cfg_.stepProbeStride == 0)
+            cfg_.stepProbe(steps_ - runStartSteps_);
         opcodeCounts_[instr.op()]++;
 
         switch (instr.op()) {
@@ -492,6 +495,9 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
                 emit(std::move(ev));
             }
             int64_t n = durPointsSeen_++;
+            if (cfg_.durPointProbe)
+                cfg_.durPointProbe((uint64_t)n,
+                                   steps_ - runStartSteps_);
             if (cfg_.crashAtDurPoint >= 0 &&
                 n == cfg_.crashAtDurPoint) {
                 volatileSp_ = saved_sp;

@@ -11,6 +11,7 @@
 #define HIPPO_VM_VM_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -70,6 +71,23 @@ struct VmConfig
      *  middle of an update sequence, producing torn states for
      *  recovery testing. */
     uint64_t crashAtStep = 0;
+
+    /**
+     * Exploration probes (the crash explorer's snapshot engine).
+     * Each fires at exactly the boundary where the corresponding
+     * crash knob would raise its CrashSignal, so an observer sees
+     * the pool in the same state a crashing replay would leave
+     * behind: durPointProbe fires inside the Nth durpoint (after
+     * the trace event, before the crash check) with the durpoint
+     * index and the in-run step count; stepProbe fires before
+     * executing the instruction whose in-run step is a multiple of
+     * stepProbeStride (0 disables). Null = disabled.
+     */
+    std::function<void(uint64_t dur_index, uint64_t in_run_step)>
+        durPointProbe;
+    uint64_t stepProbeStride = 0;
+    std::function<void(uint64_t in_run_step)> stepProbe;
+
     uint64_t maxSteps = 1ULL << 33; ///< runaway guard
     uint64_t volatileBytes = 16ULL << 20;
     CostModel costs;

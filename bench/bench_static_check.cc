@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Cross-validates the static durability checker (dataflow over PMIR,
+ * analysis/durability_checker.hh) against the dynamic bug finder on
+ * every bundled application. The contract the gate enforces:
+ *
+ *   zero false negatives — every store site the dynamic detector
+ *   reports on an executed path must appear in the static report;
+ *
+ *   bounded false positives — the static checker may over-report
+ *   (may-alias flushes, unknown offsets), and this bench counts
+ *   those sites so bench_check catches regressions in precision.
+ *
+ * Exit status is nonzero when any target shows a false negative.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/durability_checker.hh"
+#include "apps/bugsuite.hh"
+#include "apps/pclht.hh"
+#include "apps/pmcache.hh"
+#include "apps/pmkv.hh"
+#include "apps/pmlog.hh"
+#include "bench_util.hh"
+#include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+using namespace hippo;
+
+struct TargetResult
+{
+    std::string name;
+    size_t dynamicSites = 0;
+    size_t staticSites = 0;
+    size_t matchedSites = 0;
+    size_t falseNegatives = 0;
+    size_t falsePositiveSites = 0;
+    size_t staticCandidates = 0;
+};
+
+/** Unique store sites named by a dynamic report. */
+std::set<std::string>
+dynamicSites(const pmcheck::Report &r)
+{
+    std::set<std::string> sites;
+    for (const auto &b : r.bugs)
+        sites.insert(b.storeSiteKey());
+    return sites;
+}
+
+/** Unique store sites named by one or more static reports. */
+std::set<std::string>
+staticSites(const std::vector<analysis::StaticReport> &reports)
+{
+    std::set<std::string> sites;
+    for (const auto &st : reports)
+        for (const auto &c : st.candidates)
+            sites.insert(c.storeSiteKey());
+    return sites;
+}
+
+TargetResult
+compare(const std::string &name, const pmcheck::Report &dyn,
+        const std::vector<analysis::StaticReport> &sts)
+{
+    TargetResult out;
+    out.name = name;
+    auto dsites = dynamicSites(dyn);
+    auto ssites = staticSites(sts);
+    out.dynamicSites = dsites.size();
+    out.staticSites = ssites.size();
+    for (const auto &st : sts)
+        out.staticCandidates += st.candidates.size();
+    for (const auto &s : dsites)
+        out.matchedSites += ssites.count(s);
+    out.falseNegatives = out.dynamicSites - out.matchedSites;
+    for (const auto &s : ssites)
+        out.falsePositiveSites += !dsites.count(s);
+    return out;
+}
+
+/** Trace one entry under the bug finder. */
+pmcheck::Report
+traceOne(ir::Module *m, const std::string &entry,
+         const std::vector<uint64_t> &args)
+{
+    pmem::PmPool pool(32u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m, &pool, vc);
+    machine.run(entry, args);
+    return pmcheck::analyze(machine.trace());
+}
+
+/** Static check from one entry. */
+analysis::StaticReport
+staticOne(const ir::Module &m, const std::string &entry)
+{
+    analysis::StaticCheckerConfig cfg;
+    cfg.entry = entry;
+    return analysis::checkDurability(m, cfg);
+}
+
+/** Single-entry whole-program target (pmlog/pclht/pmcache). */
+TargetResult
+runSimpleTarget(const std::string &name, ir::Module *m,
+                const std::string &entry, uint64_t arg)
+{
+    return compare(name, traceOne(m, entry, {arg}),
+                   {staticOne(*m, entry)});
+}
+
+/** pmkv: a short mixed workload over the per-request entry points;
+ *  the static side takes the union over the entries used. */
+TargetResult
+runPmkvTarget(uint64_t keys)
+{
+    auto m = apps::buildPmkv({});
+    pmem::PmPool pool(32u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("kv_init");
+    for (uint64_t k = 1; k <= keys; k++)
+        machine.run("kv_handle_set", {k, 32});
+    machine.run("kv_handle_update", {1, 16});
+    machine.run("kv_handle_rmw", {2, 16});
+    machine.run("kv_handle_get", {1});
+    machine.run("kv_handle_scan", {1, 4});
+    auto dyn = pmcheck::analyze(machine.trace());
+
+    std::vector<analysis::StaticReport> sts;
+    for (const char *e :
+         {"kv_init", "kv_handle_set", "kv_handle_update",
+          "kv_handle_rmw", "kv_handle_get", "kv_handle_scan"})
+        sts.push_back(staticOne(*m, e));
+    return compare("pmkv (Redis-like)", dyn, sts);
+}
+
+/** The 11 PMDK issue reproductions, aggregated. */
+TargetResult
+runBugsuiteTarget()
+{
+    std::set<std::string> dsites, ssites;
+    size_t cands = 0;
+    for (const auto &c : apps::pmdkBugCases()) {
+        auto m = c.build(false);
+        auto dyn = traceOne(m.get(), c.entry, {});
+        auto st = staticOne(*m, c.entry);
+        cands += st.candidates.size();
+        // Site keys are per-module; prefix with the case id so
+        // same-named functions in different cases never collide.
+        for (const auto &s : dynamicSites(dyn))
+            dsites.insert(c.id + ":" + s);
+        for (const auto &s : staticSites({st}))
+            ssites.insert(c.id + ":" + s);
+    }
+    TargetResult out;
+    out.name = "bugsuite (11 PMDK cases)";
+    out.dynamicSites = dsites.size();
+    out.staticSites = ssites.size();
+    out.staticCandidates = cands;
+    for (const auto &s : dsites)
+        out.matchedSites += ssites.count(s);
+    out.falseNegatives = out.dynamicSites - out.matchedSites;
+    for (const auto &s : ssites)
+        out.falsePositiveSites += !dsites.count(s);
+    return out;
+}
+
+std::string
+metricKey(const std::string &name)
+{
+    // "pmlog (append-only log)" -> "pmlog"
+    return name.substr(0, name.find(' '));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
+    bench::banner("Static durability checker — cross-validation "
+                  "against the dynamic bug finder");
+
+    uint64_t ops =
+        (uint64_t)bench::knob(opt, "HIPPO_STATIC_OPS", 16, 8);
+
+    std::vector<TargetResult> results;
+    {
+        auto m = apps::buildPmlog({});
+        results.push_back(runSimpleTarget("pmlog (append-only log)",
+                                          m.get(), "log_example",
+                                          ops));
+    }
+    {
+        auto m = apps::buildPclht({});
+        results.push_back(runSimpleTarget("pclht (RECIPE hash)",
+                                          m.get(), "clht_example",
+                                          ops));
+    }
+    {
+        auto m = apps::buildPmcache({});
+        results.push_back(runSimpleTarget("pmcache (memcached-pm)",
+                                          m.get(), "mc_example",
+                                          ops));
+    }
+    results.push_back(runPmkvTarget(ops / 2 ? ops / 2 : 1));
+    results.push_back(runBugsuiteTarget());
+
+    bench::Table table({"Target", "Dyn sites", "Static sites",
+                        "Matched", "False neg", "False pos"});
+    size_t total_fn = 0, total_fp = 0;
+    auto &reg = support::MetricsRegistry::global();
+    for (const auto &r : results) {
+        table.addRow({r.name, format("%zu", r.dynamicSites),
+                      format("%zu", r.staticSites),
+                      format("%zu", r.matchedSites),
+                      format("%zu", r.falseNegatives),
+                      format("%zu", r.falsePositiveSites)});
+        total_fn += r.falseNegatives;
+        total_fp += r.falsePositiveSites;
+
+        std::string p = "static_check." + metricKey(r.name);
+        reg.counter(p + ".dynamic_sites").inc(r.dynamicSites);
+        reg.counter(p + ".static_sites").inc(r.staticSites);
+        reg.counter(p + ".matched_sites").inc(r.matchedSites);
+        reg.counter(p + ".false_negatives").inc(r.falseNegatives);
+        reg.counter(p + ".false_positive_sites")
+            .inc(r.falsePositiveSites);
+        reg.counter(p + ".candidates").inc(r.staticCandidates);
+    }
+    table.print();
+    reg.counter("static_check.targets").inc(results.size());
+    reg.counter("static_check.false_negatives_total").inc(total_fn);
+    reg.counter("static_check.false_positive_sites_total")
+        .inc(total_fp);
+
+    std::printf("\nContract: zero false negatives on executed "
+                "paths; false positives are the price of "
+                "soundness and are gated by bench_check.\n");
+
+    bench::finishBench(opt, "bench_static_check");
+    if (total_fn) {
+        std::fprintf(stderr,
+                     "bench_static_check: %zu false negative(s)\n",
+                     total_fn);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,1164 @@
+/**
+ * @file
+ * Static durability checker implementation. See durability_checker.hh
+ * for the analysis design and the soundness argument; the structure
+ * here is:
+ *
+ *   Addr / AddrSet     abstract addresses (root + byte offset)
+ *   Record             one tracked PM store site with its lattice bits
+ *   Fact               per-basic-block dataflow fact
+ *   Summary            per-function bottom-up interprocedural summary
+ *   Checker            SCC-ordered driver producing the StaticReport
+ */
+
+#include "analysis/durability_checker.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/call_graph.hh"
+#include "analysis/points_to.hh"
+#include "ir/basic_block.hh"
+#include "ir/function.hh"
+#include "ir/instruction.hh"
+#include "ir/module.hh"
+#include "support/metrics.hh"
+#include "support/strings.hh"
+
+namespace hippo::analysis
+{
+
+namespace
+{
+
+using hippo::format;
+
+/// Cache-line geometry shared with pmem::PmPool (region bases are
+/// 64-byte aligned, which the Object-root same-line rule relies on).
+constexpr int64_t kLineShift = 6;
+
+/// Caps keeping the abstract domains finite under recursion.
+constexpr size_t kMaxAddrsPerSet = 8;
+constexpr size_t kMaxEscapedRecords = 256;
+constexpr size_t kMaxMustFlushes = 64;
+constexpr int kMaxSccIterations = 10;
+constexpr int64_t kMaxOffsetMagnitude = int64_t(1) << 30;
+
+/** Persistence-lattice bits: the set of states the store may be in. */
+constexpr uint8_t kDirty = 1;   ///< unflushed modified line
+constexpr uint8_t kPending = 2; ///< flushed, flush not yet fenced
+constexpr uint8_t kDone = 4;    ///< persisted
+/** Fence-since-store bits. */
+constexpr uint8_t kFenceNo = 1;
+constexpr uint8_t kFenceYes = 2;
+
+/** An abstract address: a root plus a byte offset when known. */
+struct Addr
+{
+    enum class Root : uint8_t { Param, Object, Unknown };
+
+    Root root = Root::Unknown;
+    uint32_t index = 0; ///< param index or PointsTo object index
+    bool knownOff = false;
+    int64_t off = 0;
+
+    static Addr unknown() { return Addr{}; }
+
+    bool operator==(const Addr &o) const = default;
+    bool operator<(const Addr &o) const
+    {
+        return std::tie(root, index, knownOff, off) <
+               std::tie(o.root, o.index, o.knownOff, o.off);
+    }
+
+    std::string
+    key() const
+    {
+        switch (root) {
+          case Root::Param:
+          case Root::Object: {
+            const char *tag = root == Root::Param ? "P" : "O";
+            if (!knownOff)
+                return format("%s%u+?", tag, index);
+            return format("%s%u+%lld", tag, index, (long long)off);
+          }
+          default:
+            return "U";
+        }
+    }
+};
+
+/** Sorted unique address set; collapses to {Unknown} past the cap. */
+using AddrSet = std::vector<Addr>;
+
+void
+normalizeAddrs(AddrSet &s)
+{
+    for (Addr &a : s) {
+        if (a.knownOff &&
+            (a.off > kMaxOffsetMagnitude || a.off < -kMaxOffsetMagnitude))
+            a.knownOff = false;
+        if (!a.knownOff)
+            a.off = 0;
+    }
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    if (s.empty() || s.size() > kMaxAddrsPerSet)
+        s = {Addr::unknown()};
+}
+
+std::string
+addrSetKey(const AddrSet &s)
+{
+    std::string k;
+    for (const Addr &a : s) {
+        if (!k.empty())
+            k += ",";
+        k += a.key();
+    }
+    return k;
+}
+
+/** One tracked PM store site flowing through the analysis. */
+struct Record
+{
+    std::string siteKey; ///< "origFunction#instrId"
+    std::vector<trace::StackFrame> stack; ///< [0] = the store frame
+    AddrSet addrs;                 ///< in the current frame's terms
+    std::vector<uint32_t> objects; ///< Andersen objects; empty=unknown
+    uint64_t size = 0;             ///< store bytes; 0 = unknown
+    const ir::Value *ptr = nullptr; ///< origin function only
+    uint8_t state = kDirty;
+    uint8_t fenced = kFenceNo;
+
+    std::string id() const { return siteKey + "|" + addrSetKey(addrs); }
+
+    /** Small naturally-aligned stores stay within one cache line, so
+     *  a single flush can retire them (see header soundness note). */
+    bool mustCoverableSize() const { return size > 0 && size <= 8; }
+};
+
+/** Dataflow state: live records keyed by Record::id (ordered map so
+ *  every iteration that can affect output is deterministic). */
+using State = std::map<std::string, Record>;
+
+bool
+mergeRecord(State &into, const Record &r)
+{
+    auto [it, inserted] = into.emplace(r.id(), r);
+    if (inserted)
+        return true;
+    uint8_t st = it->second.state | r.state;
+    uint8_t fz = it->second.fenced | r.fenced;
+    bool changed = st != it->second.state || fz != it->second.fenced;
+    it->second.state = st;
+    it->second.fenced = fz;
+    return changed;
+}
+
+/** A must-flushed address (for function summaries). */
+struct MustFlush
+{
+    Addr addr;
+    bool clflush = false;
+};
+
+/** Per-basic-block dataflow fact. */
+struct Fact
+{
+    bool reachable = false;
+    State recs;
+    bool fenceMust = false; ///< a fence on every path from entry
+    std::map<std::string, MustFlush> mustFlushed; ///< on every path
+
+    /** Join @p o into this; returns true when anything changed.
+     *  Records union, fenceMust intersects, mustFlushed intersects —
+     *  all monotone, so the fixpoint terminates. */
+    bool
+    mergeFrom(const Fact &o)
+    {
+        if (!o.reachable)
+            return false;
+        if (!reachable) {
+            *this = o;
+            return true;
+        }
+        bool changed = false;
+        for (const auto &[id, r] : o.recs)
+            changed |= mergeRecord(recs, r);
+        if (fenceMust && !o.fenceMust) {
+            fenceMust = false;
+            changed = true;
+        }
+        for (auto it = mustFlushed.begin(); it != mustFlushed.end();) {
+            if (o.mustFlushed.count(it->first)) {
+                ++it;
+            } else {
+                it = mustFlushed.erase(it);
+                changed = true;
+            }
+        }
+        return changed;
+    }
+};
+
+/** Bottom-up interprocedural summary of one function. */
+struct Summary
+{
+    bool computed = false;
+    bool mustFence = false; ///< every entry->ret path fences
+    bool mayFence = false;
+    bool mayDurPoint = false;
+    /** Every path from this function's entry to any (transitive)
+     *  durability point passes a fence first; vacuously true without
+     *  durpoints. Lets callers retire pending flushes before
+     *  reporting at a call that durpoints internally. */
+    bool preDurMustFence = true;
+    std::string repDurLabel; ///< representative durpoint for reports
+    std::vector<trace::StackFrame> repDurStack; ///< rooted here
+    std::map<std::string, MustFlush> mustFlushes; ///< all-paths, local terms
+    State escaped; ///< records live at return, in this fn's terms
+
+    /** Convergence signature for SCC iteration. */
+    std::string
+    signature() const
+    {
+        std::ostringstream os;
+        os << computed << mustFence << mayFence << mayDurPoint
+           << preDurMustFence << '|' << repDurLabel << '|';
+        for (const trace::StackFrame &fr : repDurStack)
+            os << fr.function << '@' << fr.instrId << ';';
+        os << '|';
+        for (const auto &[k, mf] : mustFlushes)
+            os << k << ':' << mf.clflush << ';';
+        os << '|';
+        for (const auto &[id, r] : escaped)
+            os << id << ':' << int(r.state) << '/' << int(r.fenced)
+               << ';';
+        return os.str();
+    }
+};
+
+/** A not-yet-deduplicated candidate. */
+struct RawCand
+{
+    pmcheck::BugKind kind;
+    std::vector<trace::StackFrame> storeStack;
+    uint64_t size = 0;
+    std::vector<trace::StackFrame> durStack;
+    std::string durLabel;
+};
+
+trace::StackFrame
+frameOf(const ir::Function *f, const ir::Instruction &in)
+{
+    return {f->name(), in.id(), in.loc().file, in.loc().line};
+}
+
+/** The analysis driver for one module. */
+class Checker
+{
+  public:
+    Checker(const ir::Module &m, const StaticCheckerConfig &cfg)
+        : m_(m), cfg_(cfg), pt_(m), cg_(m)
+    {}
+
+    StaticReport run();
+
+  private:
+    using BlockOrder = std::vector<const ir::BasicBlock *>;
+
+    BlockOrder rpo(const ir::Function *f) const;
+    const AddrSet &resolveAddrs(const ir::Function *f,
+                                const ir::Value *v);
+    bool isPmRelevant(const std::vector<uint32_t> &pts) const;
+    bool mayTouch(const std::vector<uint32_t> &a,
+                  const std::vector<uint32_t> &b) const;
+    bool mustCoverPair(const Addr &fl, const Addr &st,
+                       uint64_t size) const;
+    bool mustCovers(const AddrSet &flush, const Record &r) const;
+    static void applyMustFlush(Record &r, bool clflush);
+    static void applyFence(State &recs);
+    static void applyMayFence(State &recs);
+    void truncateStack(std::vector<trace::StackFrame> &stack) const;
+    Record rebase(const Record &er, const ir::Function *caller,
+                  const ir::Instruction &call);
+    Addr rebaseAddr(const Addr &a, const ir::Function *caller,
+                    const ir::Instruction &call, bool &unique);
+    void emitAt(const State &recs,
+                const std::vector<trace::StackFrame> &durStack,
+                const std::string &durLabel, bool fenceGuaranteed,
+                std::vector<RawCand> &out) const;
+    void transfer(const ir::Function *f, const ir::Instruction &in,
+                  Fact &fact,
+                  std::map<const ir::Value *, std::string> &localStores,
+                  Summary *sum, std::vector<RawCand> *out);
+    Summary analyzeFunction(const ir::Function *f,
+                            std::vector<RawCand> *out);
+    void computeSummaries(StaticReport &rep);
+
+    const ir::Module &m_;
+    const StaticCheckerConfig &cfg_;
+    PointsTo pt_;
+    CallGraph cg_;
+    std::map<const ir::Function *, Summary> summaries_;
+    std::map<const ir::Function *,
+             std::map<const ir::Value *, AddrSet>> addrCache_;
+    std::set<const ir::Value *> resolving_;
+    uint64_t summariesComputed_ = 0;
+};
+
+Checker::BlockOrder
+Checker::rpo(const ir::Function *f) const
+{
+    // Iterative DFS postorder over branch targets, then reverse.
+    BlockOrder post;
+    std::set<const ir::BasicBlock *> seen;
+    if (!f->entry())
+        return post;
+    std::vector<std::pair<const ir::BasicBlock *, unsigned>> stack;
+    stack.push_back({f->entry(), 0});
+    seen.insert(f->entry());
+    while (!stack.empty()) {
+        auto &[bb, next] = stack.back();
+        const ir::Instruction *term = bb->terminator();
+        unsigned ntargets = 0;
+        if (term && term->op() == ir::Opcode::Br)
+            ntargets = 1;
+        else if (term && term->op() == ir::Opcode::CondBr)
+            ntargets = 2;
+        if (next < ntargets) {
+            const ir::BasicBlock *succ = term->target(next++);
+            if (seen.insert(succ).second)
+                stack.push_back({succ, 0});
+        } else {
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+const AddrSet &
+Checker::resolveAddrs(const ir::Function *f, const ir::Value *v)
+{
+    auto &cache = addrCache_[f];
+    auto it = cache.find(v);
+    if (it != cache.end())
+        return it->second;
+    // Guard against malformed operand cycles.
+    if (!resolving_.insert(v).second)
+        return cache[v] = {Addr::unknown()};
+
+    AddrSet out;
+    if (auto *arg = dynamic_cast<const ir::Argument *>(v)) {
+        Addr a;
+        a.root = Addr::Root::Param;
+        a.index = arg->index();
+        a.knownOff = true;
+        out.push_back(a);
+    } else if (auto *in = dynamic_cast<const ir::Instruction *>(v)) {
+        switch (in->op()) {
+          case ir::Opcode::PmMap: {
+            uint32_t obj = pt_.objectByKey("pm:" + in->symbol());
+            Addr a;
+            if (obj != ~0u) {
+                a.root = Addr::Root::Object;
+                a.index = obj;
+                a.knownOff = true;
+            }
+            out.push_back(a);
+            break;
+          }
+          case ir::Opcode::Alloca: {
+            uint32_t obj = pt_.objectByKey(
+                format("%s#%u", f->name().c_str(), in->id()));
+            Addr a;
+            if (obj != ~0u) {
+                a.root = Addr::Root::Object;
+                a.index = obj;
+                a.knownOff = true;
+            }
+            out.push_back(a);
+            break;
+          }
+          case ir::Opcode::Gep: {
+            AddrSet base = resolveAddrs(f, in->operand(0));
+            const ir::Value *offv = in->operand(1);
+            auto *c = dynamic_cast<const ir::Constant *>(offv);
+            for (Addr a : base) {
+                if (a.root == Addr::Root::Unknown) {
+                    out.push_back(a);
+                    continue;
+                }
+                if (c && a.knownOff)
+                    a.off += (int64_t)c->value();
+                else
+                    a.knownOff = false;
+                out.push_back(a);
+            }
+            break;
+          }
+          case ir::Opcode::Select: {
+            AddrSet l = resolveAddrs(f, in->operand(1));
+            AddrSet r = resolveAddrs(f, in->operand(2));
+            out = l;
+            out.insert(out.end(), r.begin(), r.end());
+            break;
+          }
+          default:
+            out.push_back(Addr::unknown());
+            break;
+        }
+    }
+    normalizeAddrs(out);
+    resolving_.erase(v);
+    return cache[v] = out;
+}
+
+bool
+Checker::isPmRelevant(const std::vector<uint32_t> &pts) const
+{
+    if (pts.empty())
+        return true; // unknown target: keep (no-false-negative bias)
+    for (uint32_t o : pts)
+        if (pt_.objects()[o].isPm)
+            return true;
+    return false;
+}
+
+bool
+Checker::mayTouch(const std::vector<uint32_t> &a,
+                  const std::vector<uint32_t> &b) const
+{
+    if (a.empty() || b.empty())
+        return true;
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j])
+            return true;
+        if (a[i] < b[j])
+            i++;
+        else
+            j++;
+    }
+    return false;
+}
+
+bool
+Checker::mustCoverPair(const Addr &fl, const Addr &st,
+                       uint64_t size) const
+{
+    if (size == 0 || size > 8)
+        return false;
+    if (fl.root == Addr::Root::Unknown ||
+        fl.root != st.root || fl.index != st.index)
+        return false;
+    if (!fl.knownOff || !st.knownOff)
+        return false;
+    if (fl.root == Addr::Root::Object &&
+        pt_.objects()[fl.index].isPm) {
+        // PM region bases are 64-byte aligned (pmem::PmPool), so
+        // offsets decide the line; the store must fit the flush line.
+        int64_t fline = fl.off >> kLineShift;
+        return (st.off >> kLineShift) == fline &&
+               ((st.off + (int64_t)size - 1) >> kLineShift) == fline;
+    }
+    // Unknown base alignment (params, volatile objects): only an
+    // exact-offset match is certainly the same line.
+    return fl.off == st.off;
+}
+
+bool
+Checker::mustCovers(const AddrSet &flush, const Record &r) const
+{
+    if (!r.mustCoverableSize())
+        return false;
+    for (const Addr &st : r.addrs)
+        for (const Addr &fl : flush)
+            if (!mustCoverPair(fl, st, r.size))
+                return false;
+    return !r.addrs.empty() && !flush.empty();
+}
+
+void
+Checker::applyMustFlush(Record &r, bool clflush)
+{
+    if (clflush) {
+        r.state = kDone; // clflush persists the line immediately
+        return;
+    }
+    uint8_t ns = r.state & kDone;
+    if (r.state & (kDirty | kPending))
+        ns |= kPending;
+    r.state = ns;
+}
+
+void
+Checker::applyFence(State &recs)
+{
+    for (auto &[id, r] : recs) {
+        if (r.state & kPending)
+            r.state = (r.state & ~kPending) | kDone;
+        r.fenced = kFenceYes;
+    }
+}
+
+void
+Checker::applyMayFence(State &recs)
+{
+    for (auto &[id, r] : recs) {
+        if (r.state & kPending)
+            r.state |= kDone;
+        r.fenced |= kFenceYes;
+    }
+}
+
+void
+Checker::truncateStack(std::vector<trace::StackFrame> &stack) const
+{
+    if (stack.size() > cfg_.maxStackDepth)
+        stack.resize(cfg_.maxStackDepth); // keep innermost frames
+}
+
+Addr
+Checker::rebaseAddr(const Addr &a, const ir::Function *caller,
+                    const ir::Instruction &call, bool &unique)
+{
+    unique = true;
+    if (a.root != Addr::Root::Param)
+        return a;
+    if (a.index >= call.numOperands())
+        return Addr::unknown();
+    const AddrSet &bases = resolveAddrs(caller, call.operand(a.index));
+    if (bases.size() != 1)
+        unique = false;
+    Addr c = bases[0];
+    if (c.root == Addr::Root::Unknown)
+        return c;
+    if (c.knownOff && a.knownOff)
+        c.off += a.off;
+    else
+        c.knownOff = false;
+    return c;
+}
+
+Record
+Checker::rebase(const Record &er, const ir::Function *caller,
+                const ir::Instruction &call)
+{
+    Record r = er;
+    r.ptr = nullptr;
+    AddrSet na;
+    for (const Addr &a : er.addrs) {
+        if (a.root != Addr::Root::Param) {
+            na.push_back(a);
+            continue;
+        }
+        if (a.index >= call.numOperands()) {
+            na.push_back(Addr::unknown());
+            continue;
+        }
+        for (Addr base : resolveAddrs(caller, call.operand(a.index))) {
+            if (base.root == Addr::Root::Unknown) {
+                na.push_back(base);
+                continue;
+            }
+            if (base.knownOff && a.knownOff)
+                base.off += a.off;
+            else
+                base.knownOff = false;
+            na.push_back(base);
+        }
+    }
+    normalizeAddrs(na);
+    r.addrs = na;
+    r.stack.push_back(frameOf(caller, call));
+    truncateStack(r.stack);
+    return r;
+}
+
+void
+Checker::emitAt(const State &recs,
+                const std::vector<trace::StackFrame> &durStack,
+                const std::string &durLabel, bool fenceGuaranteed,
+                std::vector<RawCand> &out) const
+{
+    for (const auto &[id, r] : recs) {
+        uint8_t st = r.state;
+        uint8_t fz = r.fenced;
+        if (fenceGuaranteed) {
+            if (st & kPending)
+                st = (st & ~kPending) | kDone;
+            fz = kFenceYes;
+        }
+        if (st & kDirty) {
+            if (fz & kFenceYes)
+                out.push_back({pmcheck::BugKind::MissingFlush,
+                               r.stack, r.size, durStack, durLabel});
+            if (fz & kFenceNo)
+                out.push_back({pmcheck::BugKind::MissingFlushFence,
+                               r.stack, r.size, durStack, durLabel});
+        }
+        if (st & kPending)
+            out.push_back({pmcheck::BugKind::MissingFence, r.stack,
+                           r.size, durStack, durLabel});
+    }
+}
+
+void
+Checker::transfer(const ir::Function *f, const ir::Instruction &in,
+                  Fact &fact,
+                  std::map<const ir::Value *, std::string> &localStores,
+                  Summary *sum, std::vector<RawCand> *out)
+{
+    switch (in.op()) {
+      case ir::Opcode::Store:
+      case ir::Opcode::Memcpy:
+      case ir::Opcode::Memset: {
+        bool is_store = in.op() == ir::Opcode::Store;
+        const ir::Value *ptr = in.operand(is_store ? 1 : 0);
+        const std::vector<uint32_t> &pts = pt_.pointsTo(ptr);
+        if (!isPmRelevant(pts))
+            break;
+        Record r;
+        r.siteKey = format("%s#%u", f->name().c_str(), in.id());
+        r.stack = {frameOf(f, in)};
+        r.addrs = resolveAddrs(f, ptr);
+        r.objects = pts;
+        if (is_store) {
+            r.size = in.accessSize();
+        } else if (auto *len = dynamic_cast<const ir::Constant *>(
+                       in.operand(2))) {
+            r.size = len->value();
+        }
+        if (is_store && in.nonTemporal())
+            r.state = kPending; // streaming stores bypass the cache
+        r.ptr = ptr;
+        std::string id = r.id();
+        fact.recs[id] = r; // strong update: a re-store re-dirties
+        localStores[ptr] = id;
+        break;
+      }
+      case ir::Opcode::Flush: {
+        const ir::Value *ptr = in.operand(0);
+        const AddrSet &fa = resolveAddrs(f, ptr);
+        const std::vector<uint32_t> &fpts = pt_.pointsTo(ptr);
+        bool clflush = in.flushKind() == ir::FlushKind::Clflush;
+        for (auto &[id, r] : fact.recs) {
+            bool must = false;
+            // Same pointer value, stored earlier in this very block
+            // execution: certainly the same dynamic address.
+            auto ls = localStores.find(ptr);
+            if (ls != localStores.end() && ls->second == id &&
+                r.mustCoverableSize())
+                must = true;
+            if (!must && mustCovers(fa, r))
+                must = true;
+            if (must)
+                applyMustFlush(r, clflush);
+            else if (mayTouch(fpts, r.objects))
+                r.state |= clflush ? kDone : kPending;
+        }
+        if (fa.size() == 1 && fa[0].root != Addr::Root::Unknown &&
+            fa[0].knownOff &&
+            fact.mustFlushed.size() < kMaxMustFlushes)
+            fact.mustFlushed[fa[0].key()] = {fa[0], clflush};
+        break;
+      }
+      case ir::Opcode::Fence:
+        applyFence(fact.recs);
+        fact.fenceMust = true;
+        if (sum)
+            sum->mayFence = true;
+        break;
+      case ir::Opcode::DurPoint:
+        if (sum) {
+            sum->mayDurPoint = true;
+            if (sum->repDurStack.empty()) {
+                sum->repDurLabel = in.symbol();
+                sum->repDurStack = {frameOf(f, in)};
+            }
+            sum->preDurMustFence &= fact.fenceMust;
+        }
+        if (out)
+            emitAt(fact.recs, {frameOf(f, in)}, in.symbol(), false,
+                   *out);
+        break;
+      case ir::Opcode::Call: {
+        const ir::Function *callee = in.callee();
+        auto cs_it = summaries_.find(callee);
+        if (cs_it == summaries_.end() || !cs_it->second.computed)
+            break; // unanalyzed (first SCC iteration): no effect yet
+        const Summary &cs = cs_it->second;
+        if (cs.mayDurPoint) {
+            if (sum) {
+                sum->mayDurPoint = true;
+                if (sum->repDurStack.empty()) {
+                    sum->repDurLabel = cs.repDurLabel;
+                    sum->repDurStack = cs.repDurStack;
+                    sum->repDurStack.push_back(frameOf(f, in));
+                    truncateStack(sum->repDurStack);
+                }
+                sum->preDurMustFence &=
+                    fact.fenceMust || cs.preDurMustFence;
+            }
+            if (out) {
+                std::vector<trace::StackFrame> ds = cs.repDurStack;
+                ds.push_back(frameOf(f, in));
+                truncateStack(ds);
+                emitAt(fact.recs, ds, cs.repDurLabel,
+                       cs.preDurMustFence, *out);
+            }
+        }
+        if (sum && cs.mayFence)
+            sum->mayFence = true;
+        // Apply the callee's guaranteed effects to existing records.
+        // Fence first, then flushes as pending-only: the flush/fence
+        // order inside the callee is unknown, and this order never
+        // over-promises persistence.
+        if (cs.mustFence) {
+            applyFence(fact.recs);
+            fact.fenceMust = true;
+        } else if (cs.mayFence) {
+            applyMayFence(fact.recs);
+        }
+        for (const auto &[key, mf] : cs.mustFlushes) {
+            bool unique = true;
+            Addr fl = rebaseAddr(mf.addr, f, in, unique);
+            if (!unique || fl.root == Addr::Root::Unknown ||
+                !fl.knownOff)
+                continue;
+            for (auto &[id, r] : fact.recs)
+                if (mustCovers({fl}, r))
+                    applyMustFlush(r, false);
+            if (fact.mustFlushed.size() < kMaxMustFlushes)
+                fact.mustFlushed[fl.key()] = {fl, false};
+        }
+        // Merge the records that escape from the callee, rebased
+        // through this call site's arguments.
+        for (const auto &[id, er] : cs.escaped)
+            mergeRecord(fact.recs, rebase(er, f, in));
+        break;
+      }
+      case ir::Opcode::Ret:
+        if (sum) {
+            sum->mustFence &= fact.fenceMust;
+            for (auto it = sum->mustFlushes.begin();
+                 it != sum->mustFlushes.end();) {
+                if (fact.mustFlushed.count(it->first))
+                    ++it;
+                else
+                    it = sum->mustFlushes.erase(it);
+            }
+            for (const auto &[id, r] : fact.recs) {
+                if (r.state == kDone)
+                    continue; // fully persisted: nothing to report
+                if (!isPmRelevant(r.objects))
+                    continue;
+                if (sum->escaped.size() < kMaxEscapedRecords) {
+                    Record er = r;
+                    er.ptr = nullptr;
+                    mergeRecord(sum->escaped, er);
+                }
+            }
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+Summary
+Checker::analyzeFunction(const ir::Function *f,
+                         std::vector<RawCand> *out)
+{
+    summariesComputed_++;
+    BlockOrder order = rpo(f);
+    std::map<const ir::BasicBlock *, size_t> index;
+    for (size_t i = 0; i < order.size(); i++)
+        index[order[i]] = i;
+
+    std::vector<Fact> facts(order.size());
+    if (!order.empty())
+        facts[0].reachable = true;
+
+    // Fixpoint over the record lattice.
+    std::set<size_t> worklist;
+    if (!order.empty())
+        worklist.insert(0);
+    std::map<const ir::Value *, std::string> localStores;
+    while (!worklist.empty()) {
+        size_t bi = *worklist.begin();
+        worklist.erase(worklist.begin());
+        Fact fact = facts[bi];
+        localStores.clear();
+        for (const auto &instr : *order[bi])
+            transfer(f, *instr, fact, localStores, nullptr, nullptr);
+        const ir::Instruction *term = order[bi]->terminator();
+        unsigned ntargets = 0;
+        if (term && term->op() == ir::Opcode::Br)
+            ntargets = 1;
+        else if (term && term->op() == ir::Opcode::CondBr)
+            ntargets = 2;
+        for (unsigned t = 0; t < ntargets; t++) {
+            auto target = index.find(term->target(t));
+            if (target == index.end())
+                continue;
+            if (facts[target->second].mergeFrom(fact))
+                worklist.insert(target->second);
+        }
+    }
+
+    // Summary (and optionally candidate) pass over converged facts.
+    // The first reachable Ret seeds mustFence/mustFlushes; later Rets
+    // intersect into them (via the Ret case in transfer()).
+    bool first_ret = true;
+    Summary collected;
+    collected.computed = true;
+    for (size_t bi = 0; bi < order.size(); bi++) {
+        if (!facts[bi].reachable)
+            continue;
+        Fact fact = facts[bi];
+        localStores.clear();
+        for (const auto &instr : *order[bi]) {
+            if (instr->op() == ir::Opcode::Ret) {
+                if (first_ret) {
+                    collected.mustFlushes = fact.mustFlushed;
+                    collected.mustFence = fact.fenceMust;
+                    first_ret = false;
+                    // Record escapes via the shared transfer below.
+                }
+            }
+            transfer(f, *instr, fact, localStores, &collected, out);
+        }
+    }
+    collected.mustFence &= !first_ret; // no reachable ret: no promise
+    if (first_ret)
+        collected.mustFlushes.clear();
+    return collected;
+}
+
+void
+Checker::computeSummaries(StaticReport &rep)
+{
+    // Tarjan SCCs over the call graph, functions visited in module
+    // order and callees in name order so the result is deterministic.
+    const auto &fns = m_.functions();
+    std::map<const ir::Function *, int> idx, low;
+    std::set<const ir::Function *> onStack;
+    std::vector<const ir::Function *> stack;
+    std::vector<std::vector<const ir::Function *>> sccs;
+    int counter = 0;
+
+    auto sortedCallees = [&](const ir::Function *f) {
+        std::vector<ir::Function *> cs(cg_.callees(f).begin(),
+                                       cg_.callees(f).end());
+        std::sort(cs.begin(), cs.end(),
+                  [](const ir::Function *a, const ir::Function *b) {
+                      return a->name() < b->name();
+                  });
+        return cs;
+    };
+
+    // Iterative Tarjan (explicit frames to survive deep call chains).
+    struct DfsFrame
+    {
+        const ir::Function *f;
+        std::vector<ir::Function *> callees;
+        size_t next = 0;
+    };
+    for (const auto &root : fns) {
+        if (idx.count(root.get()))
+            continue;
+        std::vector<DfsFrame> dfs;
+        dfs.push_back({root.get(), sortedCallees(root.get())});
+        idx[root.get()] = low[root.get()] = counter++;
+        stack.push_back(root.get());
+        onStack.insert(root.get());
+        while (!dfs.empty()) {
+            DfsFrame &fr = dfs.back();
+            if (fr.next < fr.callees.size()) {
+                const ir::Function *c = fr.callees[fr.next++];
+                if (!idx.count(c)) {
+                    idx[c] = low[c] = counter++;
+                    stack.push_back(c);
+                    onStack.insert(c);
+                    dfs.push_back({c, sortedCallees(c)});
+                } else if (onStack.count(c)) {
+                    low[fr.f] = std::min(low[fr.f], idx[c]);
+                }
+            } else {
+                if (low[fr.f] == idx[fr.f]) {
+                    std::vector<const ir::Function *> scc;
+                    for (;;) {
+                        const ir::Function *t = stack.back();
+                        stack.pop_back();
+                        onStack.erase(t);
+                        scc.push_back(t);
+                        if (t == fr.f)
+                            break;
+                    }
+                    sccs.push_back(std::move(scc));
+                }
+                const ir::Function *done = fr.f;
+                dfs.pop_back();
+                if (!dfs.empty())
+                    low[dfs.back().f] =
+                        std::min(low[dfs.back().f], low[done]);
+            }
+        }
+    }
+    rep.sccCount = sccs.size();
+
+    // Tarjan emits SCCs callees-first: exactly bottom-up order.
+    for (auto &scc : sccs) {
+        std::sort(scc.begin(), scc.end(),
+                  [&](const ir::Function *a, const ir::Function *b) {
+                      return idx[a] < idx[b];
+                  });
+        bool cyclic = scc.size() > 1 ||
+                      cg_.callees(scc[0]).count(
+                          const_cast<ir::Function *>(scc[0]));
+        if (!cyclic) {
+            summaries_[scc[0]] = analyzeFunction(scc[0], nullptr);
+            continue;
+        }
+        for (int it = 0; it < kMaxSccIterations; it++) {
+            bool changed = false;
+            for (const ir::Function *f : scc) {
+                Summary s = analyzeFunction(f, nullptr);
+                if (s.signature() != summaries_[f].signature())
+                    changed = true;
+                summaries_[f] = std::move(s);
+            }
+            if (!changed)
+                break;
+        }
+    }
+    rep.summariesComputed = summariesComputed_;
+}
+
+StaticReport
+Checker::run()
+{
+    StaticReport rep;
+    rep.functionsTotal = m_.functions().size();
+    computeSummaries(rep);
+
+    const ir::Function *entry = m_.findFunction(cfg_.entry);
+    std::vector<const ir::Function *> reachable;
+    for (const auto &f : m_.functions())
+        if (entry &&
+            (f.get() == entry || cg_.reaches(entry, f.get())))
+            reachable.push_back(f.get());
+    rep.functionsReachable = reachable.size();
+
+    // Census over the reachable slice.
+    for (const ir::Function *f : reachable) {
+        for (const auto &bb : f->blocks()) {
+            for (const auto &in : *bb) {
+                switch (in->op()) {
+                  case ir::Opcode::Flush:
+                    rep.flushesSeen++;
+                    break;
+                  case ir::Opcode::Fence:
+                    rep.fencesSeen++;
+                    break;
+                  case ir::Opcode::DurPoint:
+                    rep.durPointsSeen++;
+                    break;
+                  case ir::Opcode::Store:
+                  case ir::Opcode::Memcpy:
+                  case ir::Opcode::Memset: {
+                    bool is_store = in->op() == ir::Opcode::Store;
+                    const ir::Value *ptr =
+                        in->operand(is_store ? 1 : 0);
+                    if (isPmRelevant(pt_.pointsTo(ptr)))
+                        rep.storesTracked++;
+                    break;
+                  }
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+
+    // Candidate collection: re-run each reachable function's analysis
+    // with the converged summaries and harvest at durability points.
+    std::vector<RawCand> raw;
+    for (const ir::Function *f : reachable)
+        analyzeFunction(f, &raw);
+    rep.summariesComputed = summariesComputed_;
+
+    // Records still unpersisted when the entry returns surface at the
+    // VM's synthetic exit durability point.
+    if (cfg_.checkExitDurPoint && entry) {
+        auto it = summaries_.find(entry);
+        if (it != summaries_.end())
+            emitAt(it->second.escaped,
+                   {{entry->name(), 0xFFFFFFFEu, "", 0}}, "exit",
+                   false, raw);
+    }
+
+    // Deduplicate by (store site, kind), keeping the candidate with
+    // the smallest presentation key, then sort for stable output.
+    auto presentationKey = [](const RawCand &c) {
+        return trace::stackToString(c.storeStack) + "\x01" +
+               c.durLabel + "\x01" + trace::stackToString(c.durStack);
+    };
+    std::map<std::pair<std::string, int>, RawCand> best;
+    for (const RawCand &c : raw) {
+        std::string site = c.storeStack.empty()
+                               ? std::string()
+                               : format("%s#%u",
+                                        c.storeStack[0].function.c_str(),
+                                        c.storeStack[0].instrId);
+        auto key = std::make_pair(site, (int)c.kind);
+        auto [it, inserted] = best.emplace(key, c);
+        if (!inserted &&
+            presentationKey(c) < presentationKey(it->second))
+            it->second = c;
+    }
+    for (auto &[key, c] : best) {
+        StaticCandidate sc;
+        sc.kind = c.kind;
+        sc.storeStack = std::move(c.storeStack);
+        sc.storeSize = c.size;
+        sc.durStack = std::move(c.durStack);
+        sc.durLabel = std::move(c.durLabel);
+        rep.candidates.push_back(std::move(sc));
+    }
+    std::sort(rep.candidates.begin(), rep.candidates.end(),
+              [](const StaticCandidate &a, const StaticCandidate &b) {
+                  return std::make_tuple(a.storeStack[0].function,
+                                         a.storeStack[0].instrId,
+                                         (int)a.kind, a.durLabel) <
+                         std::make_tuple(b.storeStack[0].function,
+                                         b.storeStack[0].instrId,
+                                         (int)b.kind, b.durLabel);
+              });
+    return rep;
+}
+
+} // namespace
+
+std::string
+StaticCandidate::storeSiteKey() const
+{
+    if (storeStack.empty())
+        return "";
+    return format("%s#%u", storeStack[0].function.c_str(),
+                  storeStack[0].instrId);
+}
+
+std::string
+StaticCandidate::str() const
+{
+    return format("%s at %s (dur \"%s\")",
+                  pmcheck::bugKindName(kind),
+                  storeSiteKey().c_str(), durLabel.c_str());
+}
+
+bool
+StaticReport::coversStoreSite(const std::string &key) const
+{
+    for (const StaticCandidate &c : candidates)
+        if (c.storeSiteKey() == key)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+StaticReport::durLabels() const
+{
+    std::set<std::string> labels;
+    for (const StaticCandidate &c : candidates)
+        if (c.durLabel != "exit")
+            labels.insert(c.durLabel);
+    return {labels.begin(), labels.end()};
+}
+
+pmcheck::Report
+StaticReport::toReport() const
+{
+    pmcheck::Report r;
+    r.pmStoresSeen = storesTracked;
+    r.flushesSeen = flushesSeen;
+    r.fencesSeen = fencesSeen;
+    r.durPointsSeen = durPointsSeen;
+    for (const StaticCandidate &c : candidates) {
+        pmcheck::Bug b;
+        b.kind = c.kind;
+        b.storeStack = c.storeStack;
+        b.size = c.storeSize;
+        b.durStack = c.durStack;
+        b.durLabel = c.durLabel;
+        r.bugs.push_back(std::move(b));
+    }
+    return r;
+}
+
+void
+StaticReport::exportMetrics(support::MetricsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.counter(prefix + ".runs").inc(1);
+    reg.counter(prefix + ".functions").inc(functionsTotal);
+    reg.counter(prefix + ".functions_reachable")
+        .inc(functionsReachable);
+    reg.counter(prefix + ".sccs").inc(sccCount);
+    reg.counter(prefix + ".summaries").inc(summariesComputed);
+    reg.counter(prefix + ".stores_tracked").inc(storesTracked);
+    reg.counter(prefix + ".flushes").inc(flushesSeen);
+    reg.counter(prefix + ".fences").inc(fencesSeen);
+    reg.counter(prefix + ".durpoints").inc(durPointsSeen);
+    reg.counter(prefix + ".candidates.total").inc(candidates.size());
+    std::map<pmcheck::BugKind, uint64_t> byKind;
+    for (const StaticCandidate &c : candidates)
+        byKind[c.kind]++;
+    for (const auto &[kind, count] : byKind)
+        reg.counter(prefix + ".candidates." +
+                    pmcheck::bugKindName(kind))
+            .inc(count);
+}
+
+std::string
+StaticReport::writeText() const
+{
+    std::ostringstream os;
+    os << format("STATIC-SUMMARY candidates=%zu functions=%llu "
+                 "reachable=%llu sccs=%llu stores=%llu flushes=%llu "
+                 "fences=%llu durpoints=%llu\n",
+                 candidates.size(),
+                 (unsigned long long)functionsTotal,
+                 (unsigned long long)functionsReachable,
+                 (unsigned long long)sccCount,
+                 (unsigned long long)storesTracked,
+                 (unsigned long long)flushesSeen,
+                 (unsigned long long)fencesSeen,
+                 (unsigned long long)durPointsSeen);
+    for (const StaticCandidate &c : candidates) {
+        os << format("SBUG kind=%s size=%llu label=\"%s\"\n",
+                     pmcheck::bugKindName(c.kind),
+                     (unsigned long long)c.storeSize,
+                     c.durLabel.c_str());
+        os << "  XSTACK " << trace::stackToString(c.storeStack)
+           << "\n";
+        os << "  ISTACK " << trace::stackToString(c.durStack) << "\n";
+    }
+    return os.str();
+}
+
+StaticReport
+checkDurability(const ir::Module &m, const StaticCheckerConfig &cfg)
+{
+    return Checker(m, cfg).run();
+}
+
+} // namespace hippo::analysis

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Static durability checker: a flow-sensitive forward dataflow
+ * analysis over PMIR that finds missing-flush / missing-fence
+ * candidates without running the program ("Automated Insertion of
+ * Flushes and Fences for Persistency", Guo et al., decides the same
+ * bug class statically; Hippocrates §4 only sees dynamically-exposed
+ * bugs).
+ *
+ * Per PM store site the analysis tracks an abstract persistence
+ * lattice — the powerset of {dirty, flush-pending, persisted} crossed
+ * with {fence-seen-since-store} — so one fact soundly covers every
+ * path reaching a program point (⊥ is the empty set: store not yet
+ * seen). Facts are seeded from the Andersen points-to results
+ * (points_to.hh) and flow interprocedurally through bottom-up
+ * summaries over call-graph SCCs: each function exports must-fence /
+ * must-flush effects, durpoint visibility, and the records that
+ * escape to its callers (rebased through call-site arguments).
+ *
+ * Soundness direction: the checker is tuned for *zero false
+ * negatives* against the dynamic detector on any path the VM can
+ * execute — a flush only retires a record's dirty state when it
+ * must-cover the store (identical address expression evaluated in the
+ * same basic-block execution, or provably the same cache line: PM
+ * region bases are 64-byte aligned by PmPool, and naturally-aligned
+ * stores of ≤ 8 bytes never straddle a line). May-aliasing flushes
+ * only *add* flushed-state possibilities, so path-insensitive merges
+ * over-report (false positives, counted and gated in
+ * bench_static_check) rather than under-report.
+ */
+
+#ifndef HIPPO_ANALYSIS_DURABILITY_CHECKER_HH
+#define HIPPO_ANALYSIS_DURABILITY_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmcheck/detector.hh"
+#include "trace/trace.hh"
+
+namespace hippo::ir
+{
+class Module;
+} // namespace hippo::ir
+
+namespace hippo::support
+{
+class MetricsRegistry;
+} // namespace hippo::support
+
+namespace hippo::analysis
+{
+
+/** Static-checker options. */
+struct StaticCheckerConfig
+{
+    /** Root of the reachable-call analysis; candidates are reported
+     *  only for functions this entry can reach (matching what a
+     *  dynamic run from the same entry could execute). */
+    std::string entry = "main";
+
+    /** Report records still unpersisted when the entry returns, as
+     *  the VM's synthetic "exit" durability point does
+     *  (vm::VmConfig::durPointAtExit). */
+    bool checkExitDurPoint = true;
+
+    /** Innermost frames kept per candidate stack; escape chains
+     *  through deep call stacks are truncated to this many. */
+    unsigned maxStackDepth = 8;
+};
+
+/**
+ * One statically-suspicious (store X, durability point I) pair, the
+ * static analogue of pmcheck::Bug. Stacks are the call chain the
+ * record escaped through, innermost frame first, rooted at the
+ * function where the durability point was observed (a dynamic stack
+ * would extend further toward the entry).
+ */
+struct StaticCandidate
+{
+    pmcheck::BugKind kind = pmcheck::BugKind::MissingFlushFence;
+
+    std::vector<trace::StackFrame> storeStack; ///< the store X
+    uint64_t storeSize = 0; ///< bytes; 0 = statically unknown
+
+    std::vector<trace::StackFrame> durStack; ///< the durpoint I
+    std::string durLabel;
+
+    /** Store site "function#instrId" (innermost frame), comparable
+     *  with pmcheck::Bug::storeSiteKey(). */
+    std::string storeSiteKey() const;
+
+    std::string str() const;
+};
+
+/** Full static-checker output for one module. */
+struct StaticReport
+{
+    /** Deduplicated by (store site, kind), sorted; see writeText. */
+    std::vector<StaticCandidate> candidates;
+
+    /// @name Census over the module / the entry-reachable slice
+    /// @{
+    uint64_t functionsTotal = 0;
+    uint64_t functionsReachable = 0;
+    uint64_t sccCount = 0;
+    uint64_t summariesComputed = 0; ///< per-function analysis runs
+    uint64_t storesTracked = 0;     ///< PM store records created
+    uint64_t flushesSeen = 0;       ///< flush instrs, reachable fns
+    uint64_t fencesSeen = 0;        ///< fence instrs, reachable fns
+    uint64_t durPointsSeen = 0;     ///< durpoint instrs, reachable fns
+    /// @}
+
+    bool clean() const { return candidates.empty(); }
+
+    /** True when some candidate's store site equals @p key
+     *  ("function#instrId"). */
+    bool coversStoreSite(const std::string &key) const;
+
+    /** Sorted unique durpoint labels named by candidates (minus the
+     *  synthetic "exit") — feed to
+     *  pmcheck::CrashExplorerConfig::priorityDurLabels to aim crash
+     *  exploration at statically-suspicious durability points. */
+    std::vector<std::string> durLabels() const;
+
+    /**
+     * Project into the dynamic detector's report shape (event
+     * sequence numbers and addresses are 0 — a static analysis has
+     * neither) so downstream tooling can consume either source.
+     */
+    pmcheck::Report toReport() const;
+
+    /**
+     * Accumulate the census and per-kind candidate counts into
+     * @p reg under "<prefix>." (static.runs, static.candidates.*,
+     * ...; see docs/FORMATS.md §6).
+     */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "static") const;
+
+    /**
+     * Line-oriented text report (STATIC-SUMMARY + SBUG records).
+     * Deterministic: the same module and config produce the same
+     * bytes on every run, at any --jobs setting — the analysis is
+     * single-threaded over ordered containers.
+     */
+    std::string writeText() const;
+};
+
+/** Run the static durability checker over @p m. */
+StaticReport checkDurability(const ir::Module &m,
+                             const StaticCheckerConfig &cfg = {});
+
+} // namespace hippo::analysis
+
+#endif // HIPPO_ANALYSIS_DURABILITY_CHECKER_HH

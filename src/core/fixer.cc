@@ -749,6 +749,8 @@ Fixer::verifyFixed(pmcheck::CrashExplorerConfig vc) const
 {
     if (vc.jobs == 0)
         vc.jobs = cfg_.jobs;
+    if (cfg_.staticReport && vc.priorityDurLabels.empty())
+        vc.priorityDurLabels = cfg_.staticReport->durLabels();
     auto &reg = support::MetricsRegistry::global();
     support::ScopedTimer t(reg.timer("fixer.verify_ns"));
     pmcheck::ExplorationResult res = pmcheck::exploreCrashes(module_, vc);

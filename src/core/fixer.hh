@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analysis/alias_scorer.hh"
+#include "analysis/durability_checker.hh"
 #include "ir/module.hh"
 #include "pmcheck/crash_explorer.hh"
 #include "pmcheck/detector.hh"
@@ -66,6 +67,15 @@ struct FixerConfig
      * 0 = one worker per hardware thread.
      */
     unsigned jobs = 0;
+
+    /**
+     * Static pre-filter (not owned; may be null): when set,
+     * verifyFixed() aims crash exploration at the durability points
+     * the static checker flagged, by seeding
+     * CrashExplorerConfig::priorityDurLabels from the report's
+     * candidate labels when the caller left that list empty.
+     */
+    const analysis::StaticReport *staticReport = nullptr;
 
     bool verbose = false;
 };

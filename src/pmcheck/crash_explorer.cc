@@ -1,6 +1,8 @@
 #include "pmcheck/crash_explorer.hh"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "pmem/pm_pool.hh"
 #include "support/logging.hh"
@@ -43,8 +45,11 @@ replaySeed(const CrashExplorerConfig &cfg, uint64_t k)
 /** Everything the master execution captures for the replay phase. */
 struct MasterState
 {
-    /** Pool snapshot per durpoint / per step-stride boundary (Fork
-     *  mode), in crash-plan order, capped at the crash budget. */
+    /** Pool snapshot per captured durpoint / per step-stride
+     *  boundary (Fork mode). Durpoint captures are indexed through
+     *  durSlot: within the crash budget every durpoint gets a slot,
+     *  and priority-labeled durpoints are captured even beyond it
+     *  (the plan moves them ahead of the truncation line). */
     std::vector<pmem::PmPool::Snapshot> durSnaps;
     std::vector<pmem::PmPool::Snapshot> stepSnaps;
 
@@ -52,9 +57,17 @@ struct MasterState
     std::vector<size_t> durLogPos;
     std::vector<size_t> stepLogPos;
 
-    /** In-run step count at durpoint i — what a legacy replay of
-     *  that crash would have executed (steps_saved accounting). */
+    /** In-run step count at captured durpoint slots — what a legacy
+     *  replay of that crash would have executed (steps_saved
+     *  accounting). */
     std::vector<uint64_t> durSteps;
+
+    /** Durpoint index -> capture slot in the three vectors above.
+     *  The identity map when no priority labels are configured. */
+    std::map<uint64_t, size_t> durSlot;
+
+    /** Label of every durpoint in the run (no cap; plan input). */
+    std::vector<std::string> durLabels;
 
     uint64_t snapshots = 0;   ///< snapshot() calls on the master pool
     uint64_t pagesCopied = 0; ///< COW clones charged to the master
@@ -80,11 +93,25 @@ masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
     vm::VmConfig vc;
     vc.durPointAtExit = false;
     uint64_t durpoints = 0;
-    vc.durPointProbe = [&](uint64_t n, uint64_t in_run) {
+    auto isPriority = [&](const std::string &label) {
+        return std::find(cfg.priorityDurLabels.begin(),
+                         cfg.priorityDurLabels.end(),
+                         label) != cfg.priorityDurLabels.end();
+    };
+    vc.durPointProbe = [&](uint64_t n, uint64_t in_run,
+                           const std::string &label) {
         durpoints++;
-        if (mode == ReplayMode::Legacy || !cfg.exploreDurPoints ||
-            n >= cfg.maxCrashes)
+        ms.durLabels.push_back(label);
+        if (mode == ReplayMode::Legacy || !cfg.exploreDurPoints)
             return;
+        // Capture within the budget, plus every priority-labeled
+        // durpoint beyond it: the plan pulls those ahead of the
+        // truncation line, so their slots must exist (and any
+        // non-priority entry surviving truncation provably has
+        // index < maxCrashes).
+        if (n >= cfg.maxCrashes && !isPriority(label))
+            return;
+        ms.durSlot[n] = ms.durSteps.size();
         ms.durSteps.push_back(in_run);
         if (mode == ReplayMode::Fork)
             ms.durSnaps.push_back(pool.snapshot());
@@ -123,18 +150,36 @@ masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
 }
 
 /**
- * Enumerate the crash plan: every durpoint crash first, then every
- * step-stride crash, truncated to the budget. Serial and parallel
- * execution both run exactly this plan, in this order.
+ * Enumerate the crash plan: durpoint crashes first — those at
+ * priority-labeled durpoints (the static pre-filter) ahead of the
+ * rest, each class in durpoint order — then every step-stride crash,
+ * truncated to the budget. Serial and parallel execution both run
+ * exactly this plan, in this order; with no priority labels the plan
+ * is identical to the historical one.
  */
 std::vector<PlannedCrash>
 planCrashes(const CrashExplorerConfig &cfg,
-            const ExplorationResult &profile)
+            const ExplorationResult &profile, const MasterState &ms)
 {
     std::vector<PlannedCrash> plan;
-    if (cfg.exploreDurPoints)
+    if (cfg.exploreDurPoints) {
+        std::set<uint64_t> priority;
+        for (uint64_t i = 0;
+             !cfg.priorityDurLabels.empty() &&
+             i < profile.durPointsInRun && i < ms.durLabels.size();
+             i++) {
+            if (std::find(cfg.priorityDurLabels.begin(),
+                          cfg.priorityDurLabels.end(),
+                          ms.durLabels[i]) !=
+                cfg.priorityDurLabels.end()) {
+                priority.insert(i);
+                plan.push_back({false, i});
+            }
+        }
         for (uint64_t i = 0; i < profile.durPointsInRun; i++)
-            plan.push_back({false, i});
+            if (!priority.count(i))
+                plan.push_back({false, i});
+    }
     if (cfg.stepStride)
         for (uint64_t s = cfg.stepStride; s < profile.stepsInRun;
              s += cfg.stepStride)
@@ -229,7 +274,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
     reg.counter("explorer.snapshot.count").inc(ms.snapshots);
     reg.counter("explorer.snapshot.pages_copied").inc(ms.pagesCopied);
 
-    const std::vector<PlannedCrash> plan = planCrashes(cfg, out);
+    const std::vector<PlannedCrash> plan = planCrashes(cfg, out, ms);
     out.outcomes.resize(plan.size());
 
     uint64_t step_crashes = 0;
@@ -259,8 +304,10 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
         // step the master recorded — in the fast modes only).
         uint64_t legacy_steps = 0;
         if (mode != ReplayMode::Legacy)
-            legacy_steps =
-                p.atStep ? p.crashPoint : ms.durSteps[p.crashPoint];
+            legacy_steps = p.atStep
+                               ? p.crashPoint
+                               : ms.durSteps[ms.durSlot.at(
+                                     p.crashPoint)];
 
         vm::RunResult rec;
         switch (mode) {
@@ -287,7 +334,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
             const pmem::PmPool::Snapshot &snap =
                 p.atStep
                     ? ms.stepSnaps[p.crashPoint / cfg.stepStride - 1]
-                    : ms.durSnaps[p.crashPoint];
+                    : ms.durSnaps[ms.durSlot.at(p.crashPoint)];
             pmem::PmPool pool(snap);
             pool.resetStats();
             pool.crash();
@@ -305,7 +352,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
             size_t pos =
                 p.atStep
                     ? ms.stepLogPos[p.crashPoint / cfg.stepStride - 1]
-                    : ms.durLogPos[p.crashPoint];
+                    : ms.durLogPos[ms.durSlot.at(p.crashPoint)];
             log.replayTo(pool, pos);
             pool.crash();
             vm::Vm recovery(m, &pool, {});

@@ -78,6 +78,18 @@ struct CrashExplorerConfig
      */
     uint64_t maxCrashes = 512;
 
+    /**
+     * Static pre-filter: durpoint labels to explore *first*. Crashes
+     * at durpoints whose label is listed here (typically
+     * analysis::StaticReport::durLabels() — the durability points the
+     * static checker flagged as suspicious) move to the front of the
+     * crash plan, ahead of the remaining durpoint crashes, so a tight
+     * maxCrashes budget is spent where bugs statically can be. Within
+     * each class the original durpoint order is kept; when empty, the
+     * plan — and so the whole ExplorationResult — is unchanged.
+     */
+    std::vector<std::string> priorityDurLabels;
+
     uint64_t poolBytes = 16u << 20;
 
     /**

@@ -497,7 +497,8 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
             int64_t n = durPointsSeen_++;
             if (cfg_.durPointProbe)
                 cfg_.durPointProbe((uint64_t)n,
-                                   steps_ - runStartSteps_);
+                                   steps_ - runStartSteps_,
+                                   instr.symbol());
             if (cfg_.crashAtDurPoint >= 0 &&
                 n == cfg_.crashAtDurPoint) {
                 volatileSp_ = saved_sp;

@@ -79,11 +79,14 @@ struct VmConfig
      * the pool in the same state a crashing replay would leave
      * behind: durPointProbe fires inside the Nth durpoint (after
      * the trace event, before the crash check) with the durpoint
-     * index and the in-run step count; stepProbe fires before
-     * executing the instruction whose in-run step is a multiple of
-     * stepProbeStride (0 disables). Null = disabled.
+     * index, the in-run step count, and the durpoint's label (used
+     * by the static pre-filter to prioritize suspicious durability
+     * points); stepProbe fires before executing the instruction
+     * whose in-run step is a multiple of stepProbeStride
+     * (0 disables). Null = disabled.
      */
-    std::function<void(uint64_t dur_index, uint64_t in_run_step)>
+    std::function<void(uint64_t dur_index, uint64_t in_run_step,
+                       const std::string &label)>
         durPointProbe;
     uint64_t stepProbeStride = 0;
     std::function<void(uint64_t in_run_step)> stepProbe;

@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Tests for the static durability checker: per-kind unit modules,
+ * interprocedural escape chains, the synthetic exit durability
+ * point, determinism, byte-exact golden reports, the zero-false-
+ * negative cross-validation against the dynamic detector on every
+ * bundled application, and the static pre-filter's effect on crash
+ * exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analysis/durability_checker.hh"
+#include "apps/bugsuite.hh"
+#include "apps/pclht.hh"
+#include "apps/pmcache.hh"
+#include "apps/pmkv.hh"
+#include "apps/pmlog.hh"
+#include "ir/parser.hh"
+#include "pmcheck/crash_explorer.hh"
+#include "support/metrics.hh"
+#include "test_util.hh"
+
+namespace hippo::test
+{
+
+using analysis::StaticCheckerConfig;
+using analysis::StaticReport;
+using analysis::checkDurability;
+using ir::FenceKind;
+using ir::FlushKind;
+using ir::IRBuilder;
+using ir::Type;
+using pmcheck::BugKind;
+
+namespace
+{
+
+/** Trace @p entry (with args) and run the dynamic detector. */
+pmcheck::Report
+dynReport(ir::Module *m, const std::string &entry,
+          const std::vector<uint64_t> &args = {})
+{
+    pmem::PmPool pool(16u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m, &pool, vc);
+    machine.run(entry, args);
+    return pmcheck::analyze(machine.trace());
+}
+
+/** Every dynamic bug's store site must appear in the static report:
+ *  the zero-false-negative contract. */
+void
+expectZeroFalseNegatives(const pmcheck::Report &dyn,
+                         const StaticReport &st,
+                         const std::string &what)
+{
+    for (const auto &bug : dyn.bugs)
+        EXPECT_TRUE(st.coversStoreSite(bug.storeSiteKey()))
+            << what << ": dynamic bug at " << bug.storeSiteKey()
+            << " (" << pmcheck::bugKindName(bug.kind)
+            << ") missed by the static checker";
+}
+
+/**
+ * One-block module: pmmap, one 8-byte store, then the caller-chosen
+ * durability suffix before a durpoint.
+ */
+std::unique_ptr<ir::Module>
+buildStoreModule(bool flush, FlushKind fk, bool fence)
+{
+    auto m = std::make_unique<ir::Module>("unit");
+    IRBuilder b(m.get());
+    ir::Function *main = m->addFunction("main", Type::Void);
+    b.setInsertPoint(main->addBlock("entry"));
+    ir::Instruction *pm = b.createPmMap("unit.pool", 64);
+    b.createStore(b.getInt(7), pm, 8);
+    if (flush)
+        b.createFlush(pm, fk);
+    if (fence)
+        b.createFence(FenceKind::Sfence);
+    b.createDurPoint("commit");
+    b.createRet();
+    ir::verifyOrDie(*m);
+    return m;
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Byte-exact golden comparison; HIPPO_REGEN_GOLDEN=1 rewrites the
+ *  golden instead (see docs/FORMATS.md §6). */
+void
+compareGolden(const std::string &text, const std::string &path)
+{
+    if (std::getenv("HIPPO_REGEN_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << text;
+        return;
+    }
+    EXPECT_EQ(text, readFileOrDie(path));
+}
+
+} // namespace
+
+TEST(DurabilityChecker, CleanClflushIsClean)
+{
+    auto m = buildStoreModule(true, FlushKind::Clflush, false);
+    auto rep = checkDurability(*m);
+    EXPECT_TRUE(rep.clean()) << rep.writeText();
+    EXPECT_EQ(rep.storesTracked, 1u);
+    EXPECT_EQ(rep.flushesSeen, 1u);
+    EXPECT_EQ(rep.durPointsSeen, 1u);
+}
+
+TEST(DurabilityChecker, CleanClwbFenceIsClean)
+{
+    auto m = buildStoreModule(true, FlushKind::Clwb, true);
+    auto rep = checkDurability(*m);
+    EXPECT_TRUE(rep.clean()) << rep.writeText();
+}
+
+TEST(DurabilityChecker, ClwbWithoutFenceIsMissingFence)
+{
+    auto m = buildStoreModule(true, FlushKind::Clwb, false);
+    auto rep = checkDurability(*m);
+    ASSERT_EQ(rep.candidates.size(), 1u) << rep.writeText();
+    EXPECT_EQ(rep.candidates[0].kind, BugKind::MissingFence);
+    EXPECT_EQ(rep.candidates[0].durLabel, "commit");
+}
+
+TEST(DurabilityChecker, FenceWithoutFlushIsMissingFlush)
+{
+    auto m = buildStoreModule(false, FlushKind::Clwb, true);
+    auto rep = checkDurability(*m);
+    ASSERT_EQ(rep.candidates.size(), 1u) << rep.writeText();
+    EXPECT_EQ(rep.candidates[0].kind, BugKind::MissingFlush);
+}
+
+TEST(DurabilityChecker, BareStoreIsMissingFlushFence)
+{
+    auto m = buildStoreModule(false, FlushKind::Clwb, false);
+    auto rep = checkDurability(*m);
+    ASSERT_EQ(rep.candidates.size(), 1u) << rep.writeText();
+    EXPECT_EQ(rep.candidates[0].kind, BugKind::MissingFlushFence);
+    EXPECT_EQ(rep.candidates[0].storeSize, 8u);
+}
+
+TEST(DurabilityChecker, VolatileStoreIgnored)
+{
+    auto m = std::make_unique<ir::Module>("vol");
+    IRBuilder b(m.get());
+    ir::Function *main = m->addFunction("main", Type::Void);
+    b.setInsertPoint(main->addBlock("entry"));
+    ir::Instruction *buf = b.createAlloca(64);
+    b.createStore(b.getInt(7), buf, 8);
+    b.createDurPoint("commit");
+    b.createRet();
+    ir::verifyOrDie(*m);
+
+    auto rep = checkDurability(*m);
+    EXPECT_TRUE(rep.clean()) << rep.writeText();
+    EXPECT_EQ(rep.storesTracked, 0u);
+}
+
+TEST(DurabilityChecker, LoopStoreFlushedInSameBlockIsClean)
+{
+    // for (i = 0; i < 8; i++) { pm[i*8] = i; clflush(&pm[i*8]); }
+    // The flush targets the same GEP value in the same block
+    // execution, so it must-covers the store even though the offset
+    // is a loop-carried unknown.
+    auto m = std::make_unique<ir::Module>("loop");
+    IRBuilder b(m.get());
+    ir::Function *main = m->addFunction("main", Type::Void);
+    ir::BasicBlock *entry = main->addBlock("entry");
+    ir::BasicBlock *loop = main->addBlock("loop");
+    ir::BasicBlock *body = main->addBlock("body");
+    ir::BasicBlock *done = main->addBlock("done");
+
+    b.setInsertPoint(entry);
+    ir::Instruction *pm = b.createPmMap("loop.pool", 256);
+    ir::Instruction *iv = b.createAlloca(8);
+    b.createStore(b.getInt(0), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(loop);
+    ir::Instruction *i = b.createLoad(iv, 8);
+    ir::Instruction *more =
+        b.createCmp(ir::CmpPred::Ult, i, b.getInt(8));
+    b.createCondBr(more, body, done);
+
+    b.setInsertPoint(body);
+    ir::Instruction *off = b.createMul(i, b.getInt(8));
+    ir::Instruction *p = b.createGep(pm, off);
+    b.createStore(i, p, 8);
+    b.createFlush(p, FlushKind::Clflush);
+    b.createStore(b.createAdd(i, b.getInt(1)), iv, 8);
+    b.createBr(loop);
+
+    b.setInsertPoint(done);
+    b.createDurPoint("commit");
+    b.createRet();
+    ir::verifyOrDie(*m);
+
+    auto rep = checkDurability(*m);
+    EXPECT_TRUE(rep.clean()) << rep.writeText();
+}
+
+TEST(DurabilityChecker, ExitDurPointCatchesEscapingStore)
+{
+    // A store that never meets a durpoint still escapes to the
+    // synthetic "exit" durability point, as the VM's
+    // durPointAtExit does dynamically.
+    auto m = std::make_unique<ir::Module>("exitcase");
+    IRBuilder b(m.get());
+    ir::Function *main = m->addFunction("main", Type::Void);
+    b.setInsertPoint(main->addBlock("entry"));
+    ir::Instruction *pm = b.createPmMap("exit.pool", 64);
+    b.createStore(b.getInt(7), pm, 8);
+    b.createRet();
+    ir::verifyOrDie(*m);
+
+    auto rep = checkDurability(*m);
+    ASSERT_EQ(rep.candidates.size(), 1u) << rep.writeText();
+    EXPECT_EQ(rep.candidates[0].durLabel, "exit");
+    EXPECT_EQ(rep.candidates[0].kind, BugKind::MissingFlushFence);
+
+    StaticCheckerConfig no_exit;
+    no_exit.checkExitDurPoint = false;
+    EXPECT_TRUE(checkDurability(*m, no_exit).clean());
+}
+
+TEST(DurabilityChecker, Listing5InterproceduralEscape)
+{
+    for (bool with_fence : {false, true}) {
+        auto m = buildListing5(with_fence);
+        StaticCheckerConfig cfg;
+        cfg.entry = "foo";
+        auto st = checkDurability(*m, cfg);
+
+        // The PM store lives in @update, two calls below the
+        // durpoint in @foo: the record must escape the whole chain.
+        ASSERT_FALSE(st.candidates.empty()) << st.writeText();
+        const auto &c = st.candidates.front();
+        EXPECT_EQ(c.storeStack.front().function, "update");
+        EXPECT_GE(c.storeStack.size(), 2u);
+
+        auto dyn = dynReport(m.get(), "foo");
+        ASSERT_FALSE(dyn.bugs.empty());
+        expectZeroFalseNegatives(
+            dyn, st, with_fence ? "listing5+fence" : "listing5");
+    }
+}
+
+TEST(DurabilityChecker, CrossValidatePmlog)
+{
+    auto m = apps::buildPmlog({});
+    StaticCheckerConfig cfg;
+    cfg.entry = "log_example";
+    auto st = checkDurability(*m, cfg);
+    auto dyn = dynReport(m.get(), "log_example", {8});
+    ASSERT_FALSE(dyn.bugs.empty());
+    expectZeroFalseNegatives(dyn, st, "pmlog");
+}
+
+TEST(DurabilityChecker, CrossValidatePclht)
+{
+    auto m = apps::buildPclht({});
+    StaticCheckerConfig cfg;
+    cfg.entry = "clht_example";
+    auto st = checkDurability(*m, cfg);
+    auto dyn = dynReport(m.get(), "clht_example", {24});
+    ASSERT_FALSE(dyn.bugs.empty());
+    expectZeroFalseNegatives(dyn, st, "pclht");
+}
+
+TEST(DurabilityChecker, CrossValidatePmcache)
+{
+    auto m = apps::buildPmcache({});
+    StaticCheckerConfig cfg;
+    cfg.entry = "mc_example";
+    auto st = checkDurability(*m, cfg);
+    auto dyn = dynReport(m.get(), "mc_example", {24});
+    ASSERT_FALSE(dyn.bugs.empty());
+    expectZeroFalseNegatives(dyn, st, "pmcache");
+}
+
+TEST(DurabilityChecker, CrossValidatePmkv)
+{
+    // pmkv has per-request entry points; the dynamic trace spans a
+    // short mixed workload while the static side checks each entry
+    // the workload used and the union of sites must cover every
+    // dynamic bug.
+    auto m = apps::buildPmkv({});
+    pmem::PmPool pool(32u << 20);
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    vm::Vm machine(m.get(), &pool, vc);
+    machine.run("kv_init");
+    machine.run("kv_handle_set", {1, 32});
+    machine.run("kv_handle_set", {2, 32});
+    machine.run("kv_handle_update", {1, 16});
+    machine.run("kv_handle_rmw", {2, 16});
+    machine.run("kv_handle_get", {1});
+    machine.run("kv_handle_scan", {1, 4});
+    auto dyn = pmcheck::analyze(machine.trace());
+    ASSERT_FALSE(dyn.bugs.empty());
+
+    const char *entries[] = {"kv_init",       "kv_handle_set",
+                             "kv_handle_update", "kv_handle_rmw",
+                             "kv_handle_get", "kv_handle_scan"};
+    std::vector<StaticReport> reports;
+    for (const char *e : entries) {
+        StaticCheckerConfig cfg;
+        cfg.entry = e;
+        reports.push_back(checkDurability(*m, cfg));
+    }
+    for (const auto &bug : dyn.bugs) {
+        bool covered = false;
+        for (const auto &st : reports)
+            covered |= st.coversStoreSite(bug.storeSiteKey());
+        EXPECT_TRUE(covered)
+            << "pmkv: dynamic bug at " << bug.storeSiteKey()
+            << " missed by every static entry";
+    }
+}
+
+TEST(DurabilityChecker, CrossValidateBugsuite)
+{
+    for (const auto &c : apps::pmdkBugCases()) {
+        auto m = c.build(false);
+        StaticCheckerConfig cfg;
+        cfg.entry = c.entry;
+        auto st = checkDurability(*m, cfg);
+        auto dyn = dynReport(m.get(), c.entry);
+        ASSERT_FALSE(dyn.bugs.empty()) << c.id;
+        expectZeroFalseNegatives(dyn, st, c.id);
+    }
+}
+
+TEST(DurabilityChecker, DeterministicAcrossRuns)
+{
+    auto m = apps::buildPclht({});
+    StaticCheckerConfig cfg;
+    cfg.entry = "clht_example";
+    std::string first = checkDurability(*m, cfg).writeText();
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(checkDurability(*m, cfg).writeText(), first);
+}
+
+TEST(DurabilityChecker, GoldenCounterExample)
+{
+    std::string src =
+        readFileOrDie(HIPPO_SOURCE_DIR "/examples/counter.pmir");
+    std::string error;
+    auto m = ir::parseModule(src, &error);
+    ASSERT_TRUE(m) << error;
+
+    auto st = checkDurability(*m);
+    compareGolden(st.writeText(),
+                  HIPPO_SOURCE_DIR
+                  "/tests/golden/counter_static.txt");
+}
+
+TEST(DurabilityChecker, GoldenBugsuiteModule)
+{
+    const auto &c = apps::pmdkBugCases().front();
+    auto m = c.build(false);
+    StaticCheckerConfig cfg;
+    cfg.entry = c.entry;
+    auto st = checkDurability(*m, cfg);
+    compareGolden(st.writeText(),
+                  HIPPO_SOURCE_DIR
+                  "/tests/golden/bugsuite0_static.txt");
+}
+
+TEST(DurabilityChecker, ToReportProjection)
+{
+    auto m = buildStoreModule(false, FlushKind::Clwb, true);
+    auto st = checkDurability(*m);
+    auto r = st.toReport();
+    ASSERT_EQ(r.bugs.size(), st.candidates.size());
+    EXPECT_EQ(r.bugs[0].kind, st.candidates[0].kind);
+    EXPECT_EQ(r.bugs[0].storeSiteKey(),
+              st.candidates[0].storeSiteKey());
+    EXPECT_EQ(r.pmStoresSeen, st.storesTracked);
+    EXPECT_EQ(r.fencesSeen, st.fencesSeen);
+}
+
+TEST(DurabilityChecker, ExportMetricsCounters)
+{
+    auto m = buildStoreModule(false, FlushKind::Clwb, false);
+    auto st = checkDurability(*m);
+    support::MetricsRegistry reg;
+    st.exportMetrics(reg);
+    EXPECT_EQ(reg.counter("static.runs").value(), 1u);
+    EXPECT_EQ(reg.counter("static.stores_tracked").value(), 1u);
+    EXPECT_EQ(reg.counter("static.candidates.total").value(), 1u);
+    EXPECT_EQ(
+        reg.counter("static.candidates.missing-flush&fence").value(),
+        1u);
+}
+
+namespace
+{
+
+/**
+ * Three labeled durpoints; the only PM store sits between "b" and
+ * "c", so the static checker names exactly label "c" suspicious.
+ * A recovery entry reads the counter back.
+ */
+std::unique_ptr<ir::Module>
+buildThreeDurpoints()
+{
+    auto m = std::make_unique<ir::Module>("prio");
+    IRBuilder b(m.get());
+    ir::Function *main = m->addFunction("main", Type::Void);
+    b.setInsertPoint(main->addBlock("entry"));
+    ir::Instruction *pm = b.createPmMap("prio.pool", 64);
+    b.createDurPoint("a");
+    b.createDurPoint("b");
+    b.createStore(b.getInt(41), pm, 8);
+    b.createDurPoint("c");
+    b.createRet();
+
+    ir::Function *rec = m->addFunction("recover", Type::Int);
+    b.setInsertPoint(rec->addBlock("entry"));
+    ir::Instruction *pm2 = b.createPmMap("prio.pool", 64);
+    b.createRet(b.createLoad(pm2, 8));
+    ir::verifyOrDie(*m);
+    return m;
+}
+
+} // namespace
+
+TEST(DurabilityChecker, PrefilterPrioritizesFlaggedDurpoints)
+{
+    auto m = buildThreeDurpoints();
+    auto st = checkDurability(*m);
+    ASSERT_EQ(st.durLabels(), std::vector<std::string>{"c"});
+
+    pmcheck::CrashExplorerConfig xc;
+    xc.entry = "main";
+    xc.recovery = "recover";
+    xc.maxCrashes = 1;
+
+    // Without the pre-filter a one-crash budget lands on the first
+    // durpoint; with it, on the statically-flagged one.
+    auto plain = exploreCrashes(m.get(), xc);
+    ASSERT_EQ(plain.outcomes.size(), 1u);
+    EXPECT_EQ(plain.outcomes[0].crashPoint, 0u);
+
+    xc.priorityDurLabels = st.durLabels();
+    auto prio = exploreCrashes(m.get(), xc);
+    ASSERT_EQ(prio.outcomes.size(), 1u);
+    EXPECT_EQ(prio.outcomes[0].crashPoint, 2u);
+}
+
+TEST(DurabilityChecker, PrefilterPreservesCoverageUnderFullBudget)
+{
+    auto m = buildThreeDurpoints();
+    auto st = checkDurability(*m);
+
+    pmcheck::CrashExplorerConfig xc;
+    xc.entry = "main";
+    xc.recovery = "recover";
+
+    auto plain = exploreCrashes(m.get(), xc);
+    xc.priorityDurLabels = st.durLabels();
+    auto prio = exploreCrashes(m.get(), xc);
+
+    // Same crash points, only reordered; same recovered values per
+    // point.
+    auto key = [](const pmcheck::CrashOutcome &o) {
+        return std::make_pair(o.crashPoint, o.recovered);
+    };
+    std::set<std::pair<uint64_t, uint64_t>> a, b;
+    for (const auto &o : plain.outcomes)
+        a.insert(key(o));
+    for (const auto &o : prio.outcomes)
+        b.insert(key(o));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(plain.durPointsInRun, prio.durPointsInRun);
+    EXPECT_EQ(plain.cleanRunRecovered, prio.cleanRunRecovered);
+}
+
+TEST(DurabilityChecker, FixerVerifySeedsPriorityFromStaticReport)
+{
+    auto m = apps::buildPmlog({});
+    StaticCheckerConfig scfg;
+    scfg.entry = "log_example";
+    auto st = checkDurability(*m, scfg);
+    ASSERT_FALSE(st.durLabels().empty());
+
+    pmcheck::CrashExplorerConfig xc;
+    xc.entry = "log_example";
+    xc.entryArgs = {8};
+    xc.recovery = "log_walk";
+    xc.maxCrashes = 4;
+    xc.jobs = 1;
+
+    core::FixerConfig fcfg;
+    fcfg.staticReport = &st;
+    fcfg.jobs = 1;
+    core::Fixer fixer(m.get(), fcfg);
+    auto via_fixer = fixer.verifyFixed(xc);
+
+    auto expect = xc;
+    expect.priorityDurLabels = st.durLabels();
+    EXPECT_EQ(via_fixer, exploreCrashes(m.get(), expect));
+}
+
+} // namespace hippo::test

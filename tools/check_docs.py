@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation link & reference checker (the CI `docs` job).
+
+Two checks over the repo's markdown:
+
+1. every relative markdown link `[text](path)` resolves to a real
+   file or directory (http(s)/mailto links and pure #anchors are
+   skipped; an anchor suffix on a relative link is stripped first);
+
+2. every `backtick-quoted` token that looks like a repo path
+   (starts with src/, docs/, tests/, tools/, bench/, examples/ or
+   .github/) names a file or directory that actually exists, so the
+   prose never references code that has moved or been deleted.
+
+Tokens containing globs, placeholders, or spaces are ignored; a
+trailing colon-suffix such as `src/vm/vm.cc:120` is allowed and only
+the path part is checked.
+
+Exits nonzero listing every stale link/reference found.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Which documents to scan: top-level markdown plus docs/.
+DOC_GLOBS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_RE = re.compile(r"`([^`\n]+)`")
+PATH_PREFIXES = ("src/", "docs/", "tests/", "tools/", "bench/",
+                 "examples/", ".github/")
+# Characters that mark a token as a pattern/placeholder, not a path.
+NON_PATH_CHARS = set("*?$<>{}()|= ")
+
+
+def doc_files():
+    out = [f for f in DOC_GLOBS
+           if os.path.isfile(os.path.join(REPO, f))]
+    docs_dir = os.path.join(REPO, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                out.append(os.path.join("docs", name))
+    return out
+
+
+def check_link(doc, target):
+    if target.startswith(("http://", "https://", "mailto:", "#")):
+        return None
+    path = target.split("#", 1)[0]
+    if not path:
+        return None
+    base = os.path.dirname(os.path.join(REPO, doc))
+    resolved = os.path.normpath(os.path.join(base, path))
+    if not os.path.exists(resolved):
+        return f"{doc}: broken link -> {target}"
+    return None
+
+
+def check_path_token(doc, token):
+    if any(c in NON_PATH_CHARS for c in token):
+        return None
+    if not token.startswith(PATH_PREFIXES):
+        return None
+    path = token.split(":", 1)[0]  # allow `src/vm/vm.cc:120`
+    full = os.path.join(REPO, path)
+    # Built binaries (`bench/bench_micro`, `tools/bench_check`) are
+    # fine when their source file exists.
+    if not any(os.path.exists(full + ext) for ext in ("", ".cc")):
+        return f"{doc}: stale path reference `{token}`"
+    return None
+
+
+def main():
+    problems = []
+    scanned = 0
+    for doc in doc_files():
+        scanned += 1
+        with open(os.path.join(REPO, doc), encoding="utf-8") as f:
+            text = f.read()
+        for m in LINK_RE.finditer(text):
+            p = check_link(doc, m.group(1))
+            if p:
+                problems.append(p)
+        for m in BACKTICK_RE.finditer(text):
+            p = check_path_token(doc, m.group(1))
+            if p:
+                problems.append(p)
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    print(f"check_docs: scanned {scanned} document(s), "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

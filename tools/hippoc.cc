@@ -9,6 +9,11 @@
  *   hippoc prog.pmir                      # check + fix, print report
  *   hippoc prog.pmir -o fixed.pmir        # write the repaired module
  *   hippoc prog.pmir --check-only         # detector only (exit 1 on bugs)
+ *   hippoc prog.pmir --static-check       # static dataflow checker only
+ *                                         #   (no execution; exit 1 on
+ *                                         #    candidates)
+ *   hippoc prog.pmir --static-filter      # run the static checker as a
+ *                                         #   pre-filter ahead of repair
  *   hippoc prog.pmir --no-hoist           # intraprocedural fixes only
  *   hippoc prog.pmir --trace-aa           # Trace-AA heuristic
  *   hippoc prog.pmir --patch-plan         # source-level fix plan
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/durability_checker.hh"
 #include "core/fixer.hh"
 #include "core/flush_cleaner.hh"
 #include "core/patch_writer.hh"
@@ -55,6 +61,7 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <module.pmir>... [--entry NAME] [--check-only]\n"
+        "          [--static-check] [--static-filter]\n"
         "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
         "          [--clean-flushes] [--patch-plan]\n"
         "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n",
@@ -82,6 +89,7 @@ struct Options
     std::string output, entry = "main";
     std::string statsPath; ///< --stats: write metrics JSON here
     bool checkOnly = false, patchPlan = false;
+    bool staticCheck = false, staticFilter = false;
     bool cleanFlushes = false;
     core::FixerConfig cfg;
 };
@@ -116,6 +124,34 @@ processModule(const std::string &input, const Options &opt,
 
     auto &metrics = support::MetricsRegistry::global();
 
+    // Static-only mode: no execution at all — report the dataflow
+    // checker's candidates and stop (exit 1 when any exist).
+    if (opt.staticCheck) {
+        analysis::StaticCheckerConfig scfg;
+        scfg.entry = opt.entry;
+        auto sreport = analysis::checkDurability(*m, scfg);
+        sreport.exportMetrics(metrics);
+        metrics.counter("pipeline.modules").inc();
+        out += sreport.writeText();
+        return sreport.clean() ? 0 : 1;
+    }
+
+    // Pre-filter mode: run the static checker first so repair
+    // verification can prioritize the flagged durability points.
+    analysis::StaticReport sreport;
+    core::FixerConfig fcfg = opt.cfg;
+    if (opt.staticFilter) {
+        analysis::StaticCheckerConfig scfg;
+        scfg.entry = opt.entry;
+        sreport = analysis::checkDurability(*m, scfg);
+        sreport.exportMetrics(metrics);
+        fcfg.staticReport = &sreport;
+        out += format("static pre-filter: %zu candidate(s), "
+                      "%zu priority durpoint label(s)\n",
+                      sreport.candidates.size(),
+                      sreport.durLabels().size());
+    }
+
     // Step 1 (Fig. 2): run the bug finder.
     pmem::PmPool pool(64u << 20);
     vm::VmConfig vc;
@@ -134,7 +170,7 @@ processModule(const std::string &input, const Options &opt,
         out += "no durability bugs; nothing to fix\n";
     } else {
         // Steps 2-4: repair.
-        core::Fixer fixer(m.get(), opt.cfg);
+        core::Fixer fixer(m.get(), fcfg);
         auto summary = fixer.fix(report, machine.trace(),
                                  &machine.dynPointsTo());
         summary.exportMetrics(metrics);
@@ -200,6 +236,10 @@ main(int argc, char **argv)
             opt.cfg.jobs = (unsigned)std::atoi(argv[++i]);
         } else if (arg == "--check-only") {
             opt.checkOnly = true;
+        } else if (arg == "--static-check") {
+            opt.staticCheck = true;
+        } else if (arg == "--static-filter") {
+            opt.staticFilter = true;
         } else if (arg == "--no-hoist") {
             opt.cfg.enableHoisting = false;
         } else if (arg == "--no-reduce") {

@@ -751,6 +751,16 @@ Fixer::verifyFixed(pmcheck::CrashExplorerConfig vc) const
         vc.jobs = cfg_.jobs;
     if (cfg_.staticReport && vc.priorityDurLabels.empty())
         vc.priorityDurLabels = cfg_.staticReport->durLabels();
+    // Chaos mode: forward the fixer's fault plan and watchdog budgets
+    // unless the caller configured its own.
+    if (!vc.faults.enabled())
+        vc.faults = cfg_.faults;
+    if (vc.stepBudget == 0)
+        vc.stepBudget = cfg_.stepBudget;
+    if (vc.heapBudget == 0)
+        vc.heapBudget = cfg_.heapBudget;
+    if (vc.timeBudgetMs == 0)
+        vc.timeBudgetMs = cfg_.timeBudgetMs;
     auto &reg = support::MetricsRegistry::global();
     support::ScopedTimer t(reg.timer("fixer.verify_ns"));
     pmcheck::ExplorationResult res = pmcheck::exploreCrashes(module_, vc);
@@ -758,6 +768,12 @@ Fixer::verifyFixed(pmcheck::CrashExplorerConfig vc) const
     reg.counter("fixer.verify.crash_points").inc(res.outcomes.size());
     reg.counter("fixer.verify.durpoint_monotonic")
         .inc(res.durPointRecoveryNonDecreasing());
+    // Graceful degradation accounting: crash points the explorer's
+    // ladder could not verify are reported, not fatal.
+    uint64_t unverified = res.unverifiedCount();
+    reg.counter("fixer.degraded.unverified").inc(unverified);
+    if (unverified)
+        reg.counter("fixer.degraded.runs").inc();
     return res;
 }
 

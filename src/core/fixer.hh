@@ -77,6 +77,19 @@ struct FixerConfig
      */
     const analysis::StaticReport *staticReport = nullptr;
 
+    /**
+     * Adversarial verification (hippoc --chaos): a torn-store fault
+     * plan and watchdog budgets forwarded into verifyFixed()'s crash
+     * exploration whenever the caller's explorer config leaves them
+     * unset. Crash points whose recovery the explorer's degradation
+     * ladder gives up on surface as `unverified` outcomes and count
+     * under "fixer.degraded.*".
+     */
+    pmem::FaultPlan faults;
+    uint64_t stepBudget = 0;   ///< recovery instruction cap (0 = off)
+    uint64_t heapBudget = 0;   ///< recovery volatile-heap cap (0 = off)
+    uint64_t timeBudgetMs = 0; ///< recovery wall-clock cap (0 = off)
+
     bool verbose = false;
 };
 

@@ -60,6 +60,13 @@ class ParserImpl
     }
 
   private:
+    /** Cap on explicit instruction/register ids. Register files are
+     *  sized by the largest id seen, so an unchecked 32-bit id in a
+     *  hostile module would make every call frame allocate gigabytes;
+     *  a million ids per function is far beyond any legitimate
+     *  module. */
+    static constexpr uint64_t maxInstrId = 1u << 20;
+
     [[noreturn]] void
     fail(const std::string &msg)
     {
@@ -211,6 +218,8 @@ class ParserImpl
                 uint64_t v;
                 if (!parseUint(body, v))
                     fail("bad !id");
+                if (v >= maxInstrId)
+                    fail("oversized !id: " + body);
                 id = (uint32_t)v;
             } else if (kind == "loc") {
                 size_t colon = body.rfind(':');
@@ -243,8 +252,11 @@ class ParserImpl
             line = std::string(trim(line.substr(eq + 1)));
             if (startsWith(result_name, "%v")) {
                 uint64_t v;
-                if (parseUint(result_name.substr(2), v))
+                if (parseUint(result_name.substr(2), v)) {
+                    if (v >= maxInstrId)
+                        fail("oversized register id: " + result_name);
                     explicit_id = (uint32_t)v;
+                }
             }
         }
 

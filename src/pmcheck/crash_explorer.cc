@@ -31,15 +31,29 @@ struct PlannedCrash
     uint64_t crashPoint = 0;
 };
 
-/** Pool RNG seed for the crash point at plan position @p k: a
- *  function of the plan, never of the worker (splitmix64 step). */
+/** splitmix64 finalizer. */
 uint64_t
-replaySeed(const CrashExplorerConfig &cfg, uint64_t k)
+mix64(uint64_t z)
 {
-    uint64_t z = cfg.seed + (k + 1) * 0x9e3779b97f4a7c15ULL;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
+}
+
+/** Pool RNG seed for the crash point at plan position @p k: a
+ *  function of the plan, never of the worker. */
+uint64_t
+replaySeed(const CrashExplorerConfig &cfg, uint64_t k)
+{
+    return mix64(cfg.seed + (k + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+/** FaultPlan seed for plan position @p k — a different stream than
+ *  the eviction seed so the two injections stay independent. */
+uint64_t
+faultSeed(const CrashExplorerConfig &cfg, uint64_t k)
+{
+    return mix64(cfg.faults.seed + (k + 1) * 0xda942042e4dd58b5ULL);
 }
 
 /** Everything the master execution captures for the replay phase. */
@@ -140,9 +154,20 @@ masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
     // the entry run only.
     pool.setOpLog(nullptr);
     pool.crash();
-    vm::Vm recovery(m, &pool, {});
+    // The clean run stays fault-free (it is the reference the torn
+    // replays are compared against) but the watchdog still applies:
+    // a recovery entry that diverges even on a clean crash must not
+    // hang the exploration before the first replay.
+    vm::VmConfig rvc;
+    if (cfg.stepBudget || cfg.heapBudget || cfg.timeBudgetMs) {
+        rvc.sandbox = true;
+        rvc.stepBudget = cfg.stepBudget;
+        rvc.heapBudget = cfg.heapBudget;
+        rvc.timeBudgetMs = cfg.timeBudgetMs;
+    }
+    vm::Vm recovery(m, &pool, rvc);
     auto rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
-    out.cleanRunRecovered = rec.returnValue;
+    out.cleanRunRecovered = rec.ok() ? rec.returnValue : 0;
 
     ms.snapshots = pool.stats().snapshots;
     ms.pagesCopied = pool.stats().pagesCopied;
@@ -196,7 +221,7 @@ ExplorationResult::durPointRecoveryNonDecreasing() const
 {
     uint64_t prev = 0;
     for (const CrashOutcome &o : outcomes) {
-        if (o.atStep)
+        if (o.atStep || o.unverified)
             continue;
         if (o.recovered < prev)
             return false;
@@ -209,9 +234,14 @@ uint64_t
 ExplorationResult::minRecovered() const
 {
     uint64_t v = ~0ULL;
-    for (const CrashOutcome &o : outcomes)
+    bool any = false;
+    for (const CrashOutcome &o : outcomes) {
+        if (o.unverified)
+            continue;
         v = std::min(v, o.recovered);
-    return outcomes.empty() ? 0 : v;
+        any = true;
+    }
+    return any ? v : 0;
 }
 
 uint64_t
@@ -219,8 +249,18 @@ ExplorationResult::maxRecovered() const
 {
     uint64_t v = 0;
     for (const CrashOutcome &o : outcomes)
-        v = std::max(v, o.recovered);
+        if (!o.unverified)
+            v = std::max(v, o.recovered);
     return v;
+}
+
+uint64_t
+ExplorationResult::unverifiedCount() const
+{
+    uint64_t n = 0;
+    for (const CrashOutcome &o : outcomes)
+        n += o.unverified;
+    return n;
 }
 
 ExplorationResult
@@ -309,9 +349,50 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                                : ms.durSteps[ms.durSlot.at(
                                      p.crashPoint)];
 
-        vm::RunResult rec;
-        switch (mode) {
-          case ReplayMode::Legacy: {
+        const bool faulting = cfg.faults.enabled();
+        const bool guarded = faulting || cfg.stepBudget ||
+                             cfg.heapBudget || cfg.timeBudgetMs;
+
+        // The effective fault plan for this crash point: the
+        // configured odds, reseeded by plan position (never by
+        // worker), so torn states reproduce at every jobs setting.
+        pmem::FaultPlan fp = cfg.faults;
+        fp.seed = faultSeed(cfg, k);
+
+        // Crash the materialized pool (tearing in-flight lines when
+        // a fault plan is active) and run recovery, sandboxed under
+        // the configured budgets divided by @p tighten.
+        auto crashAndRecover = [&](pmem::PmPool &pool,
+                                   uint64_t tighten) {
+            if (faulting)
+                pool.setFaultPlan(fp);
+            pool.crash();
+            if (faulting) {
+                const pmem::PmPoolStats &ps = pool.stats();
+                reg.counter("explorer.fault.crashes")
+                    .inc(ps.faultedCrashes);
+                reg.counter("explorer.fault.torn_lines")
+                    .inc(ps.tornLines);
+                reg.counter("explorer.fault.torn_chunks")
+                    .inc(ps.tornChunks);
+                reg.counter("explorer.fault.bitrot_flips")
+                    .inc(ps.bitRotFlips);
+            }
+            vm::VmConfig vc;
+            if (guarded) {
+                vc.sandbox = true;
+                vc.stepBudget = cfg.stepBudget / tighten;
+                vc.heapBudget = cfg.heapBudget / tighten;
+                vc.timeBudgetMs = cfg.timeBudgetMs / tighten;
+            }
+            vm::Vm recovery(m, &pool, vc);
+            return recovery.run(cfg.recovery, cfg.recoveryArgs);
+        };
+
+        /** Legacy materialization: full entry re-execution with the
+         *  crash knobs — rung two of the degradation ladder, and the
+         *  Legacy engine's only rung. */
+        auto legacyAttempt = [&](uint64_t tighten) {
             pmem::PmPool pool(cfg.poolBytes, cfg.evictChance,
                               replaySeed(cfg, k));
             {
@@ -325,11 +406,14 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                 reg.counter("explorer.replay.steps_executed")
                     .inc(steps);
             }
-            pool.crash();
-            vm::Vm recovery(m, &pool, {});
-            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            return crashAndRecover(pool, tighten);
+        };
+
+        vm::RunResult rec;
+        switch (mode) {
+          case ReplayMode::Legacy:
+            rec = legacyAttempt(1);
             break;
-          }
           case ReplayMode::Fork: {
             const pmem::PmPool::Snapshot &snap =
                 p.atStep
@@ -337,9 +421,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                     : ms.durSnaps[ms.durSlot.at(p.crashPoint)];
             pmem::PmPool pool(snap);
             pool.resetStats();
-            pool.crash();
-            vm::Vm recovery(m, &pool, {});
-            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            rec = crashAndRecover(pool, 1);
             reg.counter("explorer.snapshot.pages_copied")
                 .inc(pool.stats().pagesCopied);
             reg.counter("explorer.replay.steps_saved")
@@ -354,13 +436,29 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                     ? ms.stepLogPos[p.crashPoint / cfg.stepStride - 1]
                     : ms.durLogPos[ms.durSlot.at(p.crashPoint)];
             log.replayTo(pool, pos);
-            pool.crash();
-            vm::Vm recovery(m, &pool, {});
-            rec = recovery.run(cfg.recovery, cfg.recoveryArgs);
+            rec = crashAndRecover(pool, 1);
             reg.counter("explorer.replay.steps_saved")
                 .inc(legacy_steps);
             break;
           }
+        }
+
+        // Degradation ladder: a recovery the watchdog cut short gets
+        // one retry on the legacy engine with budgets tightened to
+        // half (a genuinely diverging recovery fails it faster);
+        // still no verdict -> the crash point is recorded as
+        // unverified rather than aborting the exploration.
+        if (!rec.ok()) {
+            reg.counter("explorer.degraded.retries").inc();
+            rec = legacyAttempt(2);
+        }
+        if (!rec.ok()) {
+            o.unverified = true;
+            rec.returnValue = 0;
+            reg.counter("explorer.degraded.unverified").inc();
+            reg.counter(std::string("explorer.degraded.") +
+                        vm::execOutcomeName(rec.outcome))
+                .inc();
         }
 
         o.recovered = rec.returnValue;

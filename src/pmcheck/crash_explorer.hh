@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "pmem/pm_pool.hh"
+
 namespace hippo::ir
 {
 class Module;
@@ -118,6 +120,30 @@ struct CrashExplorerConfig
      * per-point legacy replays; the result is unchanged either way.
      */
     uint64_t opLogMaxBytes = 64u << 20;
+
+    /**
+     * Adversarial torn-store fault model applied to every *replay*
+     * pool at its crash boundary (the master/clean run stays
+     * fault-free, so cleanRunRecovered remains the fault-free
+     * reference). The effective plan for crash point k reseeds
+     * faults.seed by plan position — like the eviction RNG, never by
+     * worker — so exploration stays byte-identical at every `jobs`
+     * setting and in every replay mode.
+     */
+    pmem::FaultPlan faults;
+
+    /**
+     * Watchdog budgets for recovery replays (see vm::VmConfig).
+     * Recovery from an adversarial (torn) state may diverge or trap;
+     * when faults are enabled or any budget is nonzero, recovery
+     * runs sandboxed and a non-Ok outcome enters the degradation
+     * ladder: one legacy-engine retry with budgets tightened to
+     * half, then the crash point is recorded as unverified instead
+     * of aborting the exploration.
+     */
+    uint64_t stepBudget = 0;   ///< recovery instruction cap (0 = off)
+    uint64_t heapBudget = 0;   ///< recovery volatile-heap cap (0 = off)
+    uint64_t timeBudgetMs = 0; ///< recovery wall-clock cap (0 = off)
 };
 
 /** One explored crash. */
@@ -126,6 +152,11 @@ struct CrashOutcome
     bool atStep = false;      ///< step-based (vs durpoint-based)
     uint64_t crashPoint = 0;  ///< durpoint index or step count
     uint64_t recovered = 0;   ///< recovery entry's return value
+
+    /** Recovery exhausted its watchdog budgets (or trapped) on both
+     *  rungs of the degradation ladder; `recovered` is 0 and means
+     *  "unknown", not "recovered nothing". */
+    bool unverified = false;
 
     bool operator==(const CrashOutcome &o) const = default;
 };
@@ -147,6 +178,9 @@ struct ExplorationResult
     /** Smallest / largest recovered value over all crashes. */
     uint64_t minRecovered() const;
     uint64_t maxRecovered() const;
+
+    /** Crash points the degradation ladder gave up on. */
+    uint64_t unverifiedCount() const;
 };
 
 /**

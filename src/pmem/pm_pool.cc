@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/errors.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 
@@ -329,9 +330,14 @@ PmPool::mapRegion(const std::string &name, uint64_t size)
     }
     uint64_t aligned =
         (size + cacheLineSize - 1) & ~(cacheLineSize - 1);
-    if (allocCursor_ + aligned > capacity_)
-        hippo_fatal("PM pool exhausted mapping region '%s'",
-                    name.c_str());
+    if (allocCursor_ + aligned > capacity_) {
+        support::throwResourceError(
+            "PM pool exhausted mapping region '%s' "
+            "(%llu bytes requested, %llu of %llu free)",
+            name.c_str(), (unsigned long long)size,
+            (unsigned long long)(capacity_ - allocCursor_),
+            (unsigned long long)capacity_);
+    }
     PmRegion r{name, pmBaseAddr + allocCursor_, size};
     allocCursor_ += aligned;
     regions_[name] = r;
@@ -473,8 +479,75 @@ PmPool::maybeEvict()
 }
 
 void
+PmPool::setFaultPlan(const FaultPlan &plan)
+{
+    hippo_assert(plan.atomicityBytes > 0 &&
+                     cacheLineSize % plan.atomicityBytes == 0,
+                 "fault-plan atomicity must divide the line size");
+    faultPlan_ = plan;
+}
+
+void
+PmPool::applyCrashFaults()
+{
+    // A private RNG seeded from the plan alone: fault decisions never
+    // perturb the eviction RNG, so attaching a plan cannot change
+    // which states a seeded eviction run would otherwise explore.
+    Rng rng(faultPlan_.seed);
+    stats_.faultedCrashes++;
+    uint64_t chunk = faultPlan_.atomicityBytes;
+    uint64_t nchunks = cacheLineSize / chunk;
+    uint64_t torn = 0;
+
+    // Persist a random subset of a line's chunks. Any subset is a
+    // legal crash state under 8-byte store atomicity; the empty
+    // subset degenerates to the whole-line model's "lost line".
+    auto tearLine = [&](uint64_t line, const uint8_t *content,
+                        bool unflushed) {
+        if (torn >= faultPlan_.maxTornLines)
+            return;
+        if (!rng.chance(faultPlan_.tornChance))
+            return;
+        bool any = false;
+        for (uint64_t c = 0; c < nchunks; c++) {
+            if (!rng.chance(0.5))
+                continue;
+            uint8_t buf[cacheLineSize];
+            std::memcpy(buf, content + c * chunk, chunk);
+            if (unflushed && faultPlan_.bitRotChance > 0 &&
+                rng.chance(faultPlan_.bitRotChance)) {
+                uint64_t bit = rng.nextBelow(chunk * 8);
+                buf[bit / 8] ^= (uint8_t)(1u << (bit % 8));
+                stats_.bitRotFlips++;
+            }
+            stats_.pagesCopied += persistImage_.write(
+                line * cacheLineSize + c * chunk, buf, chunk);
+            stats_.tornChunks++;
+            any = true;
+        }
+        if (any) {
+            stats_.tornLines++;
+            torn++;
+        }
+    };
+
+    // Deterministic candidate order: dirty lines in index order, then
+    // write-back-queue entries in first-queued order. Both orders are
+    // functions of the op stream alone, so every replay engine visits
+    // them identically.
+    for (uint32_t line : dirtyLines_)
+        tearLine(line, cacheImage_.peek(line * cacheLineSize,
+                                        cacheLineSize),
+                 true);
+    for (const WbQueue::Entry &e : wbQueue_.entries())
+        tearLine(e.line, e.data.data(), false);
+}
+
+void
 PmPool::crash()
 {
+    if (faultPlan_.enabled())
+        applyCrashFaults();
     cacheImage_ = persistImage_; // page-table copy; pages now shared
     clearAllDirty();
     wbQueue_.clear();
@@ -554,6 +627,10 @@ PmPool::exportMetrics(support::MetricsRegistry &reg,
     reg.counter(prefix + ".snapshot.restores").inc(stats_.restores);
     reg.counter(prefix + ".snapshot.pages_copied")
         .inc(stats_.pagesCopied);
+    reg.counter(prefix + ".fault.crashes").inc(stats_.faultedCrashes);
+    reg.counter(prefix + ".fault.torn_lines").inc(stats_.tornLines);
+    reg.counter(prefix + ".fault.torn_chunks").inc(stats_.tornChunks);
+    reg.counter(prefix + ".fault.bitrot_flips").inc(stats_.bitRotFlips);
 }
 
 } // namespace hippo::pmem

@@ -63,6 +63,41 @@ constexpr uint64_t pmBaseAddr = 0x20000000ULL;
 /** Flush instruction flavor (mirrors ir::FlushKind). */
 enum class FlushOp : uint8_t { Clwb, ClflushOpt, Clflush };
 
+/**
+ * Adversarial crash-fault model (DESIGN.md "Fault model & graceful
+ * degradation"). The default whole-line crash model is conservative
+ * about *what* persists (only fenced/flushed lines) but optimistic
+ * about *how*: a line either persists completely or not at all. Real
+ * PM guarantees only 8-byte store atomicity, so a power failure can
+ * tear an in-flight line, persisting some of its 8-byte chunks and
+ * not others.
+ *
+ * When a plan with tornChance > 0 (or bitRotChance > 0) is attached
+ * to a pool, crash() additionally considers every line that was
+ * in-flight at the boundary — dirty lines and write-back-queue
+ * entries — and, per line, persists a random subset of its
+ * atomicityBytes-sized chunks. Unflushed (dirty) lines may also
+ * suffer a single-bit flip per persisted chunk, modeling media
+ * bit-rot on data that never went through the flush path.
+ *
+ * Everything is driven by the plan's own seed (never the pool's
+ * eviction RNG), and the candidate lines are visited in a
+ * deterministic order (dirty-index order, then write-back-queue
+ * first-queued order), so a fixed plan yields a byte-identical
+ * post-crash image regardless of scheduling or engine.
+ */
+struct FaultPlan
+{
+    uint64_t seed = 1;        ///< RNG seed for all fault decisions
+    double tornChance = 0;    ///< per-line probability of tearing
+    uint32_t atomicityBytes = 8; ///< persist granularity (divides 64)
+    uint32_t maxTornLines = ~0u; ///< cap on torn lines per crash
+    double bitRotChance = 0;  ///< per-chunk bit-flip odds (dirty lines)
+
+    /** True when crash() must run the fault pass at all. */
+    bool enabled() const { return tornChance > 0 || bitRotChance > 0; }
+};
+
 /** Counters exposed for benchmarks and the detector. */
 struct PmPoolStats
 {
@@ -90,6 +125,14 @@ struct PmPoolStats
     uint64_t snapshots = 0;   ///< snapshot() calls on this pool
     uint64_t restores = 0;    ///< restoreFrom() calls on this pool
     uint64_t pagesCopied = 0; ///< COW page clones (shared page written)
+    /// @}
+
+    /// @name Fault injection (FaultPlan; zero without a plan)
+    /// @{
+    uint64_t faultedCrashes = 0; ///< crashes with the fault pass run
+    uint64_t tornLines = 0;      ///< lines partially persisted
+    uint64_t tornChunks = 0;     ///< atomicity chunks persisted by tears
+    uint64_t bitRotFlips = 0;    ///< bits flipped in persisted chunks
     /// @}
 };
 
@@ -330,9 +373,22 @@ class PmPool
     /**
      * Simulate a power failure: the cache image is discarded and
      * reloaded from the persistent image; all line state clears.
-     * O(dirty lines + pages) — no byte copying.
+     * O(dirty lines + pages) — no byte copying. With a FaultPlan
+     * attached, in-flight lines may first tear into the persistent
+     * image at sub-line granularity (see FaultPlan).
      */
     void crash();
+
+    /**
+     * Attach the adversarial crash-fault model. Not part of
+     * Snapshot: forked pools start fault-free and callers (the crash
+     * explorer) attach a per-replay plan explicitly, which is what
+     * keeps exploration byte-identical at any jobs setting.
+     * atomicityBytes must be a nonzero divisor of the line size.
+     */
+    void setFaultPlan(const FaultPlan &plan);
+
+    const FaultPlan &faultPlan() const { return faultPlan_; }
 
     /** Capture the complete pool state. O(pages) pointer copies. */
     Snapshot snapshot();
@@ -397,6 +453,7 @@ class PmPool
 
     void persistLine(uint64_t line, const uint8_t *snapshot);
     void maybeEvict();
+    void applyCrashFaults();
 
     uint64_t capacity_;
     CowImage cacheImage_;   ///< what loads observe
@@ -415,6 +472,7 @@ class PmPool
 
     double evictChance_;
     Rng rng_;
+    FaultPlan faultPlan_;
     PmPoolStats stats_;
     PmOpLog *opLog_ = nullptr;
 };

@@ -1,0 +1,78 @@
+#include "support/errors.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hippo::support
+{
+
+const char *
+errorKindName(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::Usage: return "usage error";
+      case ErrorKind::Input: return "input error";
+      case ErrorKind::Resource: return "resource error";
+      case ErrorKind::Internal: return "internal error";
+    }
+    return "?";
+}
+
+int
+errorExitCode(ErrorKind k)
+{
+    switch (k) {
+      case ErrorKind::Usage: return 2;
+      case ErrorKind::Input: return 3;
+      case ErrorKind::Resource: return 4;
+      case ErrorKind::Internal: return 5;
+    }
+    return 5;
+}
+
+namespace
+{
+
+[[noreturn]] void
+throwFormatted(ErrorKind kind, const char *fmt, va_list ap)
+{
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    throw HippoError(kind, buf);
+}
+
+} // namespace
+
+void
+throwUsageError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    throwFormatted(ErrorKind::Usage, fmt, ap);
+}
+
+void
+throwInputError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    throwFormatted(ErrorKind::Input, fmt, ap);
+}
+
+void
+throwResourceError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    throwFormatted(ErrorKind::Resource, fmt, ap);
+}
+
+void
+throwInternalError(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    throwFormatted(ErrorKind::Internal, fmt, ap);
+}
+
+} // namespace hippo::support

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The HippoError taxonomy: recoverable errors thrown on untrusted
+ * input or exhausted resources, in contrast to hippo_panic (internal
+ * invariant violations, which still abort).
+ *
+ * Each kind maps to a distinct process exit code so scripted callers
+ * of `hippoc` (and CI) can tell misuse, bad input, resource
+ * exhaustion, and tool bugs apart:
+ *
+ *   0  success
+ *   1  durability bugs found / remain (not an error)
+ *   2  UsageError     — bad command line
+ *   3  InputError     — malformed module / trace / workload input
+ *   4  ResourceError  — pool exhausted, watchdog budget exceeded
+ *   5  InternalError  — a caught invariant violation (tool bug)
+ *
+ * Library code throws; binaries catch at their top level and turn the
+ * error into a diagnostic plus the matching exit code. Library code
+ * that predates the taxonomy still calls hippo_fatal (exit 1) on
+ * paths no untrusted input can reach.
+ */
+
+#ifndef HIPPO_SUPPORT_ERRORS_HH
+#define HIPPO_SUPPORT_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace hippo::support
+{
+
+/** Error classes, ordered by exit code. */
+enum class ErrorKind : uint8_t
+{
+    Usage,    ///< command-line misuse (exit 2)
+    Input,    ///< malformed / hostile input (exit 3)
+    Resource, ///< memory, pool, or time budget exhausted (exit 4)
+    Internal, ///< caught internal invariant violation (exit 5)
+};
+
+const char *errorKindName(ErrorKind k);
+
+/** Process exit code for @p k (see the file comment). */
+int errorExitCode(ErrorKind k);
+
+/** A recoverable, classified error. */
+class HippoError : public std::runtime_error
+{
+  public:
+    HippoError(ErrorKind kind, const std::string &message)
+        : std::runtime_error(message), kind_(kind)
+    {}
+
+    ErrorKind kind() const { return kind_; }
+    int exitCode() const { return errorExitCode(kind_); }
+
+  private:
+    ErrorKind kind_;
+};
+
+/// @name Throw helpers (printf-style formatting)
+/// @{
+[[noreturn]] void throwUsageError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void throwInputError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void throwResourceError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void throwInternalError(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+/// @}
+
+} // namespace hippo::support
+
+#endif // HIPPO_SUPPORT_ERRORS_HH

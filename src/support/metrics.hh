@@ -330,8 +330,15 @@ class MetricsRegistry
  * The stats-file schema version (docs/FORMATS.md §5). Bump when a
  * serialized field changes meaning; bench_check refuses to compare
  * files with mismatched versions.
+ *
+ * v2: the fault-injection counter families (pmem .fault.*,
+ * explorer.fault.* / explorer.degraded.*, fixer.degraded.*,
+ * vm.watchdog.*) joined the tree, and `recovered` values from
+ * unverified crash points no longer feed the explorer recovery
+ * aggregates — v1 baselines that gated those aggregates are not
+ * comparable and must be regenerated.
  */
-constexpr int statsSchemaVersion = 1;
+constexpr int statsSchemaVersion = 2;
 
 /**
  * Assemble the full stats document: schema version, the build/host

@@ -107,7 +107,12 @@ parseUint(std::string_view s, uint64_t &out)
             digit = c - 'A' + 10;
         else
             return false;
-        v = v * base + digit;
+        // Reject (rather than silently wrap) values past 2^64-1, so
+        // oversized constants in hostile inputs surface as parse
+        // errors instead of aliasing small numbers.
+        if (v > (~0ULL - (uint64_t)digit) / (uint64_t)base)
+            return false;
+        v = v * (uint64_t)base + (uint64_t)digit;
     }
     out = v;
     return true;

@@ -243,6 +243,15 @@ Trace::readText(const std::string &text, Trace &out, std::string *error)
         }
         if (!stackFromString(stack_str, e.stack))
             return fail("bad stack: " + stack_str);
+        // Consumers index objects_ by objectId and read frame()
+        // (stack.front()) unconditionally, so a hostile trace must
+        // not smuggle in dangling ids or empty stacks.
+        if (e.stack.empty())
+            return fail("event without a stack");
+        if (e.objectId != ~0u && e.objectId >= out.objects_.size())
+            return fail(format("object id %u out of range (%zu "
+                               "objects)",
+                               e.objectId, out.objects_.size()));
         Event &stored = out.append(std::move(e));
         if (stored.seq != seq)
             return fail("non-contiguous sequence numbers");

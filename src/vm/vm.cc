@@ -12,6 +12,18 @@ namespace hippo::vm
 using ir::Opcode;
 using ir::Type;
 
+const char *
+execOutcomeName(ExecOutcome o)
+{
+    switch (o) {
+      case ExecOutcome::Ok: return "ok";
+      case ExecOutcome::Timeout: return "timeout";
+      case ExecOutcome::BudgetExceeded: return "budget-exceeded";
+      case ExecOutcome::Trap: return "trap";
+    }
+    return "?";
+}
+
 /** One activation record. */
 struct Vm::Frame
 {
@@ -51,6 +63,40 @@ Vm::isPmAddr(uint64_t addr) const
 }
 
 void
+Vm::trapOrFatal(const std::string &diag) const
+{
+    if (cfg_.sandbox)
+        throw WatchdogSignal{ExecOutcome::Trap, diag};
+    hippo_fatal("%s", diag.c_str());
+}
+
+void
+Vm::checkWatchdog(uint64_t in_run_step)
+{
+    if (cfg_.stepBudget && in_run_step > cfg_.stepBudget) {
+        throw WatchdogSignal{
+            ExecOutcome::Timeout,
+            format("step budget exceeded (%llu instructions)",
+                   (unsigned long long)cfg_.stepBudget)};
+    }
+    // The wall-clock backstop is checked only every 4096 steps: a
+    // steady_clock read per instruction would dominate the
+    // interpreter, and hang protection does not need the precision.
+    if (cfg_.timeBudgetMs && (in_run_step & 4095) == 0) {
+        auto elapsed = std::chrono::steady_clock::now() - runStartTime_;
+        auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      elapsed)
+                      .count();
+        if ((uint64_t)ms > cfg_.timeBudgetMs) {
+            throw WatchdogSignal{
+                ExecOutcome::Timeout,
+                format("wall-clock budget exceeded (%llu ms)",
+                       (unsigned long long)cfg_.timeBudgetMs)};
+        }
+    }
+}
+
+void
 Vm::emit(trace::Event ev)
 {
     if (cfg_.eventSink) {
@@ -71,8 +117,8 @@ Vm::rawStore(uint64_t addr, const uint8_t *data, uint64_t size,
     }
     uint64_t off = addr - volatileBaseAddr;
     if (addr < volatileBaseAddr || off + size > volatileMem_.size())
-        hippo_fatal("volatile store out of bounds: 0x%llx",
-                    (unsigned long long)addr);
+        trapOrFatal(format("volatile store out of bounds: 0x%llx",
+                           (unsigned long long)addr));
     std::memcpy(&volatileMem_[off], data, size);
 }
 
@@ -85,8 +131,8 @@ Vm::rawLoad(uint64_t addr, uint8_t *out, uint64_t size) const
     }
     uint64_t off = addr - volatileBaseAddr;
     if (addr < volatileBaseAddr || off + size > volatileMem_.size())
-        hippo_fatal("volatile load out of bounds: 0x%llx",
-                    (unsigned long long)addr);
+        trapOrFatal(format("volatile load out of bounds: 0x%llx",
+                           (unsigned long long)addr));
     std::memcpy(out, &volatileMem_[off], size);
 }
 
@@ -300,8 +346,8 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
 {
     hippo_assert(f->entry(), "calling empty function");
     if (depth > 512)
-        hippo_fatal("call depth limit exceeded in @%s",
-                    f->name().c_str());
+        trapOrFatal(format("call depth limit exceeded in @%s",
+                           f->name().c_str()));
 
     Frame frame;
     frame.func = f;
@@ -323,8 +369,14 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
                      bb->name().c_str(), f->name().c_str());
         ir::Instruction &instr = **it;
         frame.current = &instr;
-        if (++steps_ > cfg_.maxSteps)
+        if (++steps_ > cfg_.maxSteps) {
+            if (cfg_.sandbox)
+                throw WatchdogSignal{ExecOutcome::Timeout,
+                                     "global step limit exceeded"};
             hippo_fatal("step limit exceeded (infinite loop?)");
+        }
+        if (cfg_.stepBudget || cfg_.timeBudgetMs)
+            checkWatchdog(steps_ - runStartSteps_);
         if (cfg_.crashAtStep &&
             steps_ - runStartSteps_ >= cfg_.crashAtStep)
             throw CrashSignal{};
@@ -336,8 +388,14 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
         switch (instr.op()) {
           case Opcode::Alloca: {
             uint64_t bytes = (instr.accessSize() + 15) & ~15ULL;
+            if (cfg_.heapBudget && volatileSp_ + bytes > cfg_.heapBudget) {
+                throw WatchdogSignal{
+                    ExecOutcome::BudgetExceeded,
+                    format("volatile heap budget exceeded (%llu bytes)",
+                           (unsigned long long)cfg_.heapBudget)};
+            }
             if (volatileSp_ + bytes > volatileMem_.size())
-                hippo_fatal("volatile arena exhausted");
+                trapOrFatal("volatile arena exhausted");
             uint64_t addr = volatileBaseAddr + volatileSp_;
             volatileSp_ += bytes;
             std::memset(&volatileMem_[addr - volatileBaseAddr], 0,
@@ -389,12 +447,12 @@ Vm::callFunction(ir::Function *f, const std::vector<uint64_t> &args,
               case ir::BinOp::Mul: v = l * r; break;
               case ir::BinOp::UDiv:
                 if (!r)
-                    hippo_fatal("division by zero");
+                    trapOrFatal("division by zero");
                 v = l / r;
                 break;
               case ir::BinOp::URem:
                 if (!r)
-                    hippo_fatal("remainder by zero");
+                    trapOrFatal("remainder by zero");
                 v = l % r;
                 break;
               case ir::BinOp::And: v = l & r; break;
@@ -556,6 +614,10 @@ Vm::exportMetrics(support::MetricsRegistry &reg,
     reg.doubleSum(prefix + ".sim_ns").add(simNanos_);
     reg.counter(prefix + ".crashes_injected").inc(crashesInjected_);
     reg.counter(prefix + ".nt_stores").inc(ntStores_);
+    reg.counter(prefix + ".watchdog.timeouts").inc(watchdogTimeouts_);
+    reg.counter(prefix + ".watchdog.budget_exceeded")
+        .inc(watchdogBudgetExceeded_);
+    reg.counter(prefix + ".watchdog.traps").inc(watchdogTraps_);
     for (const auto &[op, count] : opcodeCounts_)
         reg.counter(prefix + ".opcode." + ir::opcodeName(op))
             .inc(count);
@@ -571,37 +633,51 @@ Vm::exportMetrics(support::MetricsRegistry &reg,
 RunResult
 Vm::run(const std::string &function, std::vector<uint64_t> args)
 {
-    ir::Function *f = module_->findFunction(function);
-    if (!f)
-        hippo_fatal("no such function: @%s", function.c_str());
-    hippo_assert(args.size() == f->numParams(),
-                 "run() arity mismatch");
-
     durPointsSeen_ = 0;
     curParent_ = nullptr;
     curCallSite_ = nullptr;
     double nanos_before = simNanos_;
     uint64_t steps_before = steps_;
     runStartSteps_ = steps_;
+    runStartTime_ = std::chrono::steady_clock::now();
 
     runs_++;
     RunResult res;
     try {
+        ir::Function *f = module_->findFunction(function);
+        if (!f)
+            trapOrFatal(format("no such function: @%s",
+                               function.c_str()));
+        hippo_assert(args.size() == f->numParams(),
+                     "run() arity mismatch");
         res.returnValue = callFunction(f, args, 0);
     } catch (CrashSignal &) {
         res.crashed = true;
         crashesInjected_++;
         volatileSp_ = 0;
         liveAllocs_.clear();
+    } catch (WatchdogSignal &w) {
+        res.outcome = w.outcome;
+        res.diag = std::move(w.diag);
+        volatileSp_ = 0;
+        liveAllocs_.clear();
+        switch (res.outcome) {
+          case ExecOutcome::Timeout: watchdogTimeouts_++; break;
+          case ExecOutcome::BudgetExceeded:
+            watchdogBudgetExceeded_++;
+            break;
+          default: watchdogTraps_++; break;
+        }
     }
     res.steps = steps_ - steps_before;
     res.simNanos = simNanos_ - nanos_before;
 
-    if (!res.crashed && cfg_.traceEnabled && cfg_.durPointAtExit) {
+    if (!res.crashed && res.ok() && cfg_.traceEnabled &&
+        cfg_.durPointAtExit) {
         trace::Event ev;
         ev.kind = trace::EventKind::DurPoint;
         ev.symbol = "exit";
-        ev.stack = {{f->name(), 0xFFFFFFFEu, "", 0}};
+        ev.stack = {{function, 0xFFFFFFFEu, "", 0}};
         emit(std::move(ev));
     }
     return res;

@@ -10,6 +10,7 @@
 #ifndef HIPPO_VM_VM_HH
 #define HIPPO_VM_VM_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -51,6 +52,22 @@ struct CostModel
     double callNs = 1.5;       ///< call/ret overhead
     double perByteCopyNs = 0.12; ///< memcpy/memset per byte
 };
+
+/**
+ * How a Vm::run ended under the watchdog sandbox. Anything but Ok
+ * means the run was cut short without producing a usable final state;
+ * callers (the crash explorer's degradation ladder, hippoc) decide
+ * whether to retry, degrade, or surface an error.
+ */
+enum class ExecOutcome : uint8_t
+{
+    Ok,             ///< ran to completion (or to an injected crash)
+    Timeout,        ///< step or wall-clock budget exhausted
+    BudgetExceeded, ///< volatile heap budget exhausted
+    Trap,           ///< sandboxed error (OOB, div0, depth, bad entry)
+};
+
+const char *execOutcomeName(ExecOutcome o);
 
 /** VM configuration. */
 struct VmConfig
@@ -94,6 +111,32 @@ struct VmConfig
     uint64_t maxSteps = 1ULL << 33; ///< runaway guard
     uint64_t volatileBytes = 16ULL << 20;
     CostModel costs;
+
+    /**
+     * @name Watchdog sandbox (DESIGN.md "Fault model & graceful
+     * degradation")
+     *
+     * Budgets are per run() call and active whenever nonzero: a run
+     * that exhausts its step or wall-clock budget stops with
+     * ExecOutcome::Timeout, one that exhausts its volatile-heap
+     * budget stops with ExecOutcome::BudgetExceeded. The step budget
+     * is deterministic; the wall-clock budget (checked every 4096
+     * steps) is a hang-protection backstop only — determinism-
+     * sensitive callers gate on steps and keep the time budget as a
+     * last resort.
+     *
+     * `sandbox` additionally converts the interpreter's fatal error
+     * traps (volatile OOB access, division by zero, call-depth and
+     * arena exhaustion, missing entry function) into
+     * ExecOutcome::Trap instead of killing the process, so one
+     * hostile replay cannot take down a ThreadPool worker.
+     */
+    /// @{
+    uint64_t stepBudget = 0;   ///< per-run instruction cap (0 = off)
+    uint64_t heapBudget = 0;   ///< volatile arena byte cap (0 = off)
+    uint64_t timeBudgetMs = 0; ///< per-run wall-clock cap (0 = off)
+    bool sandbox = false;      ///< structured traps instead of fatal
+    /// @}
 };
 
 /** One (label, value) pair produced by a print instruction. */
@@ -112,6 +155,12 @@ struct RunResult
     uint64_t returnValue = 0;
     uint64_t steps = 0;
     double simNanos = 0;
+
+    /** Watchdog verdict; anything but Ok voids returnValue. */
+    ExecOutcome outcome = ExecOutcome::Ok;
+    std::string diag; ///< human-readable reason when outcome != Ok
+
+    bool ok() const { return outcome == ExecOutcome::Ok; }
 };
 
 /**
@@ -247,6 +296,20 @@ class Vm
     /** Raised internally when an injected crash point is reached. */
     struct CrashSignal {};
 
+    /** Raised internally when a watchdog budget trips or a sandboxed
+     *  trap fires; caught (only) in run(). */
+    struct WatchdogSignal
+    {
+        ExecOutcome outcome;
+        std::string diag;
+    };
+
+    /** Throw a sandboxed Trap, or hippo_fatal without the sandbox. */
+    [[noreturn]] void trapOrFatal(const std::string &diag) const;
+
+    /** Budget checks for the hot loop; @p in_run_step is 1-based. */
+    void checkWatchdog(uint64_t in_run_step);
+
     ir::Module *module_;
     pmem::PmPool *pool_;
     VmConfig cfg_;
@@ -274,6 +337,10 @@ class Vm
     uint64_t steps_ = 0;
     uint64_t runs_ = 0;
     uint64_t crashesInjected_ = 0;
+    uint64_t watchdogTimeouts_ = 0;
+    uint64_t watchdogBudgetExceeded_ = 0;
+    uint64_t watchdogTraps_ = 0;
+    std::chrono::steady_clock::time_point runStartTime_{};
     uint64_t ntStores_ = 0;
     uint64_t runStartSteps_ = 0;
     uint64_t sinkSeq_ = 0; ///< event numbering in streaming mode

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Hostile-input hardening tests. Every file in tests/corpus/bad/ is a
+ * malformed PMIR module (truncated function, bogus opcode, oversized
+ * constants/ids, verifier violations); the front end must reject each
+ * one with a diagnostic instead of aborting. The trace reader gets the
+ * same treatment with inline hostile inputs.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ir/module.hh"
+#include "ir/parser.hh"
+#include "ir/verifier.hh"
+#include "support/strings.hh"
+#include "trace/trace.hh"
+
+namespace fs = std::filesystem;
+using namespace hippo;
+
+namespace
+{
+
+std::string
+readFileOrDie(const fs::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<fs::path>
+badCorpus()
+{
+    std::vector<fs::path> files;
+    for (const auto &e :
+         fs::directory_iterator(HIPPO_SOURCE_DIR "/tests/corpus/bad")) {
+        if (e.path().extension() == ".pmir")
+            files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+TEST(BadInput, CorpusIsNonTrivial)
+{
+    EXPECT_GE(badCorpus().size(), 10u);
+}
+
+TEST(BadInput, EveryCorpusFileIsRejectedWithDiagnostic)
+{
+    for (const auto &path : badCorpus()) {
+        SCOPED_TRACE(path.filename().string());
+        std::string src = readFileOrDie(path);
+        std::string error;
+        auto m = ir::parseModule(src, &error);
+        if (!m) {
+            // Parse diagnostics carry a line number.
+            EXPECT_NE(error.find("line "), std::string::npos) << error;
+            continue;
+        }
+        // Parsed but semantically broken: the verifier must object.
+        auto errs = ir::verifyModule(*m);
+        EXPECT_FALSE(errs.empty())
+            << "corpus file parsed and verified clean";
+        for (const auto &e : errs)
+            EXPECT_FALSE(e.empty());
+    }
+}
+
+TEST(BadInput, ParserRejectionsAreDeterministic)
+{
+    for (const auto &path : badCorpus()) {
+        SCOPED_TRACE(path.filename().string());
+        std::string src = readFileOrDie(path);
+        std::string e1, e2;
+        auto m1 = ir::parseModule(src, &e1);
+        auto m2 = ir::parseModule(src, &e2);
+        EXPECT_EQ(m1 == nullptr, m2 == nullptr);
+        EXPECT_EQ(e1, e2);
+    }
+}
+
+TEST(BadInput, ParseUintRejectsOverflow)
+{
+    uint64_t v = 0;
+    EXPECT_FALSE(parseUint("18446744073709551616", v)); // 2^64
+    EXPECT_FALSE(parseUint("99999999999999999999", v));
+    EXPECT_TRUE(parseUint("18446744073709551615", v)); // 2^64 - 1
+    EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(BadInput, ParserCapsRegisterIds)
+{
+    std::string error;
+    auto m = ir::parseModule("module \"m\"\n"
+                             "func @f() -> i64 {\n"
+                             "entry:\n"
+                             "    %v1048576 = add 1, 1\n"
+                             "    ret %v1048576\n"
+                             "}\n",
+                             &error);
+    EXPECT_EQ(m, nullptr);
+    EXPECT_NE(error.find("oversized register id"), std::string::npos)
+        << error;
+}
+
+TEST(BadInput, TraceReaderRejectsEventWithoutStack)
+{
+    trace::Trace t;
+    std::string error;
+    EXPECT_FALSE(
+        trace::Trace::readText("#0 STORE addr=0 size=8 | \n", t,
+                               &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(BadInput, TraceReaderRejectsDanglingObjectId)
+{
+    trace::Trace t;
+    std::string error;
+    // obj=7 references an object table with zero entries.
+    EXPECT_FALSE(trace::Trace::readText(
+        "#0 STORE addr=0 size=8 obj=7 | f@0(?:0)\n", t, &error));
+    EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(BadInput, TraceReaderRejectsGarbage)
+{
+    const char *cases[] = {
+        "not a trace\n",
+        "#x STORE addr=0 | f@0(?:0)\n",
+        "#0 WOBBLE addr=0 | f@0(?:0)\n",
+        "#0 STORE addr=zzz | f@0(?:0)\n",
+        "OBJ 0 pm=1\n",
+        "#0 STORE addr=0 size=8 f@0(?:0)\n", // no " | " separator
+    };
+    for (const char *src : cases) {
+        SCOPED_TRACE(src);
+        trace::Trace t;
+        std::string error;
+        EXPECT_FALSE(trace::Trace::readText(src, t, &error));
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(BadInput, TraceReaderRoundTripsAfterRejection)
+{
+    // A failed read must leave the trace usable for a fresh parse.
+    trace::Trace t;
+    std::string error;
+    EXPECT_FALSE(trace::Trace::readText("garbage\n", t, &error));
+    EXPECT_TRUE(trace::Trace::readText(
+        "#0 FENCE sub=0 | f@0(?:0)\n", t, &error))
+        << error;
+    EXPECT_EQ(t.events().size(), 1u);
+}

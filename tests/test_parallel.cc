@@ -18,6 +18,8 @@
 #include "apps/pclht.hh"
 #include "apps/pmlog.hh"
 #include "pmcheck/crash_explorer.hh"
+#include "pmem/pm_pool.hh"
+#include "support/errors.hh"
 #include "support/thread_pool.hh"
 #include "test_util.hh"
 
@@ -84,6 +86,65 @@ TEST(ThreadPool, CancellationSkipsUndispatchedItems)
     }, &cancel);
     EXPECT_TRUE(cancel.cancelled());
     EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ThreadPool, FaultingChaosBatchCancelsCleanly)
+{
+    // The adversarial-workers contract: replay workers fork pools
+    // from one shared snapshot and tear them down mid-batch when a
+    // sibling throws. The first exception must surface typed, the
+    // cancel token must stop undispatched replays, the snapshot's
+    // COW pages must survive the wreckage (no leak, no corruption —
+    // this binary runs under sanitizers in CI), and the pool must
+    // be reusable for a clean batch.
+    pmem::PmPool master(1 << 16);
+    uint64_t base = master.mapRegion("r", 4096);
+    uint64_t v = 0xabcdef0123456789ULL;
+    master.store(base, (const uint8_t *)&v, 8);
+    master.flush(base, pmem::FlushOp::Clflush);
+    master.fence();
+    auto snap = master.snapshot();
+
+    ThreadPool pool(4);
+    CancelToken cancel;
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelForEach(0, 256, [&](uint64_t i) {
+            ran++;
+            pmem::PmPool replica(snap);
+            pmem::FaultPlan plan;
+            plan.seed = i + 1;
+            plan.tornChance = 1.0;
+            replica.setFaultPlan(plan);
+            uint64_t junk = i;
+            replica.store(base + 64, (const uint8_t *)&junk, 8);
+            replica.crash();
+            if (i == 7) {
+                cancel.cancel();
+                support::throwResourceError("replica %llu died",
+                                            (unsigned long long)i);
+            }
+        }, &cancel);
+        FAIL() << "exception not propagated";
+    } catch (const support::HippoError &e) {
+        EXPECT_EQ(e.kind(), support::ErrorKind::Resource);
+    }
+    EXPECT_LT(ran.load(), 256);
+
+    // Shared pages are intact: a fresh fork still reads the
+    // fenced value, and the master pool itself is untouched.
+    pmem::PmPool after(snap);
+    uint64_t got = 0;
+    after.loadPersisted(base, (uint8_t *)&got, 8);
+    EXPECT_EQ(got, v);
+    got = 0;
+    master.loadPersisted(base, (uint8_t *)&got, 8);
+    EXPECT_EQ(got, v);
+
+    // The pool survives the faulted batch.
+    std::atomic<int> clean{0};
+    pool.parallelForEach(0, 16, [&](uint64_t) { clean++; });
+    EXPECT_EQ(clean.load(), 16);
 }
 
 TEST(ThreadPool, ResolveJobs)

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 
 #include "pmem/pm_pool.hh"
+#include "support/errors.hh"
 
 namespace hippo::test
 {
@@ -255,10 +257,20 @@ TEST(PmPool, CapacityIsRoundedAndEnforced)
     EXPECT_EQ(pool.capacity(), 128u);
     pool.mapRegion("a", 64);
     pool.mapRegion("b", 64);
-    // The pool is now full; another mapping must be fatal. We cannot
-    // catch fatal() (it exits), so verify via a death test.
-    EXPECT_EXIT(pool.mapRegion("c", 1),
-                ::testing::ExitedWithCode(1), "exhausted");
+    // The pool is now full; another mapping throws a recoverable,
+    // classified resource error (exit code 4 at the CLI boundary).
+    try {
+        pool.mapRegion("c", 1);
+        FAIL() << "mapRegion beyond capacity did not throw";
+    } catch (const support::HippoError &e) {
+        EXPECT_EQ(e.kind(), support::ErrorKind::Resource);
+        EXPECT_EQ(e.exitCode(), 4);
+        EXPECT_NE(std::string(e.what()).find("exhausted"),
+                  std::string::npos);
+    }
+    // The failed mapping must not have corrupted the region table.
+    EXPECT_NE(pool.findRegion("a"), nullptr);
+    EXPECT_EQ(pool.findRegion("c"), nullptr);
 }
 
 } // namespace hippo::test

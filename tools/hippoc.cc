@@ -21,10 +21,28 @@
  *   hippoc prog.pmir --entry start        # entry point (default: main)
  *   hippoc prog.pmir --stats out.json     # write pipeline metrics
  *   hippoc a.pmir b.pmir --jobs 8         # repair modules in parallel
+ *   hippoc prog.pmir --chaos 1 --torn-chance 0.05
+ *                                         # adversarial crash
+ *                                         #   exploration: torn-store
+ *                                         #   fault injection
+ *   hippoc prog.pmir --step-budget 100000 --time-budget 2000
+ *                                         # watchdog budgets per
+ *                                         #   execution (sandboxed)
+ *   hippoc prog.pmir --recovery rec       # recovery entry for --chaos
+ *                                         #   (default: the entry)
  *
  * With several input modules the full pipeline runs once per module,
  * one worker per program (--jobs N workers; default: one per
  * hardware thread), and reports print in argument order.
+ *
+ * Exit codes (documented in README "Exit codes"):
+ *   0  success — no bugs, or all bugs repaired and re-check clean
+ *   1  durability bugs found (--check-only/--static-check) or remain
+ *   2  usage error: bad command line
+ *   3  input error: unreadable/malformed/invalid module, bad entry
+ *   4  resource error: pool exhausted, watchdog budget exceeded,
+ *      output or stats file unwritable
+ *   5  internal error: a caught invariant violation (tool bug)
  */
 
 #include <algorithm>
@@ -43,8 +61,10 @@
 #include "ir/parser.hh"
 #include "ir/printer.hh"
 #include "ir/verifier.hh"
+#include "pmcheck/crash_explorer.hh"
 #include "pmcheck/detector.hh"
 #include "pmem/pm_pool.hh"
+#include "support/errors.hh"
 #include "support/metrics.hh"
 #include "support/strings.hh"
 #include "support/thread_pool.hh"
@@ -64,7 +84,10 @@ usage(const char *argv0)
         "          [--static-check] [--static-filter]\n"
         "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
         "          [--clean-flushes] [--patch-plan]\n"
-        "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n",
+        "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n"
+        "          [--chaos SEED] [--torn-chance P]\n"
+        "          [--step-budget N] [--time-budget MS]\n"
+        "          [--recovery NAME]\n",
         argv0);
     std::exit(2);
 }
@@ -73,11 +96,8 @@ std::string
 readFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in) {
-        std::fprintf(stderr, "hippoc: cannot open %s\n",
-                     path.c_str());
-        std::exit(2);
-    }
+    if (!in)
+        support::throwInputError("cannot open %s", path.c_str());
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
@@ -91,8 +111,65 @@ struct Options
     bool checkOnly = false, patchPlan = false;
     bool staticCheck = false, staticFilter = false;
     bool cleanFlushes = false;
-    core::FixerConfig cfg;
+    bool chaos = false;     ///< --chaos: adversarial exploration
+    std::string recovery;   ///< --recovery (default: the entry)
+    core::FixerConfig cfg;  ///< also carries faults + budgets
 };
+
+/** Watchdog VmConfig shared by the pipeline's own executions. */
+vm::VmConfig
+watchdogVmConfig(const Options &opt)
+{
+    vm::VmConfig vc;
+    if (opt.cfg.stepBudget || opt.cfg.heapBudget ||
+        opt.cfg.timeBudgetMs) {
+        vc.sandbox = true;
+        vc.stepBudget = opt.cfg.stepBudget;
+        vc.heapBudget = opt.cfg.heapBudget;
+        vc.timeBudgetMs = opt.cfg.timeBudgetMs;
+    }
+    return vc;
+}
+
+/**
+ * Map a non-Ok sandboxed run onto the exit-code taxonomy: budget
+ * exhaustion is a resource error (4), a trap means the module itself
+ * misbehaves — an input error (3).
+ */
+void
+requireOk(const vm::RunResult &run, const std::string &input,
+          const char *stage)
+{
+    if (run.ok())
+        return;
+    if (run.outcome == vm::ExecOutcome::Trap)
+        support::throwInputError("%s: %s: %s", input.c_str(), stage,
+                                 run.diag.c_str());
+    support::throwResourceError("%s: %s: %s", input.c_str(), stage,
+                                run.diag.c_str());
+}
+
+/** FNV-1a over the exploration outcomes: a compact digest callers
+ *  can compare across --jobs settings. */
+uint64_t
+outcomeDigest(const pmcheck::ExplorationResult &res)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(res.cleanRunRecovered);
+    for (const auto &o : res.outcomes) {
+        mix(o.atStep);
+        mix(o.crashPoint);
+        mix(o.recovered);
+        mix(o.unverified);
+    }
+    return h;
+}
 
 /**
  * The full Fig. 2 pipeline on one module. Output is buffered into
@@ -100,27 +177,26 @@ struct Options
  * caller prints the buffers in argument order.
  */
 int
-processModule(const std::string &input, const Options &opt,
-              std::string &out, std::string &err)
+processModuleImpl(const std::string &input, const Options &opt,
+                  std::string &out, std::string &err)
 {
     std::string error;
     auto m = ir::parseModule(readFile(input), &error);
-    if (!m) {
-        err += format("hippoc: %s: parse error: %s\n",
-                      input.c_str(), error.c_str());
-        return 2;
-    }
+    if (!m)
+        support::throwInputError("%s: parse error: %s", input.c_str(),
+                                 error.c_str());
     auto problems = ir::verifyModule(*m);
-    if (!problems.empty()) {
-        err += format("hippoc: %s: invalid module: %s\n",
-                      input.c_str(), problems.front().c_str());
-        return 2;
-    }
-    if (!m->findFunction(opt.entry)) {
-        err += format("hippoc: %s: no entry function @%s\n",
-                      input.c_str(), opt.entry.c_str());
-        return 2;
-    }
+    if (!problems.empty())
+        support::throwInputError("%s: invalid module: %s",
+                                 input.c_str(),
+                                 problems.front().c_str());
+    if (!m->findFunction(opt.entry))
+        support::throwInputError("%s: no entry function @%s",
+                                 input.c_str(), opt.entry.c_str());
+    if (opt.chaos && !opt.recovery.empty() &&
+        !m->findFunction(opt.recovery))
+        support::throwInputError("%s: no recovery function @%s",
+                                 input.c_str(), opt.recovery.c_str());
 
     auto &metrics = support::MetricsRegistry::global();
 
@@ -152,12 +228,14 @@ processModule(const std::string &input, const Options &opt,
                       sreport.durLabels().size());
     }
 
-    // Step 1 (Fig. 2): run the bug finder.
+    // Step 1 (Fig. 2): run the bug finder — sandboxed under the
+    // watchdog budgets, so a runaway module exits with a structured
+    // diagnostic instead of spinning forever.
     pmem::PmPool pool(64u << 20);
-    vm::VmConfig vc;
+    vm::VmConfig vc = watchdogVmConfig(opt);
     vc.traceEnabled = true;
     vm::Vm machine(m.get(), &pool, vc);
-    machine.run(opt.entry);
+    requireOk(machine.run(opt.entry), input, "bug-finder run");
     auto report = pmcheck::analyze(machine.trace());
     machine.exportMetrics(metrics);
     report.exportMetrics(metrics);
@@ -183,7 +261,7 @@ processModule(const std::string &input, const Options &opt,
         // Validate: the repaired module must re-check clean.
         pmem::PmPool vpool(64u << 20);
         vm::Vm check(m.get(), &vpool, vc);
-        check.run(opt.entry);
+        requireOk(check.run(opt.entry), input, "re-check run");
         auto after = pmcheck::analyze(check.trace());
         check.exportMetrics(metrics, "reverify.vm");
         after.exportMetrics(metrics, "reverify.pmcheck");
@@ -205,17 +283,66 @@ processModule(const std::string &input, const Options &opt,
                       stats.flushesRemoved, stats.flushesKept);
     }
 
+    // Adversarial crash exploration (--chaos): torn-store fault
+    // injection over the (possibly repaired) module, recovery
+    // sandboxed under the watchdog budgets. The digest is a pure
+    // function of the FaultPlan and the module, so it is identical
+    // at every --jobs setting.
+    if (opt.chaos) {
+        pmcheck::CrashExplorerConfig cc;
+        cc.entry = opt.entry;
+        cc.recovery = opt.recovery.empty() ? opt.entry : opt.recovery;
+        cc.jobs = opt.cfg.jobs;
+        cc.seed = opt.cfg.faults.seed;
+        cc.faults = opt.cfg.faults;
+        cc.stepBudget = opt.cfg.stepBudget;
+        cc.heapBudget = opt.cfg.heapBudget;
+        cc.timeBudgetMs = opt.cfg.timeBudgetMs;
+        auto res = pmcheck::exploreCrashes(m.get(), cc);
+        metrics.counter("pipeline.chaos_runs").inc();
+        out += format("chaos: seed=%llu torn-chance=%.3f "
+                      "crash-points=%zu unverified=%llu clean=%llu "
+                      "min=%llu max=%llu digest=%016llx\n",
+                      (unsigned long long)opt.cfg.faults.seed,
+                      opt.cfg.faults.tornChance, res.outcomes.size(),
+                      (unsigned long long)res.unverifiedCount(),
+                      (unsigned long long)res.cleanRunRecovered,
+                      (unsigned long long)res.minRecovered(),
+                      (unsigned long long)res.maxRecovered(),
+                      (unsigned long long)outcomeDigest(res));
+    }
+
     if (!opt.output.empty()) {
         std::ofstream ofs(opt.output);
-        if (!ofs) {
-            err += format("hippoc: cannot write %s\n",
-                          opt.output.c_str());
-            return 2;
-        }
+        if (!ofs)
+            support::throwResourceError("cannot write %s",
+                                        opt.output.c_str());
         ir::printModule(*m, ofs);
         out += format("wrote %s\n", opt.output.c_str());
     }
     return 0;
+}
+
+/**
+ * Exception boundary per module: workers never unwind into the
+ * ThreadPool. HippoError carries its own exit code; anything else
+ * escaping the pipeline is a tool bug (internal error, exit 5).
+ */
+int
+processModule(const std::string &input, const Options &opt,
+              std::string &out, std::string &err)
+{
+    try {
+        return processModuleImpl(input, opt, out, err);
+    } catch (const support::HippoError &e) {
+        err += format("hippoc: %s: %s\n",
+                      support::errorKindName(e.kind()), e.what());
+        return e.exitCode();
+    } catch (const std::exception &e) {
+        err += format("hippoc: %s: internal error: %s\n",
+                      input.c_str(), e.what());
+        return support::errorExitCode(support::ErrorKind::Internal);
+    }
 }
 
 } // namespace
@@ -252,6 +379,22 @@ main(int argc, char **argv)
             opt.patchPlan = true;
         } else if (arg == "--stats" && i + 1 < argc) {
             opt.statsPath = argv[++i];
+        } else if (arg == "--chaos" && i + 1 < argc) {
+            opt.chaos = true;
+            opt.cfg.faults.seed =
+                (uint64_t)std::strtoull(argv[++i], nullptr, 10);
+            if (opt.cfg.faults.tornChance <= 0)
+                opt.cfg.faults.tornChance = 0.5;
+        } else if (arg == "--torn-chance" && i + 1 < argc) {
+            opt.cfg.faults.tornChance = std::atof(argv[++i]);
+        } else if (arg == "--step-budget" && i + 1 < argc) {
+            opt.cfg.stepBudget =
+                (uint64_t)std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--time-budget" && i + 1 < argc) {
+            opt.cfg.timeBudgetMs =
+                (uint64_t)std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--recovery" && i + 1 < argc) {
+            opt.recovery = argv[++i];
         } else if (arg[0] == '-') {
             usage(argv[0]);
         } else {
@@ -300,8 +443,11 @@ main(int argc, char **argv)
                  {"modules", std::to_string(inputs.size())},
                  {"jobs", std::to_string(jobs)}},
                 &error)) {
-            std::fprintf(stderr, "hippoc: %s\n", error.c_str());
-            return 2;
+            // The pipeline ran; only the metrics file failed.
+            std::fprintf(stderr, "hippoc: resource error: %s\n",
+                         error.c_str());
+            return support::errorExitCode(
+                support::ErrorKind::Resource);
         }
     }
     return rc;

@@ -62,7 +62,8 @@ main(int argc, char **argv)
                 (unsigned long long)records, (unsigned long long)ops,
                 (unsigned long long)trials);
 
-    auto variants = apps::buildRedisVariants();
+    auto variants = apps::buildRedisVariants(
+        {}, analysis::AaMode::FullAA, /*optimized=*/true);
     struct V
     {
         const char *name;
@@ -145,9 +146,60 @@ main(int argc, char **argv)
                 "interprocedural (10 one frame, 2 two frames "
                 "above the PM modification).\n");
 
+    // Ablation: naive fix (RedisH-full as the fixer emitted it) vs
+    // the same fix after the global flush/fence optimizer. Static
+    // counts come from the optimizer stats; dynamic counts from the
+    // Vm flush/fence probes over the YCSB hot path (Load + A).
+    bench::banner("Ablation — naive fix vs optimized fix "
+                  "(flush/fence counts, YCSB Load+A)");
+    std::printf("optimizer: %s\n", variants.optStats.str().c_str());
+
+    struct DynCounts
+    {
+        uint64_t flushes, fences;
+        double throughput;
+    };
+    auto dynCounts = [&](ir::Module *m) {
+        pmem::PmPool pool(32u << 20);
+        apps::KvDriver driver(m, &pool);
+        driver.init();
+        auto load = driver.run(ycsb::Workload::Load, records,
+                               records, 424243);
+        auto a = driver.run(ycsb::Workload::A, records, ops, 424247);
+        double secs = load.simSeconds + a.simSeconds;
+        return DynCounts{driver.vm().flushesExecuted(),
+                         driver.vm().fencesExecuted(),
+                         secs > 0 ? (load.ops + a.ops) / secs : 0};
+    };
+    DynCounts naive = dynCounts(variants.hippoFull.get());
+    DynCounts optd = dynCounts(variants.hippoOpt.get());
+    double flush_cut =
+        naive.flushes
+            ? 100.0 * (double)(naive.flushes - optd.flushes) /
+                  (double)naive.flushes
+            : 0;
+    double speedup =
+        naive.throughput > 0 ? optd.throughput / naive.throughput : 0;
+    std::printf("naive fix   : %llu flush(es), %llu fence(s), "
+                "%.0f ops/sec\n",
+                (unsigned long long)naive.flushes,
+                (unsigned long long)naive.fences, naive.throughput);
+    std::printf("optimized   : %llu flush(es), %llu fence(s), "
+                "%.0f ops/sec\n",
+                (unsigned long long)optd.flushes,
+                (unsigned long long)optd.fences, optd.throughput);
+    std::printf("flushes executed cut by %.1f%%; throughput %.2fx\n",
+                flush_cut, speedup);
+
     auto &reg = support::MetricsRegistry::global();
     variants.fullSummary.exportMetrics(reg, "fig4.fixer_full");
     variants.intraSummary.exportMetrics(reg, "fig4.fixer_intra");
+    variants.optStats.exportMetrics(reg, "fig4.opt");
+    reg.counter("fig4.opt.dyn_flushes_naive").inc(naive.flushes);
+    reg.counter("fig4.opt.dyn_flushes_optimized").inc(optd.flushes);
+    reg.counter("fig4.opt.dyn_fences_naive").inc(naive.fences);
+    reg.counter("fig4.opt.dyn_fences_optimized").inc(optd.fences);
+    reg.doubleSum("fig4.opt.throughput_ratio").add(speedup);
     bench::finishBench(opt, "bench_fig4_redis_ycsb");
     return ordering_holds && min_ratio_intra > 2.0 ? 0 : 1;
 }

@@ -47,6 +47,19 @@ constexpr size_t kMaxMustFlushes = 64;
 constexpr int kMaxSccIterations = 10;
 constexpr int64_t kMaxOffsetMagnitude = int64_t(1) << 30;
 
+/**
+ * The fixer's range-flush helper (core/fixer.hh
+ * flushRangeHelperName, duplicated here to keep analysis/ below
+ * core/ in the layering): trusted by contract to CLWB every cache
+ * line of [arg0, arg0 + arg1). Both emitters — the fixer's memcpy
+ * repair and the flush optimizer's loop-range promotion — only emit
+ * the call to cover exactly the range dirtied before it, so when the
+ * extent is dynamic the checker credits same-object records rather
+ * than inventing candidates the paired flush loop would not have
+ * produced.
+ */
+constexpr const char *kFlushRangeHelper = "__hippo_flush_range";
+
 /** Persistence-lattice bits: the set of states the store may be in. */
 constexpr uint8_t kDirty = 1;   ///< unflushed modified line
 constexpr uint8_t kPending = 2; ///< flushed, flush not yet fenced
@@ -121,6 +134,86 @@ addrSetKey(const AddrSet &s)
     }
     return k;
 }
+
+/**
+ * Does a kFlushRangeHelper(base=fl, len) call certainly persist a
+ * store of @p size bytes at @p st? Exact range containment when both
+ * offsets and the length are known (alignment-free: the helper
+ * flushes every line the range touches); same-object trust under a
+ * dynamic extent (see the kFlushRangeHelper contract note).
+ */
+bool
+rangeCovers(const Addr &fl, const Addr &st, uint64_t size,
+            const ir::Constant *len)
+{
+    if (fl.root == Addr::Root::Unknown || fl.root != st.root ||
+        fl.index != st.index)
+        return false;
+    if (len && fl.knownOff && st.knownOff) {
+        if (size == 0)
+            return false;
+        return st.off >= fl.off &&
+               st.off + (int64_t)size <=
+                   fl.off + (int64_t)len->value();
+    }
+    return true;
+}
+
+/**
+ * Fold a constant-offset gep chain to (base value, byte offset) —
+ * the flush optimizer's folding, duplicated for the block-local
+ * cover rules. A dynamic gep terminates the walk and becomes the
+ * base, so the offset is always exact relative to it.
+ */
+std::pair<const ir::Value *, int64_t>
+foldGeps(const ir::Value *v)
+{
+    int64_t off = 0;
+    while (auto *in = dynamic_cast<const ir::Instruction *>(v)) {
+        if (in->op() != ir::Opcode::Gep)
+            break;
+        auto *c = dynamic_cast<const ir::Constant *>(in->operand(1));
+        if (!c)
+            break;
+        off += (int64_t)c->value();
+        v = in->operand(0);
+    }
+    return {v, off};
+}
+
+/**
+ * Per-basic-block transfer scratch, reset at each block scan. Exact
+ * pointer identity and block positions are only meaningful within
+ * one straight-line execution of a block — a loop-carried pointer is
+ * a different dynamic address each iteration — so everything here
+ * dies at the block boundary.
+ */
+struct BlockLocal
+{
+    /** Store pointer value -> record id ("same dynamic address"). */
+    std::map<const ir::Value *, std::string> stores;
+    /** Record id -> block position of the store. */
+    std::map<std::string, int> storeTime;
+    /** Folded position of every flush seen, in block order. */
+    struct FlushAt
+    {
+        const ir::Value *base;
+        int64_t off;
+        bool clflush;
+        int time;
+    };
+    std::vector<FlushAt> flushes;
+    int time = 0;
+
+    void
+    clear()
+    {
+        stores.clear();
+        storeTime.clear();
+        flushes.clear();
+        time = 0;
+    }
+};
 
 /** One tracked PM store site flowing through the analysis. */
 struct Record
@@ -293,9 +386,8 @@ class Checker
                 const std::string &durLabel, bool fenceGuaranteed,
                 std::vector<RawCand> &out) const;
     void transfer(const ir::Function *f, const ir::Instruction &in,
-                  Fact &fact,
-                  std::map<const ir::Value *, std::string> &localStores,
-                  Summary *sum, std::vector<RawCand> *out);
+                  Fact &fact, BlockLocal &bl, Summary *sum,
+                  std::vector<RawCand> *out);
     Summary analyzeFunction(const ir::Function *f,
                             std::vector<RawCand> *out);
     void computeSummaries(StaticReport &rep);
@@ -612,10 +704,10 @@ Checker::emitAt(const State &recs,
 
 void
 Checker::transfer(const ir::Function *f, const ir::Instruction &in,
-                  Fact &fact,
-                  std::map<const ir::Value *, std::string> &localStores,
-                  Summary *sum, std::vector<RawCand> *out)
+                  Fact &fact, BlockLocal &bl, Summary *sum,
+                  std::vector<RawCand> *out)
 {
+    bl.time++;
     switch (in.op()) {
       case ir::Opcode::Store:
       case ir::Opcode::Memcpy:
@@ -641,7 +733,8 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
         r.ptr = ptr;
         std::string id = r.id();
         fact.recs[id] = r; // strong update: a re-store re-dirties
-        localStores[ptr] = id;
+        bl.stores[ptr] = id;
+        bl.storeTime[id] = bl.time;
         break;
       }
       case ir::Opcode::Flush: {
@@ -653,8 +746,8 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
             bool must = false;
             // Same pointer value, stored earlier in this very block
             // execution: certainly the same dynamic address.
-            auto ls = localStores.find(ptr);
-            if (ls != localStores.end() && ls->second == id &&
+            auto ls = bl.stores.find(ptr);
+            if (ls != bl.stores.end() && ls->second == id &&
                 r.mustCoverableSize())
                 must = true;
             if (!must && mustCovers(fa, r))
@@ -663,6 +756,41 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
                 applyMustFlush(r, clflush);
             else if (mayTouch(fpts, r.objects))
                 r.state |= clflush ? kDone : kPending;
+        }
+        // Block-local folded-pointer cover — the rules the flush
+        // optimizer's sink-and-merge pass is justified by. For a
+        // store at folded (base, s) seen earlier in this block run:
+        // a later flush at the exact folded address retires it, and
+        // so does a *pair* of later flushes at offsets a <= s <= b
+        // with b - a < 64 — line(s) then coincides with line(a) or
+        // line(b) for every base alignment.
+        {
+            auto [fb, foff] = foldGeps(ptr);
+            for (auto &[id, r] : fact.recs) {
+                if (!r.ptr || !r.mustCoverableSize())
+                    continue;
+                auto ts = bl.storeTime.find(id);
+                if (ts == bl.storeTime.end())
+                    continue;
+                auto [sb, soff] = foldGeps(r.ptr);
+                if (sb != fb)
+                    continue;
+                if (soff == foff) {
+                    applyMustFlush(r, clflush);
+                    continue;
+                }
+                for (const auto &pf : bl.flushes) {
+                    if (pf.base != fb || pf.time <= ts->second)
+                        continue;
+                    int64_t lo = std::min(pf.off, foff);
+                    int64_t hi = std::max(pf.off, foff);
+                    if (lo <= soff && soff <= hi && hi - lo < 64) {
+                        applyMustFlush(r, clflush && pf.clflush);
+                        break;
+                    }
+                }
+            }
+            bl.flushes.push_back({fb, foff, clflush, bl.time});
         }
         if (fa.size() == 1 && fa[0].root != Addr::Root::Unknown &&
             fa[0].knownOff &&
@@ -691,6 +819,24 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
         break;
       case ir::Opcode::Call: {
         const ir::Function *callee = in.callee();
+        if (callee && callee->name() == kFlushRangeHelper) {
+            const ir::Value *base = in.operand(0);
+            const AddrSet &fa = resolveAddrs(f, base);
+            const std::vector<uint32_t> &fpts = pt_.pointsTo(base);
+            auto *len =
+                dynamic_cast<const ir::Constant *>(in.operand(1));
+            for (auto &[id, r] : fact.recs) {
+                bool must = !fa.empty() && !r.addrs.empty();
+                for (const Addr &st : r.addrs)
+                    for (const Addr &fl : fa)
+                        must &= rangeCovers(fl, st, r.size, len);
+                if (must)
+                    applyMustFlush(r, false);
+                else if (mayTouch(fpts, r.objects))
+                    r.state |= kPending;
+            }
+            break;
+        }
         auto cs_it = summaries_.find(callee);
         if (cs_it == summaries_.end() || !cs_it->second.computed)
             break; // unanalyzed (first SCC iteration): no effect yet
@@ -791,14 +937,14 @@ Checker::analyzeFunction(const ir::Function *f,
     std::set<size_t> worklist;
     if (!order.empty())
         worklist.insert(0);
-    std::map<const ir::Value *, std::string> localStores;
+    BlockLocal bl;
     while (!worklist.empty()) {
         size_t bi = *worklist.begin();
         worklist.erase(worklist.begin());
         Fact fact = facts[bi];
-        localStores.clear();
+        bl.clear();
         for (const auto &instr : *order[bi])
-            transfer(f, *instr, fact, localStores, nullptr, nullptr);
+            transfer(f, *instr, fact, bl, nullptr, nullptr);
         const ir::Instruction *term = order[bi]->terminator();
         unsigned ntargets = 0;
         if (term && term->op() == ir::Opcode::Br)
@@ -824,7 +970,7 @@ Checker::analyzeFunction(const ir::Function *f,
         if (!facts[bi].reachable)
             continue;
         Fact fact = facts[bi];
-        localStores.clear();
+        bl.clear();
         for (const auto &instr : *order[bi]) {
             if (instr->op() == ir::Opcode::Ret) {
                 if (first_ret) {
@@ -834,7 +980,7 @@ Checker::analyzeFunction(const ir::Function *f,
                     // Record escapes via the shared transfer below.
                 }
             }
-            transfer(f, *instr, fact, localStores, &collected, out);
+            transfer(f, *instr, fact, bl, &collected, out);
         }
     }
     collected.mustFence &= !first_ret; // no reachable ret: no promise

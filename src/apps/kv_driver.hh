@@ -18,6 +18,7 @@
 
 #include "apps/pmkv.hh"
 #include "core/fixer.hh"
+#include "core/flush_optimizer.hh"
 #include "pmem/pm_pool.hh"
 #include "vm/vm.hh"
 #include "ycsb/ycsb.hh"
@@ -63,26 +64,33 @@ class KvDriver
     uint64_t valLen_;
 };
 
-/** The three §6.3 variants plus the fix summaries that made them. */
+/** The §6.3 variants plus the fix summaries that made them. */
 struct RedisVariants
 {
     std::unique_ptr<ir::Module> manual;     ///< Redis-pm
     std::unique_ptr<ir::Module> hippoFull;  ///< RedisH-full
     std::unique_ptr<ir::Module> hippoIntra; ///< RedisH-intra
+    /** RedisH-full after the global flush/fence optimizer — the
+     *  "optimized fix" leg of the ablation (null unless requested). */
+    std::unique_ptr<ir::Module> hippoOpt;
     core::FixSummary fullSummary;
     core::FixSummary intraSummary;
+    core::FlushOptStats optStats; ///< optimizer counters for hippoOpt
     pmcheck::Report flushFreeReport; ///< bugs found pre-fix
 };
 
 /**
- * Build all three variants: builds flush-free pmkv, traces a small
- * mixed workload under the bug finder, and repairs two copies of the
- * module (heuristic on/off). Both repaired modules are re-checked to
- * be bug-free before returning.
+ * Build all the variants: builds flush-free pmkv, traces a small
+ * mixed workload under the bug finder, and repairs copies of the
+ * module (hoisting heuristic on/off). With @p optimized a fourth
+ * copy is repaired identically to RedisH-full and then run through
+ * core::optimizeFlushes. Every repaired module is re-checked to be
+ * bug-free before returning.
  */
 RedisVariants buildRedisVariants(
     const PmkvConfig &cfg = {},
-    analysis::AaMode aa = analysis::AaMode::FullAA);
+    analysis::AaMode aa = analysis::AaMode::FullAA,
+    bool optimized = false);
 
 } // namespace hippo::apps
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "ir/module.hh"
+#include "support/metrics.hh"
 
 namespace hippo::core
 {
@@ -63,6 +64,15 @@ cleanRedundantFlushes(ir::Function *f)
             bb->erase(instr);
     }
     return stats;
+}
+
+void
+FlushCleanStats::exportMetrics(support::MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.counter(prefix + ".runs").inc();
+    reg.counter(prefix + ".removed").inc(flushesRemoved);
+    reg.counter(prefix + ".kept").inc(flushesKept);
 }
 
 FlushCleanStats

@@ -18,12 +18,18 @@
 #define HIPPO_CORE_FLUSH_CLEANER_HH
 
 #include <cstddef>
+#include <string>
 
 namespace hippo::ir
 {
 class Function;
 class Module;
 } // namespace hippo::ir
+
+namespace hippo::support
+{
+class MetricsRegistry;
+} // namespace hippo::support
 
 namespace hippo::core
 {
@@ -33,6 +39,11 @@ struct FlushCleanStats
 {
     size_t flushesRemoved = 0;
     size_t flushesKept = 0;
+
+    /** Accumulate counters into @p reg under "<prefix>." (see
+     *  docs/FORMATS.md §6). */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "fixer.clean") const;
 };
 
 /** Remove provably redundant flushes from one function. */

@@ -1,0 +1,295 @@
+#include "ir/dominators.hh"
+
+#include <algorithm>
+
+#include "ir/basic_block.hh"
+#include "ir/function.hh"
+#include "support/logging.hh"
+
+namespace hippo::ir
+{
+
+namespace
+{
+
+const std::vector<BasicBlock *> kEmptyEdges;
+
+} // namespace
+
+Cfg::Cfg(Function &f) : fn_(f)
+{
+    for (const auto &bb : f.blocks()) {
+        index_[bb.get()] = (uint32_t)blocks_.size();
+        blocks_.push_back(bb.get());
+    }
+    preds_.resize(blocks_.size());
+    succs_.resize(blocks_.size());
+    for (BasicBlock *bb : blocks_) {
+        Instruction *term = bb->terminator();
+        if (!term)
+            continue;
+        unsigned ntargets = term->op() == Opcode::Br      ? 1
+                            : term->op() == Opcode::CondBr ? 2
+                                                           : 0;
+        for (unsigned i = 0; i < ntargets; i++) {
+            BasicBlock *to = term->target(i);
+            succs_[index_[bb]].push_back(to);
+            preds_[index_[to]].push_back(bb);
+        }
+    }
+    // Entry reachability: plain BFS over successors.
+    reachable_.assign(blocks_.size(), false);
+    if (!blocks_.empty()) {
+        std::vector<BasicBlock *> work{blocks_.front()};
+        reachable_[0] = true;
+        while (!work.empty()) {
+            BasicBlock *bb = work.back();
+            work.pop_back();
+            for (BasicBlock *s : succs_[index_[bb]]) {
+                uint32_t i = index_[s];
+                if (!reachable_[i]) {
+                    reachable_[i] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+const std::vector<BasicBlock *> &
+Cfg::preds(const BasicBlock *bb) const
+{
+    uint32_t i = indexOf(bb);
+    return i == ~0u ? kEmptyEdges : preds_[i];
+}
+
+const std::vector<BasicBlock *> &
+Cfg::succs(const BasicBlock *bb) const
+{
+    uint32_t i = indexOf(bb);
+    return i == ~0u ? kEmptyEdges : succs_[i];
+}
+
+bool
+Cfg::reachableFromEntry(const BasicBlock *bb) const
+{
+    uint32_t i = indexOf(bb);
+    return i != ~0u && reachable_[i];
+}
+
+uint32_t
+Cfg::indexOf(const BasicBlock *bb) const
+{
+    auto it = index_.find(bb);
+    return it == index_.end() ? ~0u : it->second;
+}
+
+DominatorTree::DominatorTree(const Cfg &cfg, Kind kind) : kind_(kind)
+{
+    // Traversal graph: the CFG itself rooted at the entry, or the
+    // edge-reversed CFG rooted at a virtual exit every Ret block
+    // feeds. The virtual exit is block index n.
+    const bool post = kind == Kind::PostDominators;
+    for (BasicBlock *bb : cfg.blocks()) {
+        index_[bb] = (uint32_t)blocks_.size();
+        blocks_.push_back(bb);
+    }
+    const uint32_t n = (uint32_t)blocks_.size();
+    const uint32_t vexit = n; // post only
+    const uint32_t nnodes = post ? n + 1 : n;
+    if (n == 0) {
+        return;
+    }
+
+    auto traversal_succs = [&](uint32_t i) {
+        std::vector<uint32_t> out;
+        if (!post) {
+            for (BasicBlock *s : cfg.succs(blocks_[i]))
+                out.push_back(index_.at(s));
+            return out;
+        }
+        if (i == vexit) {
+            for (uint32_t b = 0; b < n; b++) {
+                Instruction *term =
+                    cfg.blocks()[b]->terminator();
+                if (term && term->op() == Opcode::Ret)
+                    out.push_back(b);
+            }
+            return out;
+        }
+        for (BasicBlock *p : cfg.preds(blocks_[i]))
+            out.push_back(index_.at(p));
+        return out;
+    };
+    auto traversal_preds = [&](uint32_t i) {
+        std::vector<uint32_t> out;
+        if (!post) {
+            for (BasicBlock *p : cfg.preds(blocks_[i]))
+                out.push_back(index_.at(p));
+            return out;
+        }
+        hippo_assert(i != vexit, "virtual exit has no preds");
+        for (BasicBlock *s : cfg.succs(blocks_[i]))
+            out.push_back(index_.at(s));
+        Instruction *term = blocks_[i]->terminator();
+        if (term && term->op() == Opcode::Ret)
+            out.push_back(vexit);
+        return out;
+    };
+
+    const uint32_t root = post ? vexit : 0;
+
+    // Reverse postorder of the traversal graph (iterative DFS).
+    std::vector<uint32_t> order;         // postorder
+    std::vector<uint32_t> rpoNum(nnodes, kNone);
+    {
+        std::vector<uint8_t> state(nnodes, 0); // 0 new, 1 open, 2 done
+        std::vector<std::pair<uint32_t, size_t>> stack;
+        stack.emplace_back(root, 0);
+        state[root] = 1;
+        while (!stack.empty()) {
+            auto &[node, next] = stack.back();
+            auto succs = traversal_succs(node);
+            if (next < succs.size()) {
+                uint32_t s = succs[next++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                state[node] = 2;
+                order.push_back(node);
+                stack.pop_back();
+            }
+        }
+        std::reverse(order.begin(), order.end()); // now RPO
+        for (uint32_t i = 0; i < order.size(); i++)
+            rpoNum[order[i]] = i;
+    }
+
+    // Cooper-Harvey-Kennedy: iterate to fixpoint over RPO.
+    std::vector<uint32_t> idom(nnodes, kNone);
+    idom[root] = root;
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpoNum[a] > rpoNum[b])
+                a = idom[a];
+            while (rpoNum[b] > rpoNum[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t node : order) {
+            if (node == root)
+                continue;
+            uint32_t new_idom = kNone;
+            for (uint32_t p : traversal_preds(node)) {
+                if (rpoNum[p] == kNone || idom[p] == kNone)
+                    continue; // pred outside the traversal
+                new_idom = new_idom == kNone ? p
+                                             : intersect(p, new_idom);
+            }
+            if (new_idom != kNone && idom[node] != new_idom) {
+                idom[node] = new_idom;
+                changed = true;
+            }
+        }
+    }
+
+    // Publish for real blocks only; the virtual exit maps to kNone
+    // (idom() answers null for roots).
+    idom_.assign(n, kNone);
+    depth_.assign(n, 0);
+    for (uint32_t i = 0; i < n; i++) {
+        if (rpoNum[i] == kNone)
+            continue; // outside the tree
+        idom_[i] = i == root ? i : idom[i];
+    }
+    // Depths via repeated idom chasing (chains are short).
+    for (uint32_t i = 0; i < n; i++) {
+        if (idom_[i] == kNone)
+            continue;
+        uint32_t d = 0, cur = i;
+        while (cur != root && !(post && idom_[cur] == vexit)) {
+            uint32_t up = idom_[cur];
+            if (post && up == vexit)
+                break;
+            cur = up;
+            d++;
+            hippo_assert(d <= n + 1, "idom chain cycle");
+        }
+        depth_[i] = d;
+    }
+}
+
+uint32_t
+DominatorTree::indexOf(const BasicBlock *bb) const
+{
+    auto it = index_.find(bb);
+    return it == index_.end() ? kNone : it->second;
+}
+
+const BasicBlock *
+DominatorTree::idom(const BasicBlock *bb) const
+{
+    uint32_t i = indexOf(bb);
+    if (i == kNone || i >= idom_.size() || idom_[i] == kNone)
+        return nullptr;
+    uint32_t up = idom_[i];
+    if (up == i || up >= blocks_.size())
+        return nullptr; // root, or post-idom is the virtual exit
+    return blocks_[up];
+}
+
+bool
+DominatorTree::inTree(const BasicBlock *bb) const
+{
+    uint32_t i = indexOf(bb);
+    return i != kNone && i < idom_.size() && idom_[i] != kNone;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a,
+                         const BasicBlock *b) const
+{
+    uint32_t ia = indexOf(a), ib = indexOf(b);
+    if (ia == kNone || ib == kNone || idom_[ia] == kNone ||
+        idom_[ib] == kNone)
+        return false;
+    // Walk b up to a's depth, then compare.
+    uint32_t cur = ib;
+    while (depth_[cur] > depth_[ia]) {
+        uint32_t up = idom_[cur];
+        if (up == cur || up >= idom_.size())
+            return false;
+        cur = up;
+    }
+    return cur == ia;
+}
+
+const BasicBlock *
+DominatorTree::nearestCommonDominator(const BasicBlock *a,
+                                      const BasicBlock *b) const
+{
+    uint32_t ia = indexOf(a), ib = indexOf(b);
+    if (ia == kNone || ib == kNone || idom_[ia] == kNone ||
+        idom_[ib] == kNone)
+        return nullptr;
+    auto parent = [&](uint32_t i) -> uint32_t {
+        uint32_t up = idom_[i];
+        return (up == i || up >= idom_.size()) ? kNone : up;
+    };
+    while (ia != ib) {
+        if (depth_[ia] < depth_[ib])
+            std::swap(ia, ib);
+        ia = parent(ia);
+        if (ia == kNone)
+            return nullptr; // met only at the virtual exit / no NCD
+    }
+    return blocks_[ia];
+}
+
+} // namespace hippo::ir

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Control-flow graph views and (post-)dominator trees over PMIR
+ * functions. The flush/fence optimizer (core/flush_optimizer.cc)
+ * needs both directions: forward dominance to place hoisted flushes
+ * and to reason about "a flush covers this one on every incoming
+ * path", post-dominance for the dual "a fence is reached on every
+ * outgoing path".
+ *
+ * The tree is built with the Cooper-Harvey-Kennedy iterative
+ * algorithm over a reverse-postorder numbering — O(N^2) worst case
+ * but effectively linear on the small, mostly-reducible CFGs PMIR
+ * programs have, and simple enough to audit.
+ */
+
+#ifndef HIPPO_IR_DOMINATORS_HH
+#define HIPPO_IR_DOMINATORS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace hippo::ir
+{
+
+class BasicBlock;
+class Function;
+
+/**
+ * Predecessor/successor lists for every block of one function,
+ * derived from the terminators. Built once and shared by the
+ * dominance computations and the optimizer's path walks. The view
+ * is invalidated by any mutation that adds/removes blocks or
+ * rewrites terminators (inserting/erasing non-terminator
+ * instructions is fine).
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(Function &f);
+
+    Function &function() const { return fn_; }
+
+    /** All blocks in function order. */
+    const std::vector<BasicBlock *> &blocks() const { return blocks_; }
+
+    const std::vector<BasicBlock *> &preds(const BasicBlock *bb) const;
+    const std::vector<BasicBlock *> &succs(const BasicBlock *bb) const;
+
+    /** True when @p bb is reachable from the function entry. */
+    bool reachableFromEntry(const BasicBlock *bb) const;
+
+    /** Dense index of @p bb in blocks() order; ~0u when absent. */
+    uint32_t indexOf(const BasicBlock *bb) const;
+
+  private:
+    Function &fn_;
+    std::vector<BasicBlock *> blocks_;
+    std::map<const BasicBlock *, uint32_t> index_;
+    std::vector<std::vector<BasicBlock *>> preds_;
+    std::vector<std::vector<BasicBlock *>> succs_;
+    std::vector<bool> reachable_;
+};
+
+/**
+ * Dominator or post-dominator tree over a Cfg.
+ *
+ * For post-dominators the CFG is traversed edge-reversed from a
+ * virtual exit that every Ret block feeds; blocks that cannot reach
+ * any Ret (infinite loops) have no post-idom and post-dominate
+ * nothing. Symmetrically, blocks unreachable from the entry have no
+ * idom and are dominated by nothing; all queries answer false for
+ * them, which is the conservative direction for every optimizer use.
+ */
+class DominatorTree
+{
+  public:
+    enum class Kind : uint8_t { Dominators, PostDominators };
+
+    DominatorTree(const Cfg &cfg, Kind kind = Kind::Dominators);
+
+    Kind kind() const { return kind_; }
+
+    /** Immediate (post-)dominator; null for the root (the entry
+     *  block / a Ret block whose post-idom is the virtual exit) and
+     *  for blocks outside the tree. */
+    const BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** Reflexive (post-)dominance: does @p a (post-)dominate @p b?
+     *  False when either block is outside the tree. */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+    /** Nearest common (post-)dominator; null when either block is
+     *  outside the tree. For post-dominators the virtual exit is
+     *  never returned — null stands for "only the virtual exit". */
+    const BasicBlock *nearestCommonDominator(const BasicBlock *a,
+                                             const BasicBlock *b) const;
+
+    /** True when @p bb participates in the tree (is reachable from
+     *  the entry / can reach a Ret). */
+    bool inTree(const BasicBlock *bb) const;
+
+  private:
+    static constexpr uint32_t kNone = ~0u;
+
+    uint32_t indexOf(const BasicBlock *bb) const;
+
+    Kind kind_;
+    std::vector<const BasicBlock *> blocks_; ///< cfg order; virtual exit last
+    std::map<const BasicBlock *, uint32_t> index_;
+    std::vector<uint32_t> idom_;  ///< by block index; kNone = outside
+    std::vector<uint32_t> depth_; ///< tree depth; root = 0
+};
+
+} // namespace hippo::ir
+
+#endif // HIPPO_IR_DOMINATORS_HH

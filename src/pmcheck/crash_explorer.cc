@@ -479,4 +479,24 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
     return out;
 }
 
+uint64_t
+recoveryDigest(const ExplorationResult &res)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(res.cleanRunRecovered);
+    for (const auto &o : res.outcomes) {
+        mix(o.atStep);
+        mix(o.crashPoint);
+        mix(o.recovered);
+        mix(o.unverified);
+    }
+    return h;
+}
+
 } // namespace hippo::pmcheck

@@ -191,6 +191,18 @@ struct ExplorationResult
 ExplorationResult exploreCrashes(ir::Module *m,
                                  const CrashExplorerConfig &cfg);
 
+/**
+ * FNV-1a over the exploration outcomes: a compact digest callers can
+ * compare across `jobs` settings, engines, and (for the flush
+ * optimizer's differential harness) across semantics-preserving
+ * module transformations. Mixes cleanRunRecovered and every
+ * outcome's (atStep, crashPoint, recovered, unverified); does NOT
+ * mix durPointsInRun or stepsInRun, so two modules that differ only
+ * in instruction count but reach the same durability points with the
+ * same recovery behavior digest identically.
+ */
+uint64_t recoveryDigest(const ExplorationResult &res);
+
 } // namespace hippo::pmcheck
 
 #endif // HIPPO_PMCHECK_CRASH_EXPLORER_HH

@@ -337,8 +337,13 @@ class MetricsRegistry
  * unverified crash points no longer feed the explorer recovery
  * aggregates — v1 baselines that gated those aggregates are not
  * comparable and must be regenerated.
+ *
+ * v2 -> v3: the verified flush/fence optimizer landed (fixer.opt.*,
+ * fixer.clean.*, fig4.opt.*, flushopt.* families) and the fig4
+ * bench grew an optimized-Redis leg, shifting its flush/fence
+ * counters — v2 baselines are not comparable and were regenerated.
  */
-constexpr int statsSchemaVersion = 2;
+constexpr int statsSchemaVersion = 3;
 
 /**
  * Assemble the full stats document: schema version, the build/host

@@ -605,6 +605,24 @@ Vm::statsString() const
     return out;
 }
 
+uint64_t
+Vm::flushesExecuted() const
+{
+    uint64_t n = 0;
+    for (const auto &[kind, count] : flushCounts_)
+        n += count;
+    return n;
+}
+
+uint64_t
+Vm::fencesExecuted() const
+{
+    uint64_t n = 0;
+    for (const auto &[kind, count] : fenceCounts_)
+        n += count;
+    return n;
+}
+
 void
 Vm::exportMetrics(support::MetricsRegistry &reg,
                   const std::string &prefix) const

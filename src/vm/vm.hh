@@ -247,6 +247,14 @@ class Vm
         return opcodeCounts_;
     }
 
+    /** Flush instructions executed across all runs (all kinds). The
+     *  flush-optimizer benches compare this probe between a naive-fix
+     *  and an optimized-fix module on the same workload. */
+    uint64_t flushesExecuted() const;
+
+    /** Fence instructions executed across all runs (all kinds). */
+    uint64_t fencesExecuted() const;
+
     /** Render the execution statistics as a small table. */
     std::string statsString() const;
 

@@ -19,6 +19,10 @@
 
 #include <map>
 
+#include "core/flush_optimizer.hh"
+#include "ir/parser.hh"
+#include "ir/printer.hh"
+#include "pmcheck/crash_explorer.hh"
 #include "support/random.hh"
 #include "test_util.hh"
 
@@ -367,5 +371,79 @@ TEST(DoNoHarm, RepairsPersistMoreAndChangeNoMemory)
             << ": repairs may only add durability";
     }
 }
+
+namespace
+{
+
+/** Static flush count over a whole module. */
+uint64_t staticFlushes(const Module &m)
+{
+    uint64_t n = 0;
+    for (const auto &f : m.functions())
+        for (const auto &bb : f->blocks())
+            for (const auto &in : *bb)
+                n += in->op() == Opcode::Flush;
+    return n;
+}
+
+} // namespace
+
+/**
+ * Differential do-no-harm for the flush/fence optimizer: for random
+ * repaired programs, the optimized module must (a) never contain
+ * more flushes than the unoptimized one, and (b) be crash-for-crash
+ * recovery-equivalent under exhaustive exploration, across both
+ * exploration engines and serial/parallel scheduling.
+ */
+class OptimizerDoNoHarm : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(OptimizerDoNoHarm, OptimizedModuleExploresIdentically)
+{
+    const uint64_t seed = GetParam();
+    std::unique_ptr<Module> m = generateProgram(seed);
+    runPipeline(m.get(), "main");
+
+    // Clone the repaired module through the textual round-trip so
+    // the optimizer cannot share state with the baseline.
+    std::string err;
+    std::unique_ptr<Module> opt = ir::parseModule(ir::moduleToString(*m), &err);
+    ASSERT_NE(opt, nullptr) << "seed " << seed << ": " << err;
+
+    core::optimizeFlushes(opt.get());
+    EXPECT_LE(staticFlushes(*opt), staticFlushes(*m))
+        << "seed " << seed << ": optimizer may only remove flushes";
+
+    const struct
+    {
+        const char *name;
+        pmcheck::ExploreEngine engine;
+        int jobs;
+    } legs[] = {
+        {"legacy/1", pmcheck::ExploreEngine::Legacy, 1},
+        {"legacy/4", pmcheck::ExploreEngine::Legacy, 4},
+        {"snapshot/1", pmcheck::ExploreEngine::Snapshot, 1},
+        {"snapshot/4", pmcheck::ExploreEngine::Snapshot, 4},
+    };
+    for (const auto &leg : legs) {
+        pmcheck::CrashExplorerConfig cc;
+        cc.entry = "main";
+        cc.recovery = "main";
+        cc.engine = leg.engine;
+        cc.jobs = leg.jobs;
+        auto naive = pmcheck::exploreCrashes(m.get(), cc);
+        auto tuned = pmcheck::exploreCrashes(opt.get(), cc);
+        EXPECT_EQ(pmcheck::recoveryDigest(naive), pmcheck::recoveryDigest(tuned))
+            << "seed " << seed << " leg " << leg.name
+            << ": optimization changed recovery behaviour";
+        EXPECT_EQ(naive.cleanRunRecovered, tuned.cleanRunRecovered)
+            << "seed " << seed << " leg " << leg.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds,
+                         OptimizerDoNoHarm,
+                         ::testing::Range<uint64_t>(1, 14));
 
 } // namespace hippo::test

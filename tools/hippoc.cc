@@ -57,6 +57,7 @@
 #include "analysis/durability_checker.hh"
 #include "core/fixer.hh"
 #include "core/flush_cleaner.hh"
+#include "core/flush_optimizer.hh"
 #include "core/patch_writer.hh"
 #include "ir/parser.hh"
 #include "ir/printer.hh"
@@ -83,7 +84,7 @@ usage(const char *argv0)
         "usage: %s <module.pmir>... [--entry NAME] [--check-only]\n"
         "          [--static-check] [--static-filter]\n"
         "          [--no-hoist] [--no-reduce] [--trace-aa]\n"
-        "          [--clean-flushes] [--patch-plan]\n"
+        "          [--clean-flushes] [--optimize] [--patch-plan]\n"
         "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n"
         "          [--chaos SEED] [--torn-chance P]\n"
         "          [--step-budget N] [--time-budget MS]\n"
@@ -111,6 +112,7 @@ struct Options
     bool checkOnly = false, patchPlan = false;
     bool staticCheck = false, staticFilter = false;
     bool cleanFlushes = false;
+    bool optimize = false;  ///< --optimize: verified flush/fence opt
     bool chaos = false;     ///< --chaos: adversarial exploration
     std::string recovery;   ///< --recovery (default: the entry)
     core::FixerConfig cfg;  ///< also carries faults + budgets
@@ -149,26 +151,13 @@ requireOk(const vm::RunResult &run, const std::string &input,
                                 run.diag.c_str());
 }
 
-/** FNV-1a over the exploration outcomes: a compact digest callers
- *  can compare across --jobs settings. */
+/** A compact digest callers can compare across --jobs settings
+ *  (pmcheck::recoveryDigest — shared with the flush optimizer's
+ *  differential harness). */
 uint64_t
 outcomeDigest(const pmcheck::ExplorationResult &res)
 {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&](uint64_t v) {
-        for (int i = 0; i < 8; i++) {
-            h ^= (v >> (i * 8)) & 0xff;
-            h *= 0x100000001b3ULL;
-        }
-    };
-    mix(res.cleanRunRecovered);
-    for (const auto &o : res.outcomes) {
-        mix(o.atStep);
-        mix(o.crashPoint);
-        mix(o.recovered);
-        mix(o.unverified);
-    }
-    return h;
+    return pmcheck::recoveryDigest(res);
 }
 
 /**
@@ -278,9 +267,39 @@ processModuleImpl(const std::string &input, const Options &opt,
 
     if (opt.cleanFlushes) {
         auto stats = core::cleanRedundantFlushes(m.get());
+        stats.exportMetrics(metrics);
         out += format("flush cleaner: removed %zu redundant "
                       "flush(es), kept %zu\n",
                       stats.flushesRemoved, stats.flushesKept);
+    }
+
+    // Verified flush/fence optimization (--optimize): run the global
+    // optimizer, then prove the optimized module equivalent — same
+    // pmcheck report, same static-checker candidates, byte-identical
+    // crash-recovery digests — or revert it. Reverting is success:
+    // the stage's contract is "do no harm", not "always shrink".
+    if (opt.optimize) {
+        core::FlushOptVerifyConfig oc;
+        oc.entry = opt.entry;
+        oc.recovery = opt.recovery;
+        oc.jobs = opt.cfg.jobs;
+        if (opt.chaos)
+            oc.faults = opt.cfg.faults;
+        oc.stepBudget = opt.cfg.stepBudget;
+        oc.heapBudget = opt.cfg.heapBudget;
+        oc.timeBudgetMs = opt.cfg.timeBudgetMs;
+        auto outcome = core::optimizeAndVerify(m, oc);
+        outcome.exportMetrics(metrics);
+        if (outcome.reverted)
+            out += format("flush optimizer: reverted (%s)\n",
+                          outcome.failReason.c_str());
+        else if (!outcome.changed && !outcome.failReason.empty())
+            out += format("flush optimizer: skipped (%s)\n",
+                          outcome.failReason.c_str());
+        else
+            out += format("flush optimizer: %s%s\n",
+                          outcome.stats.str().c_str(),
+                          outcome.changed ? ", verified" : "");
     }
 
     // Adversarial crash exploration (--chaos): torn-store fault
@@ -375,6 +394,8 @@ main(int argc, char **argv)
             opt.cfg.aaMode = analysis::AaMode::TraceAA;
         } else if (arg == "--clean-flushes") {
             opt.cleanFlushes = true;
+        } else if (arg == "--optimize") {
+            opt.optimize = true;
         } else if (arg == "--patch-plan") {
             opt.patchPlan = true;
         } else if (arg == "--stats" && i + 1 < argc) {

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tree-walker vs. bytecode fast-path dispatch gate: run a set of
+ * interpreter-bound PMIR workloads (a countdown spin loop, a PM
+ * append loop built around the store->flush->fence superinstruction,
+ * a gep/load pointer walk, and a YCSB pmkv slice) under both engines
+ * and compare.
+ *
+ * Gates (deterministic, counter-based — wall time is reported but
+ * never enforced, so loaded CI hosts behave):
+ *   - every workload's RunResult must be byte-identical across the
+ *     engines (return value, step count, bit-exact simulated time);
+ *   - crash-exploration recovery digests over a pmlog workload must
+ *     match across engines at jobs = 1 and jobs = 4;
+ *   - the aggregate dispatch-work ratio must be >= 5x. The tree
+ *     walker pays three map/list touches per executed instruction
+ *     (frame lookup, opcode census, iterator advance) plus one
+ *     recursive eval() per operand; the fast path pays one dispatch
+ *     per bytecode instruction, and superinstructions retire several
+ *     IR steps per dispatch. Both sides are measured from the vm.*
+ *     census counters (tree: 3*steps + operand evals; fast:
+ *     dispatches), which depend only on the module and inputs.
+ *
+ * Knobs: HIPPO_VMD_SPIN / _APPEND / _CHASE (loop trip counts),
+ *        HIPPO_VMD_KV_OPS (YCSB ops), HIPPO_VMD_XAPPENDS (explorer
+ *        workload size).
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/kv_driver.hh"
+#include "apps/pmlog.hh"
+#include "bench_util.hh"
+#include "ir/builder.hh"
+#include "pmcheck/crash_explorer.hh"
+#include "pmem/pm_pool.hh"
+#include "support/stopwatch.hh"
+#include "vm/vm.hh"
+
+namespace
+{
+
+using namespace hippo;
+
+/** A tight countdown loop: pure branch/ALU dispatch. */
+std::unique_ptr<ir::Module>
+makeSpinModule()
+{
+    using namespace hippo::ir;
+    auto m = std::make_unique<Module>("spin");
+    Function *f = m->addFunction("spin", Type::Int);
+    Argument *n = f->addParam(Type::Int, "n");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+    IRBuilder b(m.get());
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(n, iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ugt, i, b.getInt(0)), body,
+                   done);
+    b.setInsertPoint(body);
+    b.createStore(b.createSub(i, b.getInt(1)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(iv, 8));
+    return m;
+}
+
+/** A PM append loop: store->flush->fence per element, the exact
+ *  shape the store/flush/fence superinstruction targets. */
+std::unique_ptr<ir::Module>
+makeAppendModule()
+{
+    using namespace hippo::ir;
+    auto m = std::make_unique<Module>("append");
+    Function *f = m->addFunction("append", Type::Int);
+    Argument *n = f->addParam(Type::Int, "n");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+    IRBuilder b(m.get());
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(b.getInt(0), iv, 8);
+    Instruction *pm = b.createPmMap("r", 1u << 20);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, i, n), body, done);
+    b.setInsertPoint(body);
+    Instruction *p = b.createGep(pm, b.createMul(i, b.getInt(8)));
+    b.createStore(i, p, 8);
+    b.createFlush(p, FlushKind::Clwb);
+    b.createFence(FenceKind::Sfence);
+    b.createStore(b.createAdd(i, b.getInt(1)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(iv, 8));
+    return m;
+}
+
+/** Fill a PM array (gep+store), then walk it summing (gep+load). */
+std::unique_ptr<ir::Module>
+makeChaseModule()
+{
+    using namespace hippo::ir;
+    auto m = std::make_unique<Module>("chase");
+    Function *f = m->addFunction("chase", Type::Int);
+    Argument *n = f->addParam(Type::Int, "n");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *fill = f->addBlock("fill");
+    BasicBlock *fbody = f->addBlock("fbody");
+    BasicBlock *mid = f->addBlock("mid");
+    BasicBlock *walk = f->addBlock("walk");
+    BasicBlock *wbody = f->addBlock("wbody");
+    BasicBlock *done = f->addBlock("done");
+    IRBuilder b(m.get());
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    Instruction *sum = b.createAlloca(8);
+    b.createStore(b.getInt(0), iv, 8);
+    b.createStore(b.getInt(0), sum, 8);
+    Instruction *pm = b.createPmMap("r", 1u << 20);
+    b.createBr(fill);
+    b.setInsertPoint(fill);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, i, n), fbody, mid);
+    b.setInsertPoint(fbody);
+    b.createStore(b.createMul(i, b.getInt(3)),
+                  b.createGep(pm, b.createMul(i, b.getInt(8))), 8);
+    b.createStore(b.createAdd(i, b.getInt(1)), iv, 8);
+    b.createBr(fill);
+    b.setInsertPoint(mid);
+    b.createStore(b.getInt(0), iv, 8);
+    b.createBr(walk);
+    b.setInsertPoint(walk);
+    Instruction *j = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, j, n), wbody, done);
+    b.setInsertPoint(wbody);
+    Instruction *v =
+        b.createLoad(b.createGep(pm, b.createMul(j, b.getInt(8))), 8);
+    b.createStore(b.createAdd(b.createLoad(sum, 8), v), sum, 8);
+    b.createStore(b.createAdd(j, b.getInt(1)), iv, 8);
+    b.createBr(walk);
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(sum, 8));
+    return m;
+}
+
+/** One engine leg over one workload, on a fresh Vm + pool. */
+struct Leg
+{
+    vm::RunResult res;
+    uint64_t units = 0;   ///< dispatch work (see file comment)
+    uint64_t super = 0;   ///< superinstructions retired (fast only)
+    double seconds = 0;
+};
+
+Leg
+runLeg(ir::Module *m, const char *entry, uint64_t n,
+       vm::VmEngine engine)
+{
+    pmem::PmPool pool(4u << 20);
+    vm::VmConfig vc;
+    vc.engine = engine;
+    vm::Vm machine(m, &pool, vc);
+    Leg leg;
+    Stopwatch watch;
+    leg.res = machine.run(entry, {n});
+    leg.seconds = watch.elapsedSeconds();
+    leg.units = engine == vm::VmEngine::Tree
+                    ? 3 * machine.steps() + machine.treeOperandEvals()
+                    : machine.fastDispatches();
+    leg.super = machine.fastSuperExecuted();
+    return leg;
+}
+
+bool
+sameRun(const vm::RunResult &a, const vm::RunResult &b)
+{
+    return a.crashed == b.crashed && a.returnValue == b.returnValue &&
+           a.steps == b.steps && a.simNanos == b.simNanos &&
+           a.outcome == b.outcome;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::parseBenchOptions(argc, argv);
+    bench::banner("VM dispatch — tree-walking oracle vs. bytecode "
+                  "fast path");
+
+    struct Workload
+    {
+        const char *name;
+        std::unique_ptr<ir::Module> module;
+        const char *entry;
+        uint64_t n;
+    };
+    std::vector<Workload> workloads;
+    workloads.push_back({"spin", makeSpinModule(), "spin",
+                         bench::knob(opt, "HIPPO_VMD_SPIN", 20000,
+                                     2000)});
+    workloads.push_back({"pm-append", makeAppendModule(), "append",
+                         bench::knob(opt, "HIPPO_VMD_APPEND", 4096,
+                                     512)});
+    workloads.push_back({"gep-chase", makeChaseModule(), "chase",
+                         bench::knob(opt, "HIPPO_VMD_CHASE", 4096,
+                                     512)});
+
+    bool identical = true;
+    uint64_t treeUnits = 0, fastUnits = 0, superExec = 0;
+
+    bench::Table table({"workload", "tree units", "fast units",
+                        "ratio", "super", "tree wall", "fast wall",
+                        "identical"});
+
+    for (auto &w : workloads) {
+        // Untimed warm-up (also pre-compiles the bytecode program).
+        runLeg(w.module.get(), w.entry, 8, vm::VmEngine::Tree);
+        runLeg(w.module.get(), w.entry, 8, vm::VmEngine::Bytecode);
+
+        Leg tree = runLeg(w.module.get(), w.entry, w.n,
+                          vm::VmEngine::Tree);
+        Leg fast = runLeg(w.module.get(), w.entry, w.n,
+                          vm::VmEngine::Bytecode);
+        bool same = sameRun(tree.res, fast.res);
+        identical &= same;
+        treeUnits += tree.units;
+        fastUnits += fast.units;
+        superExec += fast.super;
+        table.addRow(
+            {w.name, format("%llu", (unsigned long long)tree.units),
+             format("%llu", (unsigned long long)fast.units),
+             format("%.2fx", (double)tree.units / fast.units),
+             format("%llu", (unsigned long long)fast.super),
+             format("%.4fs", tree.seconds),
+             format("%.4fs", fast.seconds), same ? "yes" : "NO"});
+    }
+
+    // YCSB pmkv slice: the KvDriver rides VmConfig, so the engine
+    // knob reaches it unchanged. Simulated time must match bit for
+    // bit; dispatch units come from the driver's Vm census.
+    {
+        uint64_t records =
+            bench::knob(opt, "HIPPO_VMD_KV_OPS", 200, 64);
+        apps::PmkvConfig kcfg;
+        kcfg.variant = apps::PmkvVariant::Manual;
+        auto m = apps::buildPmkv(kcfg);
+        auto kvLeg = [&](vm::VmEngine engine, double &seconds,
+                         uint64_t &units, uint64_t &super) {
+            pmem::PmPool pool(64u << 20);
+            vm::VmConfig vc;
+            vc.engine = engine;
+            apps::KvDriver driver(m.get(), &pool, vc);
+            driver.init();
+            driver.run(ycsb::Workload::Load, records, records, 1);
+            Stopwatch watch;
+            auto res =
+                driver.run(ycsb::Workload::A, records, records, 2);
+            seconds = watch.elapsedSeconds();
+            units = engine == vm::VmEngine::Tree
+                        ? 3 * driver.vm().steps() +
+                              driver.vm().treeOperandEvals()
+                        : driver.vm().fastDispatches();
+            super = driver.vm().fastSuperExecuted();
+            return res;
+        };
+        double treeSec = 0, fastSec = 0;
+        uint64_t tu = 0, fu = 0, ts = 0, fs = 0;
+        auto treeRes = kvLeg(vm::VmEngine::Tree, treeSec, tu, ts);
+        auto fastRes = kvLeg(vm::VmEngine::Bytecode, fastSec, fu, fs);
+        bool same = treeRes.ops == fastRes.ops &&
+                    treeRes.simSeconds == fastRes.simSeconds;
+        identical &= same;
+        treeUnits += tu;
+        fastUnits += fu;
+        superExec += fs;
+        table.addRow({"ycsb-a", format("%llu", (unsigned long long)tu),
+                      format("%llu", (unsigned long long)fu),
+                      format("%.2fx", (double)tu / fu),
+                      format("%llu", (unsigned long long)fs),
+                      format("%.4fs", treeSec),
+                      format("%.4fs", fastSec), same ? "yes" : "NO"});
+    }
+    table.print();
+
+    // Differential exploration leg: recovery digests over a pmlog
+    // workload must match across engines and jobs settings.
+    bool digestMatch = true;
+    {
+        apps::PmlogConfig lc;
+        lc.seedBugs = false;
+        lc.capacity = 1u << 20;
+        auto m = apps::buildPmlog(lc);
+        pmcheck::CrashExplorerConfig xc;
+        xc.entry = "log_example";
+        xc.entryArgs = {
+            bench::knob(opt, "HIPPO_VMD_XAPPENDS", 48, 16)};
+        xc.recovery = "log_walk";
+        xc.stepStride = 64;
+        xc.maxCrashes = 1u << 20;
+        uint64_t ref = 0;
+        bool first = true;
+        for (auto engine :
+             {vm::VmEngine::Tree, vm::VmEngine::Bytecode}) {
+            for (unsigned jobs : {1u, 4u}) {
+                xc.vmEngine = engine;
+                xc.jobs = jobs;
+                uint64_t digest = pmcheck::recoveryDigest(
+                    pmcheck::exploreCrashes(m.get(), xc));
+                if (first) {
+                    ref = digest;
+                    first = false;
+                } else if (digest != ref) {
+                    digestMatch = false;
+                }
+            }
+        }
+        std::printf("\nexplorer digest (pmlog, engines x jobs "
+                    "{1,4}): %s\n",
+                    digestMatch ? "all identical" : "DIVERGED");
+    }
+
+    double ratio = (double)treeUnits / (double)fastUnits;
+    std::printf("\naggregate: tree %llu units, fast %llu units "
+                "(%.2fx), %llu superinstructions retired\n",
+                (unsigned long long)treeUnits,
+                (unsigned long long)fastUnits, ratio,
+                (unsigned long long)superExec);
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("vmdispatch.workloads").inc(workloads.size() + 1);
+    reg.counter("vmdispatch.identical").inc(identical);
+    reg.counter("vmdispatch.digest_match").inc(digestMatch);
+    reg.counter("vmdispatch.tree_units").inc(treeUnits);
+    reg.counter("vmdispatch.fast_units").inc(fastUnits);
+    reg.counter("vmdispatch.super_executed").inc(superExec);
+    // Aggregate dispatch-work ratio in hundredths (e.g. 523 =
+    // 5.23x), so regressions show up in --stats.
+    reg.counter("vmdispatch.ratio_x100").inc((uint64_t)(ratio * 100));
+    bench::finishBench(opt, "bench_vm_dispatch");
+
+    if (!identical) {
+        std::printf("FAIL: engines disagreed on a RunResult\n");
+        return 1;
+    }
+    if (!digestMatch) {
+        std::printf("FAIL: recovery digests diverged across "
+                    "engine/jobs\n");
+        return 1;
+    }
+    if (ratio < 5.0) {
+        std::printf("FAIL: dispatch-work reduction %.2fx < 5x\n",
+                    ratio);
+        return 1;
+    }
+    return 0;
+}

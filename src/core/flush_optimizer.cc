@@ -1164,6 +1164,7 @@ probeModule(ir::Module *m, const FlushOptVerifyConfig &cfg)
     Probe p;
     try {
         vm::VmConfig vc;
+        vc.engine = cfg.vmEngine;
         if (cfg.stepBudget || cfg.heapBudget || cfg.timeBudgetMs) {
             vc.sandbox = true;
             vc.stepBudget = cfg.stepBudget;
@@ -1203,6 +1204,7 @@ probeModule(ir::Module *m, const FlushOptVerifyConfig &cfg)
             cc.recoveryArgs = cfg.recoveryArgs;
         }
         cc.jobs = cfg.jobs;
+        cc.vmEngine = cfg.vmEngine;
         cc.stepBudget = cfg.stepBudget;
         cc.heapBudget = cfg.heapBudget;
         cc.timeBudgetMs = cfg.timeBudgetMs;

@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
 
 namespace hippo::ir
 {
@@ -190,6 +191,10 @@ struct FlushOptVerifyConfig
     uint64_t stepBudget = 0;
     uint64_t heapBudget = 0;
     uint64_t timeBudgetMs = 0;
+
+    /** Interpreter engine for every execution the differential
+     *  harness runs (entry runs and crash explorations). */
+    vm::VmEngine vmEngine = vm::VmEngine::Auto;
 
     bool checkDetector = true; ///< pmcheck must find no new bugs
     bool checkStatic = true;   ///< static checker: no new candidates

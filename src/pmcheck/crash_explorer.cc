@@ -105,6 +105,7 @@ masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
         pool.setOpLog(log);
 
     vm::VmConfig vc;
+    vc.engine = cfg.vmEngine;
     vc.durPointAtExit = false;
     uint64_t durpoints = 0;
     auto isPriority = [&](const std::string &label) {
@@ -159,6 +160,7 @@ masterRun(ir::Module *m, const CrashExplorerConfig &cfg,
     // a recovery entry that diverges even on a clean crash must not
     // hang the exploration before the first replay.
     vm::VmConfig rvc;
+    rvc.engine = cfg.vmEngine;
     if (cfg.stepBudget || cfg.heapBudget || cfg.timeBudgetMs) {
         rvc.sandbox = true;
         rvc.stepBudget = cfg.stepBudget;
@@ -379,6 +381,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                     .inc(ps.bitRotFlips);
             }
             vm::VmConfig vc;
+            vc.engine = cfg.vmEngine;
             if (guarded) {
                 vc.sandbox = true;
                 vc.stepBudget = cfg.stepBudget / tighten;
@@ -397,6 +400,7 @@ exploreCrashes(ir::Module *m, const CrashExplorerConfig &cfg)
                               replaySeed(cfg, k));
             {
                 vm::VmConfig vc;
+                vc.engine = cfg.vmEngine;
                 vc.crashAtDurPoint =
                     p.atStep ? -1 : (int64_t)p.crashPoint;
                 vc.crashAtStep = p.atStep ? p.crashPoint : 0;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "pmem/pm_pool.hh"
+#include "vm/vm.hh"
 
 namespace hippo::ir
 {
@@ -113,6 +114,15 @@ struct CrashExplorerConfig
 
     /** Replay engine (see ExploreEngine). */
     ExploreEngine engine = ExploreEngine::Auto;
+
+    /**
+     * Interpreter engine for every VM the exploration runs (master,
+     * entry replays, recoveries). Orthogonal to `engine`, which
+     * picks the *replay strategy*; this picks how each individual
+     * run executes. Results are byte-identical either way
+     * (tests/test_fast_interp.cc).
+     */
+    vm::VmEngine vmEngine = vm::VmEngine::Auto;
 
     /**
      * Byte budget for the checkpointed-replay op log (the

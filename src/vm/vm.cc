@@ -1,10 +1,13 @@
 #include "vm/vm.hh"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/strings.hh"
+#include "vm/bytecode.hh"
+#include "vm/fast_interp.hh"
 
 namespace hippo::vm
 {
@@ -24,6 +27,31 @@ execOutcomeName(ExecOutcome o)
     return "?";
 }
 
+const char *
+vmEngineName(VmEngine e)
+{
+    switch (e) {
+      case VmEngine::Tree: return "tree";
+      case VmEngine::Bytecode: return "bytecode";
+      case VmEngine::Auto: return "auto";
+    }
+    return "?";
+}
+
+bool
+parseVmEngine(const std::string &s, VmEngine &out)
+{
+    if (s == "tree")
+        out = VmEngine::Tree;
+    else if (s == "bytecode")
+        out = VmEngine::Bytecode;
+    else if (s == "auto")
+        out = VmEngine::Auto;
+    else
+        return false;
+    return true;
+}
+
 /** One activation record. */
 struct Vm::Frame
 {
@@ -40,9 +68,49 @@ Vm::Vm(ir::Module *module, pmem::PmPool *pool, VmConfig cfg)
       volatileMem_(cfg.volatileBytes, 0)
 {}
 
+Vm::~Vm() = default;
+
+VmEngine
+Vm::engineResolved() const
+{
+    if (cfg_.engine != VmEngine::Auto)
+        return cfg_.engine;
+    // Auto resolves to the fast path; HIPPO_VM_ENGINE=tree is the
+    // escape hatch for A/B debugging without recompiling callers.
+    static const VmEngine auto_engine = [] {
+        const char *v = std::getenv("HIPPO_VM_ENGINE");
+        VmEngine e = VmEngine::Bytecode;
+        if (v && parseVmEngine(v, e) && e == VmEngine::Auto)
+            e = VmEngine::Bytecode;
+        return e;
+    }();
+    return auto_engine;
+}
+
+void
+Vm::ensureProgram()
+{
+    bool want_super = !cfg_.traceEnabled;
+    if (program_ && program_->options.enableSuper == want_super)
+        return;
+    BcOptions opts;
+    opts.enableSuper = want_super;
+    program_ = std::make_unique<BcProgram>(
+        compileModule(*module_, opts));
+    fastCompiles_++;
+}
+
+const BcProgram &
+Vm::bytecode()
+{
+    ensureProgram();
+    return *program_;
+}
+
 uint64_t
 Vm::eval(const Frame &frame, const ir::Value *v) const
 {
+    treeEvals_++;
     switch (v->kind()) {
       case ir::ValueKind::Constant:
         return static_cast<const ir::Constant *>(v)->value();
@@ -173,6 +241,13 @@ void
 Vm::recordDynPts(const Frame &frame, const ir::Value *ptr_value,
                  uint64_t addr)
 {
+    recordDynPtsNamed(frame.func->name(), ptr_value, addr);
+}
+
+void
+Vm::recordDynPtsNamed(const std::string &func,
+                      const ir::Value *ptr_value, uint64_t addr)
+{
     if (!cfg_.traceEnabled)
         return;
     uint32_t obj = objectAt(addr);
@@ -191,7 +266,7 @@ Vm::recordDynPts(const Frame &frame, const ir::Value *ptr_value,
       default:
         return;
     }
-    dynPts_.record(frame.func->name(), key, obj);
+    dynPts_.record(func, key, obj);
 }
 
 void
@@ -645,6 +720,21 @@ Vm::exportMetrics(support::MetricsRegistry &reg,
     for (const auto &[kind, count] : fenceCounts_)
         reg.counter(prefix + ".fence." + ir::fenceKindName(kind))
             .inc(count);
+    reg.counter(prefix + ".tree.runs").inc(treeRuns_);
+    reg.counter(prefix + ".tree.operand_evals").inc(treeEvals_);
+    reg.counter(prefix + ".fast.runs").inc(fastRuns_);
+    reg.counter(prefix + ".fast.steps").inc(fastSteps_);
+    reg.counter(prefix + ".fast.dispatches").inc(fastDispatches_);
+    reg.counter(prefix + ".fast.superinstructions").inc(fastSuper_);
+    reg.counter(prefix + ".fast.compiles").inc(fastCompiles_);
+    if (program_) {
+        reg.counter(prefix + ".fast.compiled.instrs")
+            .inc(program_->totalInstrs);
+        reg.counter(prefix + ".fast.compiled.bytecode")
+            .inc(program_->totalCode);
+        reg.counter(prefix + ".fast.compiled.superinstructions")
+            .inc(program_->totalFused);
+    }
     pool_->exportMetrics(reg, prefix + ".pool");
 }
 
@@ -668,7 +758,17 @@ Vm::run(const std::string &function, std::vector<uint64_t> args)
                                function.c_str()));
         hippo_assert(args.size() == f->numParams(),
                      "run() arity mismatch");
-        res.returnValue = callFunction(f, args, 0);
+        if (engineResolved() == VmEngine::Bytecode) {
+            ensureProgram();
+            fastRuns_++;
+            // Destroyed (merging its flat counters into the maps)
+            // during unwinding, before the handlers below run.
+            FastInterp fi(*this, *program_);
+            res.returnValue = fi.call(f, args);
+        } else {
+            treeRuns_++;
+            res.returnValue = callFunction(f, args, 0);
+        }
     } catch (CrashSignal &) {
         res.crashed = true;
         crashesInjected_++;

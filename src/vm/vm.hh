@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -29,6 +30,9 @@ class MetricsRegistry;
 
 namespace hippo::vm
 {
+
+class FastInterp;
+struct BcProgram;
 
 /** Base virtual address of the volatile heap/stack arena. */
 constexpr uint64_t volatileBaseAddr = 0x10000000ULL;
@@ -68,6 +72,26 @@ enum class ExecOutcome : uint8_t
 };
 
 const char *execOutcomeName(ExecOutcome o);
+
+/**
+ * Which interpreter executes runs. Tree is the original
+ * tree-walking oracle; Bytecode is the compiled direct-threaded
+ * fast path (DESIGN.md "Bytecode fast path") — observably
+ * byte-identical by construction and enforced by the differential
+ * suite (tests/test_fast_interp.cc). Auto resolves to Bytecode
+ * unless the HIPPO_VM_ENGINE environment variable says "tree".
+ */
+enum class VmEngine : uint8_t
+{
+    Tree,
+    Bytecode,
+    Auto,
+};
+
+const char *vmEngineName(VmEngine e);
+
+/** Parse "tree" / "bytecode" / "auto"; false on anything else. */
+bool parseVmEngine(const std::string &s, VmEngine &out);
 
 /** VM configuration. */
 struct VmConfig
@@ -111,6 +135,9 @@ struct VmConfig
     uint64_t maxSteps = 1ULL << 33; ///< runaway guard
     uint64_t volatileBytes = 16ULL << 20;
     CostModel costs;
+
+    /** Interpreter selection (see VmEngine). */
+    VmEngine engine = VmEngine::Auto;
 
     /**
      * @name Watchdog sandbox (DESIGN.md "Fault model & graceful
@@ -217,10 +244,17 @@ class Vm
 {
   public:
     Vm(ir::Module *module, pmem::PmPool *pool, VmConfig cfg = {});
+    ~Vm();
 
     /** Execute @p function (by name) with integer/pointer args. */
     RunResult run(const std::string &function,
                   std::vector<uint64_t> args = {});
+
+    /** The engine runs actually use (Auto resolved). */
+    VmEngine engineResolved() const;
+
+    /** Compiled bytecode (compiling now if needed). */
+    const BcProgram &bytecode();
 
     ir::Module *module() const { return module_; }
     pmem::PmPool &pool() { return *pool_; }
@@ -255,6 +289,21 @@ class Vm
     /** Fence instructions executed across all runs (all kinds). */
     uint64_t fencesExecuted() const;
 
+    /**
+     * @name Deterministic dispatch-cost probes
+     *
+     * The perf gate (bench_vm_dispatch) compares engines through
+     * these instead of wall clock: the tree walker pays one operand
+     * resolution per eval() call on top of its per-step dispatch,
+     * while the fast path pays one handler dispatch per bytecode
+     * record (superinstructions count once).
+     */
+    /// @{
+    uint64_t treeOperandEvals() const { return treeEvals_; }
+    uint64_t fastDispatches() const { return fastDispatches_; }
+    uint64_t fastSuperExecuted() const { return fastSuper_; }
+    /// @}
+
     /** Render the execution statistics as a small table. */
     std::string statsString() const;
 
@@ -272,6 +321,9 @@ class Vm
 
   private:
     struct Frame;
+
+    /** The fast interpreter shares all execution state. */
+    friend class FastInterp;
 
     uint64_t eval(const Frame &frame, const ir::Value *v) const;
     uint64_t callFunction(ir::Function *f,
@@ -300,6 +352,14 @@ class Vm
 
     void recordDynPts(const Frame &frame, const ir::Value *ptr_value,
                       uint64_t addr);
+
+    /** recordDynPts keyed by function name (shared with the fast
+     *  interpreter, whose frames are not Vm::Frame). */
+    void recordDynPtsNamed(const std::string &func,
+                           const ir::Value *ptr_value, uint64_t addr);
+
+    /** Compile the module to bytecode if not already done. */
+    void ensureProgram();
 
     /** Raised internally when an injected crash point is reached. */
     struct CrashSignal {};
@@ -356,6 +416,20 @@ class Vm
     std::map<ir::FlushKind, uint64_t> flushCounts_;
     std::map<ir::FenceKind, uint64_t> fenceCounts_;
     int64_t durPointsSeen_ = 0;
+
+    /** Lazily compiled bytecode (fast engine only). */
+    std::unique_ptr<BcProgram> program_;
+
+    /// @name Engine census (vm.tree.* / vm.fast.* counters)
+    /// @{
+    uint64_t treeRuns_ = 0;
+    mutable uint64_t treeEvals_ = 0; ///< Vm::eval calls (tree only)
+    uint64_t fastRuns_ = 0;
+    uint64_t fastSteps_ = 0;
+    uint64_t fastDispatches_ = 0;
+    uint64_t fastSuper_ = 0;
+    uint64_t fastCompiles_ = 0;
+    /// @}
 
     /** Dynamic call-chain bookkeeping for stack capture. */
     const Frame *curParent_ = nullptr;

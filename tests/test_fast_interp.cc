@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Differential suite for the bytecode fast path (DESIGN.md "Bytecode
+ * fast path"): the compiled direct-threaded interpreter must be
+ * observably byte-identical to the tree-walking oracle — RunResult
+ * (including bit-exact simulated time), trace, outputs, probe firing
+ * points, watchdog verdicts, and whole-exploration recovery digests —
+ * across the application corpus, both replay engines, and multiple
+ * jobs settings. Also pins the bytecode encoding with a golden
+ * disassembly (HIPPO_REGEN_GOLDEN=1 rewrites it).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/bugsuite.hh"
+#include "apps/pclht.hh"
+#include "apps/pmkv.hh"
+#include "apps/pmlog.hh"
+#include "ir/builder.hh"
+#include "pmcheck/crash_explorer.hh"
+#include "pmem/pm_pool.hh"
+#include "vm/bytecode.hh"
+#include "vm/vm.hh"
+
+namespace hippo::test
+{
+namespace
+{
+
+using namespace hippo;
+
+/** Countdown loop exercising the cmp+condbr superinstruction. */
+std::unique_ptr<ir::Module>
+buildSpinModule()
+{
+    using namespace hippo::ir;
+    auto m = std::make_unique<Module>("spin");
+    Function *f = m->addFunction("spin", Type::Int);
+    Argument *n = f->addParam(Type::Int, "n");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+    IRBuilder b(m.get());
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(n, iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ugt, i, b.getInt(0)), body,
+                   done);
+    b.setInsertPoint(body);
+    b.createStore(b.createSub(i, b.getInt(1)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(iv, 8));
+    return m;
+}
+
+/** PM loop exercising the store->flush->fence superinstruction. */
+std::unique_ptr<ir::Module>
+buildAppendModule()
+{
+    using namespace hippo::ir;
+    auto m = std::make_unique<Module>("append");
+    Function *f = m->addFunction("append", Type::Int);
+    Argument *n = f->addParam(Type::Int, "n");
+    BasicBlock *entry = f->addBlock("entry");
+    BasicBlock *loop = f->addBlock("loop");
+    BasicBlock *body = f->addBlock("body");
+    BasicBlock *done = f->addBlock("done");
+    IRBuilder b(m.get());
+    b.setInsertPoint(entry);
+    Instruction *iv = b.createAlloca(8);
+    b.createStore(b.getInt(0), iv, 8);
+    Instruction *pm = b.createPmMap("r", 1u << 16);
+    b.createBr(loop);
+    b.setInsertPoint(loop);
+    Instruction *i = b.createLoad(iv, 8);
+    b.createCondBr(b.createCmp(CmpPred::Ult, i, n), body, done);
+    b.setInsertPoint(body);
+    Instruction *p = b.createGep(pm, b.createMul(i, b.getInt(8)));
+    b.createStore(i, p, 8);
+    b.createFlush(p, ir::FlushKind::Clwb);
+    b.createFence(ir::FenceKind::Sfence);
+    b.createDurPoint("append");
+    b.createStore(b.createAdd(i, b.getInt(1)), iv, 8);
+    b.createBr(loop);
+    b.setInsertPoint(done);
+    b.createRet(b.createLoad(iv, 8));
+    return m;
+}
+
+/** Run @p entry on a fresh pool under @p engine. */
+struct RunCapture
+{
+    vm::RunResult res;
+    std::string trace;
+    std::vector<vm::ProgramOutput> outputs;
+    uint64_t steps = 0;
+    double simNanos = 0;
+    std::vector<uint64_t> probeSteps;
+};
+
+RunCapture
+capture(ir::Module *m, const std::string &entry,
+        std::vector<uint64_t> args, vm::VmEngine engine,
+        vm::VmConfig vc = {})
+{
+    pmem::PmPool pool(16u << 20);
+    vc.engine = engine;
+    RunCapture c;
+    vc.stepProbeStride = vc.stepProbeStride ? vc.stepProbeStride : 7;
+    vc.stepProbe = [&](uint64_t s) { c.probeSteps.push_back(s); };
+    vm::Vm machine(m, &pool, vc);
+    c.res = machine.run(entry, std::move(args));
+    c.trace = machine.trace().writeText();
+    c.outputs = machine.outputs();
+    c.steps = machine.steps();
+    c.simNanos = machine.simNanos();
+    return c;
+}
+
+void
+expectSameRun(const RunCapture &tree, const RunCapture &fast)
+{
+    EXPECT_EQ(tree.res.crashed, fast.res.crashed);
+    EXPECT_EQ(tree.res.returnValue, fast.res.returnValue);
+    EXPECT_EQ(tree.res.steps, fast.res.steps);
+    EXPECT_EQ(tree.res.simNanos, fast.res.simNanos); // bit-exact
+    EXPECT_EQ(tree.res.outcome, fast.res.outcome);
+    EXPECT_EQ(tree.res.diag, fast.res.diag);
+    EXPECT_EQ(tree.trace, fast.trace);
+    EXPECT_EQ(tree.outputs, fast.outputs);
+    EXPECT_EQ(tree.steps, fast.steps);
+    EXPECT_EQ(tree.simNanos, fast.simNanos);
+    EXPECT_EQ(tree.probeSteps, fast.probeSteps);
+}
+
+void
+expectRunParity(ir::Module *m, const std::string &entry,
+                std::vector<uint64_t> args, vm::VmConfig vc = {})
+{
+    auto tree = capture(m, entry, args, vm::VmEngine::Tree, vc);
+    auto fast = capture(m, entry, args, vm::VmEngine::Bytecode, vc);
+    expectSameRun(tree, fast);
+}
+
+} // namespace
+
+TEST(FastInterp, EngineSelection)
+{
+    auto m = buildSpinModule();
+    pmem::PmPool pool(1u << 16);
+    vm::VmConfig vc;
+    vc.engine = vm::VmEngine::Tree;
+    vm::Vm tree(m.get(), &pool, vc);
+    EXPECT_EQ(tree.engineResolved(), vm::VmEngine::Tree);
+    vc.engine = vm::VmEngine::Bytecode;
+    vm::Vm fast(m.get(), &pool, vc);
+    EXPECT_EQ(fast.engineResolved(), vm::VmEngine::Bytecode);
+    EXPECT_EQ(fast.run("spin", {25}).returnValue, 0u);
+    EXPECT_GT(fast.fastDispatches(), 0u);
+    EXPECT_GT(fast.fastSuperExecuted(), 0u);
+    EXPECT_EQ(tree.fastDispatches(), 0u);
+}
+
+TEST(FastInterp, RunParitySyntheticLoops)
+{
+    auto spin = buildSpinModule();
+    expectRunParity(spin.get(), "spin", {300});
+    auto append = buildAppendModule();
+    expectRunParity(append.get(), "append", {64});
+}
+
+TEST(FastInterp, RunParityTraced)
+{
+    // traceEnabled disables superinstruction fusion; the traces must
+    // still match event for event.
+    vm::VmConfig vc;
+    vc.traceEnabled = true;
+    auto append = buildAppendModule();
+    expectRunParity(append.get(), "append", {32}, vc);
+    auto log = apps::buildPmlog({});
+    expectRunParity(log.get(), "log_example", {8}, vc);
+}
+
+TEST(FastInterp, RunParityApps)
+{
+    auto log = apps::buildPmlog({});
+    expectRunParity(log.get(), "log_example", {12});
+    auto clht = apps::buildPclht({});
+    expectRunParity(clht.get(), "clht_example", {10});
+    auto kv = apps::buildPmkv({});
+    expectRunParity(kv.get(), "kv_init", {});
+}
+
+TEST(FastInterp, CrashAtStepParity)
+{
+    auto append = buildAppendModule();
+    for (uint64_t at : {5u, 23u, 117u}) {
+        vm::VmConfig vc;
+        vc.crashAtStep = at;
+        auto tree = capture(append.get(), "append", {64},
+                            vm::VmEngine::Tree, vc);
+        auto fast = capture(append.get(), "append", {64},
+                            vm::VmEngine::Bytecode, vc);
+        EXPECT_TRUE(tree.res.crashed);
+        expectSameRun(tree, fast);
+    }
+}
+
+TEST(FastInterp, CrashAtDurPointParity)
+{
+    auto log = apps::buildPmlog({});
+    vm::VmConfig vc;
+    vc.crashAtDurPoint = 3;
+    auto tree =
+        capture(log.get(), "log_example", {8}, vm::VmEngine::Tree, vc);
+    auto fast = capture(log.get(), "log_example", {8},
+                        vm::VmEngine::Bytecode, vc);
+    EXPECT_TRUE(tree.res.crashed);
+    expectSameRun(tree, fast);
+}
+
+TEST(FastInterp, WatchdogTimeoutParity)
+{
+    auto spin = buildSpinModule();
+    vm::VmConfig vc;
+    vc.sandbox = true;
+    vc.stepBudget = 100; // far less than the loop needs
+    auto tree = capture(spin.get(), "spin", {100000},
+                        vm::VmEngine::Tree, vc);
+    auto fast = capture(spin.get(), "spin", {100000},
+                        vm::VmEngine::Bytecode, vc);
+    EXPECT_EQ(tree.res.outcome, vm::ExecOutcome::Timeout);
+    expectSameRun(tree, fast);
+}
+
+TEST(FastInterp, GlobalStepLimitParity)
+{
+    auto spin = buildSpinModule();
+    vm::VmConfig vc;
+    vc.sandbox = true;
+    vc.maxSteps = 64;
+    auto tree = capture(spin.get(), "spin", {100000},
+                        vm::VmEngine::Tree, vc);
+    auto fast = capture(spin.get(), "spin", {100000},
+                        vm::VmEngine::Bytecode, vc);
+    EXPECT_EQ(tree.res.outcome, vm::ExecOutcome::Timeout);
+    EXPECT_EQ(tree.res.diag, "global step limit exceeded");
+    expectSameRun(tree, fast);
+}
+
+TEST(FastInterp, HeapBudgetParity)
+{
+    // Each spin() activation allocas 8 bytes; recursion is not needed
+    // — a tiny budget trips on the very first frame.
+    auto spin = buildSpinModule();
+    vm::VmConfig vc;
+    vc.sandbox = true;
+    vc.heapBudget = 4;
+    auto tree =
+        capture(spin.get(), "spin", {4}, vm::VmEngine::Tree, vc);
+    auto fast =
+        capture(spin.get(), "spin", {4}, vm::VmEngine::Bytecode, vc);
+    EXPECT_EQ(tree.res.outcome, vm::ExecOutcome::BudgetExceeded);
+    expectSameRun(tree, fast);
+}
+
+TEST(FastInterp, ExplorationParityMatrix)
+{
+    // One workload per app; each explored with both replay engines
+    // and jobs in {1, 4}: the bytecode interpreter must reproduce the
+    // tree walker's ExplorationResult exactly everywhere.
+    struct Case
+    {
+        std::unique_ptr<ir::Module> m;
+        const char *entry;
+        std::vector<uint64_t> args;
+        const char *recovery;
+    };
+    std::vector<Case> cases;
+    cases.push_back({apps::buildPmlog({}), "log_example", {8},
+                     "log_walk"});
+    cases.push_back({apps::buildPclht({}), "clht_example", {8},
+                     "clht_recover"});
+    cases.push_back(
+        {apps::buildPmkv({}), "kv_init", {}, "kv_recover"});
+
+    for (auto &c : cases) {
+        for (auto replay : {pmcheck::ExploreEngine::Legacy,
+                            pmcheck::ExploreEngine::Snapshot}) {
+            for (unsigned jobs : {1u, 4u}) {
+                pmcheck::CrashExplorerConfig xc;
+                xc.entry = c.entry;
+                xc.entryArgs = c.args;
+                xc.recovery = c.recovery;
+                xc.stepStride = 16;
+                xc.engine = replay;
+                xc.jobs = jobs;
+                xc.vmEngine = vm::VmEngine::Tree;
+                auto tree = pmcheck::exploreCrashes(c.m.get(), xc);
+                xc.vmEngine = vm::VmEngine::Bytecode;
+                auto fast = pmcheck::exploreCrashes(c.m.get(), xc);
+                EXPECT_TRUE(tree == fast)
+                    << c.entry << " replay="
+                    << (replay == pmcheck::ExploreEngine::Legacy
+                            ? "legacy"
+                            : "snapshot")
+                    << " jobs=" << jobs;
+                EXPECT_EQ(pmcheck::recoveryDigest(tree),
+                          pmcheck::recoveryDigest(fast));
+            }
+        }
+    }
+}
+
+TEST(FastInterp, ExplorationParityBugsuite)
+{
+    // First few PMDK reproducers, buggy builds: crash exploration
+    // digests must match across interpreter engines.
+    const auto &cases = apps::pmdkBugCases();
+    size_t n = std::min<size_t>(cases.size(), 3);
+    for (size_t i = 0; i < n; i++) {
+        auto m = cases[i].build(false);
+        pmcheck::CrashExplorerConfig xc;
+        xc.entry = cases[i].entry;
+        xc.recovery = cases[i].entry;
+        xc.stepStride = 8;
+        xc.vmEngine = vm::VmEngine::Tree;
+        auto tree = pmcheck::exploreCrashes(m.get(), xc);
+        xc.vmEngine = vm::VmEngine::Bytecode;
+        auto fast = pmcheck::exploreCrashes(m.get(), xc);
+        EXPECT_TRUE(tree == fast) << cases[i].id;
+    }
+}
+
+TEST(FastInterp, SuperinstructionsFuseAndDisableUnderTrace)
+{
+    auto append = buildAppendModule();
+    pmem::PmPool pool(1u << 20);
+    vm::VmConfig vc;
+    vc.engine = vm::VmEngine::Bytecode;
+    vm::Vm machine(append.get(), &pool, vc);
+    const vm::BcProgram &prog = machine.bytecode();
+    EXPECT_TRUE(prog.options.enableSuper);
+    EXPECT_GT(prog.totalFused, 0u);
+
+    pmem::PmPool tpool(1u << 20);
+    vc.traceEnabled = true;
+    vm::Vm traced(append.get(), &tpool, vc);
+    const vm::BcProgram &tprog = traced.bytecode();
+    EXPECT_FALSE(tprog.options.enableSuper);
+    EXPECT_EQ(tprog.totalFused, 0u);
+    traced.run("append", {16});
+    EXPECT_EQ(traced.fastSuperExecuted(), 0u);
+}
+
+TEST(FastInterp, GoldenDisassembly)
+{
+    // Pins the bytecode encoding, superinstruction selection, and
+    // constant-pool layout; HIPPO_REGEN_GOLDEN=1 rewrites.
+    auto spin = buildSpinModule();
+    auto append = buildAppendModule();
+    std::string text =
+        vm::disassemble(vm::compileModule(*spin)) + "\n" +
+        vm::disassemble(vm::compileModule(*append));
+    const char *path =
+        HIPPO_SOURCE_DIR "/tests/golden/fast_interp_bytecode.txt";
+    if (std::getenv("HIPPO_REGEN_GOLDEN")) {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << text;
+        return;
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(text, ss.str());
+}
+
+} // namespace hippo::test

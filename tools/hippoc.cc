@@ -30,6 +30,9 @@
  *                                         #   execution (sandboxed)
  *   hippoc prog.pmir --recovery rec       # recovery entry for --chaos
  *                                         #   (default: the entry)
+ *   hippoc prog.pmir --engine bytecode    # interpreter engine for
+ *                                         #   every execution
+ *                                         #   (tree|bytecode|auto)
  *
  * With several input modules the full pipeline runs once per module,
  * one worker per program (--jobs N workers; default: one per
@@ -88,7 +91,7 @@ usage(const char *argv0)
         "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n"
         "          [--chaos SEED] [--torn-chance P]\n"
         "          [--step-budget N] [--time-budget MS]\n"
-        "          [--recovery NAME]\n",
+        "          [--recovery NAME] [--engine tree|bytecode|auto]\n",
         argv0);
     std::exit(2);
 }
@@ -123,6 +126,7 @@ vm::VmConfig
 watchdogVmConfig(const Options &opt)
 {
     vm::VmConfig vc;
+    vc.engine = opt.cfg.vmEngine;
     if (opt.cfg.stepBudget || opt.cfg.heapBudget ||
         opt.cfg.timeBudgetMs) {
         vc.sandbox = true;
@@ -288,6 +292,7 @@ processModuleImpl(const std::string &input, const Options &opt,
         oc.stepBudget = opt.cfg.stepBudget;
         oc.heapBudget = opt.cfg.heapBudget;
         oc.timeBudgetMs = opt.cfg.timeBudgetMs;
+        oc.vmEngine = opt.cfg.vmEngine;
         auto outcome = core::optimizeAndVerify(m, oc);
         outcome.exportMetrics(metrics);
         if (outcome.reverted)
@@ -317,6 +322,7 @@ processModuleImpl(const std::string &input, const Options &opt,
         cc.stepBudget = opt.cfg.stepBudget;
         cc.heapBudget = opt.cfg.heapBudget;
         cc.timeBudgetMs = opt.cfg.timeBudgetMs;
+        cc.vmEngine = opt.cfg.vmEngine;
         auto res = pmcheck::exploreCrashes(m.get(), cc);
         metrics.counter("pipeline.chaos_runs").inc();
         out += format("chaos: seed=%llu torn-chance=%.3f "
@@ -416,6 +422,14 @@ main(int argc, char **argv)
                 (uint64_t)std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--recovery" && i + 1 < argc) {
             opt.recovery = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            if (!vm::parseVmEngine(argv[++i], opt.cfg.vmEngine)) {
+                std::fprintf(stderr,
+                             "hippoc: bad --engine '%s' (expected "
+                             "tree|bytecode|auto)\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg[0] == '-') {
             usage(argv[0]);
         } else {

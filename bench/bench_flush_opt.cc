@@ -84,25 +84,14 @@ addKvExercise(ir::Module *m)
     b.createRet(call("kv_recover", {}));
 }
 
-struct DynCounts
-{
-    uint64_t flushes = 0, fences = 0;
-    double throughput = 0;
-};
-
-DynCounts
+/** The YCSB hot path, shared with bench_fig4/bench_vm_dispatch
+ *  (bench::runKvHotPath) so all the benches gate one op stream. */
+bench::KvHotPathCounts
 hotPathCounts(ir::Module *m, uint64_t records, uint64_t ops)
 {
-    pmem::PmPool pool(32u << 20);
-    apps::KvDriver driver(m, &pool);
-    driver.init();
-    auto load =
-        driver.run(ycsb::Workload::Load, records, records, 424243);
-    auto a = driver.run(ycsb::Workload::A, records, ops, 424247);
-    double secs = load.simSeconds + a.simSeconds;
-    return DynCounts{driver.vm().flushesExecuted(),
-                     driver.vm().fencesExecuted(),
-                     secs > 0 ? (load.ops + a.ops) / secs : 0};
+    return bench::runKvHotPath(m, ycsb::Workload::A, records, ops,
+                               424243, 424247, vm::VmEngine::Auto,
+                               32u << 20);
 }
 
 /** Repair one app exactly like the hippoc pipeline (trace -> detect
@@ -151,10 +140,8 @@ main(int argc, char **argv)
         {}, analysis::AaMode::FullAA, /*optimized=*/true);
     std::printf("optimizer: %s\n", variants.optStats.str().c_str());
 
-    DynCounts naive =
-        hotPathCounts(variants.hippoFull.get(), records, ops);
-    DynCounts optd =
-        hotPathCounts(variants.hippoOpt.get(), records, ops);
+    auto naive = hotPathCounts(variants.hippoFull.get(), records, ops);
+    auto optd = hotPathCounts(variants.hippoOpt.get(), records, ops);
     double cut =
         naive.flushes
             ? 100.0 * (double)(naive.flushes - optd.flushes) /

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <functional>
+
 #include "apps/kv_driver.hh"
 #include "apps/pmcache.hh"
 #include "analysis/points_to.hh"
@@ -16,6 +19,7 @@
 #include "ir/builder.hh"
 #include "pmcheck/detector.hh"
 #include "pmem/pm_pool.hh"
+#include "support/thread_pool.hh"
 #include "vm/vm.hh"
 
 namespace
@@ -291,6 +295,51 @@ BM_FlushCleaner_Module(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FlushCleaner_Module);
+
+/**
+ * ThreadPool dispatch cost, per-item path: one Batch publish per
+ * parallelForEach call, workers index into a shared callable.
+ * Baseline for BM_ThreadPool_SubmitAll.
+ */
+void
+BM_ThreadPool_ParallelForEach(benchmark::State &state)
+{
+    support::ThreadPool pool(4);
+    const uint64_t tasks = state.range(0);
+    std::atomic<uint64_t> sink{0};
+    for (auto _ : state) {
+        pool.parallelForEach(0, tasks, [&](uint64_t i) {
+            sink.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+    state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_ThreadPool_ParallelForEach)->Arg(8)->Arg(64);
+
+/**
+ * ThreadPool dispatch cost, batch path: submitAll publishes a whole
+ * task vector under one lock with one notify_all — the sharded-kv
+ * drain dispatch (src/shard). The tasks themselves are near-empty,
+ * so this measures handoff overhead, not work.
+ */
+void
+BM_ThreadPool_SubmitAll(benchmark::State &state)
+{
+    support::ThreadPool pool(4);
+    const uint64_t tasks = state.range(0);
+    std::atomic<uint64_t> sink{0};
+    std::vector<std::function<void()>> work;
+    for (uint64_t i = 0; i < tasks; i++)
+        work.push_back([&sink, i] {
+            sink.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+    for (auto _ : state)
+        pool.submitAll(work);
+    benchmark::DoNotOptimize(sink.load());
+    state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_ThreadPool_SubmitAll)->Arg(8)->Arg(64);
 
 void
 BM_KvDriver_WorkloadA(benchmark::State &state)

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Acceptance gates for sharded concurrent pmkv execution
+ * (src/shard/): one fixed concurrent YCSB op stream (4 closed-loop
+ * clients, splitmix64-derived per-client seeds) is pushed through
+ * the shard router at every point of the shards {1,4,8} x jobs
+ * {1,4} matrix, each leg on a fresh sharded store.
+ *
+ *  Gate 1 — aggregate deterministic op/step counters (source ops,
+ *           routed sub-ops, per-op VM steps, summed per-op
+ *           simulated nanos, scan hits) are byte-identical across
+ *           every leg: whole-bucket routing means each op walks the
+ *           same hash chain at any shard count, and per-shard
+ *           queues drain on private VMs at any jobs count;
+ *  Gate 2 — the merged recovery digest (total log-replay valid
+ *           entries + a key-ordered fold of every key's value
+ *           length) is byte-identical across all legs — recovery
+ *           replays each shard's log independently and reaches the
+ *           same logical store;
+ *  Gate 3 — per-shard crash exploration (the existing explorer run
+ *           once per shard over a synthesized @kv_exercise entry)
+ *           produces consistent per-shard digests, and the merged
+ *           digest matches between 1 shard and 4 shards.
+ *
+ * Wall-clock scaling (8 shards vs 1) is reported but NOT gated —
+ * CI hosts may have fewer cores than shards; the deterministic
+ * simulated-makespan speedup is reported alongside as the
+ * scheduling-independent view of the same curve.
+ *
+ * Knobs: HIPPO_SHARDSCALE_RECORDS (default 600), _OPS (600),
+ * _SCAN_OPS (100). --shards N / --jobs N append one informational
+ * leg outside smoke mode.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/kv_driver.hh"
+#include "bench_util.hh"
+#include "ir/builder.hh"
+#include "shard/shard.hh"
+#include "support/logging.hh"
+#include "ycsb/concurrent.hh"
+
+namespace
+{
+
+using namespace hippo;
+
+/** Fixed client count: the op stream must be identical in every
+ *  leg, so this never varies with the shard count under test. */
+constexpr unsigned kClients = 4;
+
+/** Synthesize @kv_exercise for exploration (same shape as
+ *  bench_flush_opt's): every pmkv write path, constant keys. */
+void
+addKvExercise(ir::Module *m)
+{
+    ir::Function *f = m->addFunction("kv_exercise", ir::Type::Int);
+    ir::BasicBlock *bb = f->addBlock("entry");
+    ir::IRBuilder b(m);
+    b.setInsertPoint(bb);
+    b.setLoc("bench_shard_scale.cc", 1);
+    auto call = [&](const char *name,
+                    std::vector<ir::Value *> args) {
+        ir::Function *callee = m->findFunction(name);
+        hippo_assert(callee, "pmkv entry missing");
+        return b.createCall(callee, std::move(args));
+    };
+    call("kv_init", {});
+    call("kv_handle_set", {b.getInt(3), b.getInt(24)});
+    call("kv_handle_set", {b.getInt(7), b.getInt(40)});
+    call("kv_handle_set", {b.getInt(11), b.getInt(24)});
+    call("kv_handle_update", {b.getInt(7), b.getInt(24)});
+    call("kv_handle_rmw", {b.getInt(3), b.getInt(24)});
+    b.createRet(call("kv_recover", {}));
+}
+
+struct LegResult
+{
+    unsigned shards = 0, jobs = 0;
+    shard::ShardRunStats stats; ///< load + A + E combined
+    uint64_t digest = 0;
+    double wallSeconds = 0;
+};
+
+LegResult
+runLeg(ir::Module *m, unsigned shards, unsigned jobs,
+       const ycsb::ConcurrentOps &load,
+       const ycsb::ConcurrentOps &mix,
+       const ycsb::ConcurrentOps &scans, uint64_t key_limit)
+{
+    shard::ShardConfig cfg;
+    cfg.shards = shards;
+    cfg.jobs = jobs;
+    cfg.kv.variant = apps::PmkvVariant::Manual;
+    shard::ShardedKv kv(m, cfg);
+    kv.init();
+
+    LegResult leg;
+    leg.shards = shards;
+    leg.jobs = jobs;
+    for (const ycsb::ConcurrentOps *phase : {&load, &mix, &scans}) {
+        auto s = kv.run(phase->ops);
+        leg.stats.ops += s.ops;
+        leg.stats.subOps += s.subOps;
+        leg.stats.opSteps += s.opSteps;
+        leg.stats.scanHits += s.scanHits;
+        leg.stats.opSimNanos += s.opSimNanos;
+        leg.stats.simSecondsMax += s.simSecondsMax;
+        leg.stats.wallSeconds += s.wallSeconds;
+    }
+    leg.wallSeconds = leg.stats.wallSeconds;
+    leg.digest = kv.mergedRecoveryDigest(key_limit);
+    return leg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hippo;
+    auto opt = bench::parseBenchOptions(argc, argv);
+    bench::banner("Shard scaling — deterministic invariance gates "
+                  "over shards x jobs");
+
+    uint64_t records =
+        bench::knob(opt, "HIPPO_SHARDSCALE_RECORDS", 600, 96);
+    uint64_t ops = bench::knob(opt, "HIPPO_SHARDSCALE_OPS", 600, 96);
+    uint64_t scan_ops =
+        bench::knob(opt, "HIPPO_SHARDSCALE_SCAN_OPS", 100, 24);
+    std::printf("records=%llu ops=%llu scan_ops=%llu clients=%u\n",
+                (unsigned long long)records, (unsigned long long)ops,
+                (unsigned long long)scan_ops, kClients);
+
+    // One op stream for every leg: Load, then an A mix, then an E
+    // slice (scan-heavy, exercising router Scan decomposition).
+    auto load = ycsb::buildLoadOps(records, kClients);
+    ycsb::ConcurrentSpec mix_spec;
+    mix_spec.workload = ycsb::Workload::A;
+    mix_spec.recordCount = records;
+    mix_spec.opCount = ops;
+    mix_spec.clients = kClients;
+    mix_spec.seed = 99991;
+    auto mix = ycsb::buildConcurrentOps(mix_spec);
+    ycsb::ConcurrentSpec scan_spec = mix_spec;
+    scan_spec.workload = ycsb::Workload::E;
+    scan_spec.opCount = scan_ops;
+    scan_spec.seed = 99993;
+    auto scans = ycsb::buildConcurrentOps(scan_spec);
+    uint64_t key_limit =
+        std::max(mix.keySpace, scans.keySpace);
+
+    apps::PmkvConfig kcfg;
+    kcfg.variant = apps::PmkvVariant::Manual;
+    auto m = apps::buildPmkv(kcfg);
+
+    std::vector<std::pair<unsigned, unsigned>> legs;
+    for (unsigned shards : {1u, 4u, 8u})
+        for (unsigned jobs : {1u, 4u})
+            legs.push_back({shards, jobs});
+    if (!opt.smoke && opt.shards)
+        legs.push_back({opt.shards, opt.jobs ? opt.jobs : 1});
+
+    bench::Table table({"shards", "jobs", "ops", "sub-ops",
+                        "op steps", "scan hits", "digest",
+                        "sim ops/s", "wall"});
+    std::vector<LegResult> results;
+    for (auto [shards, jobs] : legs) {
+        LegResult leg = runLeg(m.get(), shards, jobs, load, mix,
+                               scans, key_limit);
+        table.addRow(
+            {format("%u", leg.shards), format("%u", leg.jobs),
+             format("%llu", (unsigned long long)leg.stats.ops),
+             format("%llu", (unsigned long long)leg.stats.subOps),
+             format("%llu", (unsigned long long)leg.stats.opSteps),
+             format("%llu", (unsigned long long)leg.stats.scanHits),
+             format("%016llx", (unsigned long long)leg.digest),
+             format("%.0f", leg.stats.throughput()),
+             format("%.4fs", leg.wallSeconds)});
+        results.push_back(leg);
+    }
+    table.print();
+
+    // ---- Gate 1: aggregate op/step counters invariant. Integer
+    // counters only: the float sim-nanos sum can drift in the last
+    // ulp across summation orders, so it is reported, not gated.
+    const LegResult &ref = results[0];
+    bool counters_ok = true;
+    for (const LegResult &r : results) {
+        counters_ok &= r.stats.ops == ref.stats.ops &&
+                       r.stats.subOps == ref.stats.subOps &&
+                       r.stats.opSteps == ref.stats.opSteps &&
+                       r.stats.scanHits == ref.stats.scanHits;
+    }
+    std::printf("\ngate 1: op/step counters identical across "
+                "%zu legs ... %s\n",
+                results.size(), counters_ok ? "PASS" : "FAIL");
+
+    // ---- Gate 2: merged recovery digests invariant.
+    bool digest_ok = true;
+    for (const LegResult &r : results)
+        digest_ok &= r.digest == ref.digest;
+    std::printf("gate 2: merged recovery digest identical ... %s\n",
+                digest_ok ? "PASS" : "FAIL");
+
+    // ---- Gate 3: per-shard exploration digests consistent and
+    // invariant between 1 and 4 shards.
+    addKvExercise(m.get());
+    pmcheck::CrashExplorerConfig xc;
+    xc.entry = "kv_exercise";
+    xc.recovery = "kv_recover";
+    xc.maxCrashes = 1u << 20;
+    xc.poolBytes = 32u << 20;
+    xc.vmEngine = vm::VmEngine::Bytecode;
+    auto x1 = shard::exploreShards(m.get(), xc, 1);
+    auto x4 = shard::exploreShards(m.get(), xc, 4);
+    bool explore_ok = x1.consistent && x4.consistent &&
+                      x1.digest == x4.digest &&
+                      x1.unverified == 0 && x4.unverified == 0;
+    std::printf("gate 3: per-shard exploration digests "
+                "(1 vs 4 shards: %016llx vs %016llx) ... %s\n",
+                (unsigned long long)x1.digest,
+                (unsigned long long)x4.digest,
+                explore_ok ? "PASS" : "FAIL");
+
+    // ---- Informational: wall-clock and simulated-makespan scaling
+    // (8 shards, jobs=4 vs 1 shard, jobs=1). Never gated: wall
+    // clock depends on host cores (the ISSUE's >= 3x target assumes
+    // >= 8 hardware threads); the simulated makespan is the
+    // deterministic view of the same parallelism.
+    const LegResult *serial = &results[0]; // shards=1 jobs=1
+    const LegResult *wide = nullptr;       // shards=8 jobs=4
+    for (const LegResult &r : results)
+        if (r.shards == 8 && r.jobs == 4)
+            wide = &r;
+    double wall_speedup =
+        wide && wide->wallSeconds > 0
+            ? serial->wallSeconds / wide->wallSeconds
+            : 0;
+    double sim_speedup =
+        wide && wide->stats.simSecondsMax > 0
+            ? serial->stats.simSecondsMax / wide->stats.simSecondsMax
+            : 0;
+    std::printf("\nscaling 8 shards/4 jobs vs 1/1: wall %.2fx "
+                "(informational; %u hardware threads), simulated "
+                "makespan %.2fx\n",
+                wall_speedup, support::hardwareConcurrency(),
+                sim_speedup);
+    if (support::hardwareConcurrency() < 8)
+        std::printf("note: host has < 8 hardware threads; the "
+                    ">= 3x wall-clock target needs >= 8\n");
+
+    auto &reg = support::MetricsRegistry::global();
+    reg.counter("shardscale.legs").inc(results.size());
+    reg.counter("shardscale.ops").inc(ref.stats.ops);
+    reg.counter("shardscale.subops").inc(ref.stats.subOps);
+    reg.counter("shardscale.op_steps").inc(ref.stats.opSteps);
+    reg.counter("shardscale.scan_hits").inc(ref.stats.scanHits);
+    reg.doubleSum("shardscale.op_sim_ns").add(ref.stats.opSimNanos);
+    reg.counter("shardscale.counters_invariant").inc(counters_ok);
+    reg.counter("shardscale.digest_invariant").inc(digest_ok);
+    reg.counter("shardscale.explore_consistent").inc(explore_ok);
+    reg.counter("shardscale.explore_unverified")
+        .inc(x1.unverified + x4.unverified);
+    // Deterministic scaling curve in hundredths; wall clock stays
+    // out of the comparable tree (host-dependent).
+    reg.counter("shardscale.sim_speedup_x100")
+        .inc((uint64_t)(sim_speedup * 100));
+    reg.gauge("shardscale.wall_speedup").set(wall_speedup);
+    bench::finishBench(opt, "bench_shard_scale");
+
+    if (!counters_ok || !digest_ok || !explore_ok) {
+        std::printf("FAIL\n");
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

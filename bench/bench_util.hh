@@ -23,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/kv_driver.hh"
 #include "support/metrics.hh"
+#include "support/stopwatch.hh"
 #include "support/strings.hh"
 
 namespace hippo::bench
@@ -95,22 +97,40 @@ struct BenchOptions
 {
     bool smoke = false;     ///< fixed reduced workload
     std::string statsPath;  ///< --stats: write metrics JSON here
+    unsigned shards = 0;    ///< --shards: sharded-leg override (0 = default)
+    unsigned jobs = 0;      ///< --jobs: sharded-leg workers (0 = default)
 };
 
-/** Parse --smoke / --stats FILE; exits 2 on anything else. */
+/** Parse --smoke / --stats FILE / --shards N / --jobs N; exits 2 on
+ *  anything else. */
 inline BenchOptions
 parseBenchOptions(int argc, char **argv)
 {
     BenchOptions opt;
+    auto parse_count = [&](const char *flag, const char *text,
+                           unsigned &out) {
+        uint64_t v;
+        if (!hippo::parseUint(text, v) || !v || v > 1u << 16) {
+            std::fprintf(stderr, "%s: bad %s value '%s'\n", argv[0],
+                         flag, text);
+            std::exit(2);
+        }
+        out = (unsigned)v;
+    };
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         if (arg == "--smoke") {
             opt.smoke = true;
         } else if (arg == "--stats" && i + 1 < argc) {
             opt.statsPath = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            parse_count("--shards", argv[++i], opt.shards);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            parse_count("--jobs", argv[++i], opt.jobs);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--stats OUT.json]\n",
+                         "usage: %s [--smoke] [--stats OUT.json] "
+                         "[--shards N] [--jobs N]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -157,6 +177,72 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/**
+ * Counters from one pmkv YCSB hot-path run: fresh pool, @kv_init,
+ * Load of @p records records, then @p ops operations of workload
+ * @p w. This is THE shared workload construction for the KV legs of
+ * bench_fig4_redis_ycsb, bench_flush_opt, bench_vm_dispatch, and
+ * the sharded legs — one definition, so every bench measures the
+ * same op stream for a given (records, ops, seeds).
+ */
+struct KvHotPathCounts
+{
+    apps::WorkloadResult load;     ///< load phase
+    apps::WorkloadResult workload; ///< run phase
+    double wallSeconds = 0;        ///< run phase only (informational)
+    uint64_t flushes = 0;          ///< Vm census after both phases
+    uint64_t fences = 0;
+    uint64_t steps = 0;
+    uint64_t treeOperandEvals = 0;
+    uint64_t fastDispatches = 0;
+    uint64_t fastSuper = 0;
+
+    /** Simulated ops/sec over both phases. */
+    double
+    throughput() const
+    {
+        double secs = load.simSeconds + workload.simSeconds;
+        return secs > 0 ? (load.ops + workload.ops) / secs : 0;
+    }
+
+    /** Dispatch work under @p engine (bench_vm_dispatch's metric:
+     *  tree pays 3 touches/step + operand evals, fast one dispatch
+     *  per bytecode instruction). */
+    uint64_t
+    dispatchUnits(vm::VmEngine engine) const
+    {
+        return engine == vm::VmEngine::Tree
+                   ? 3 * steps + treeOperandEvals
+                   : fastDispatches;
+    }
+};
+
+inline KvHotPathCounts
+runKvHotPath(ir::Module *m, ycsb::Workload w, uint64_t records,
+             uint64_t ops, uint64_t load_seed, uint64_t run_seed,
+             vm::VmEngine engine = vm::VmEngine::Auto,
+             uint64_t pool_bytes = 64u << 20)
+{
+    pmem::PmPool pool(pool_bytes);
+    vm::VmConfig vc;
+    vc.engine = engine;
+    apps::KvDriver driver(m, &pool, vc);
+    driver.init();
+    KvHotPathCounts out;
+    out.load = driver.run(ycsb::Workload::Load, records, records,
+                          load_seed);
+    Stopwatch watch;
+    out.workload = driver.run(w, records, ops, run_seed);
+    out.wallSeconds = watch.elapsedSeconds();
+    out.flushes = driver.vm().flushesExecuted();
+    out.fences = driver.vm().fencesExecuted();
+    out.steps = driver.vm().steps();
+    out.treeOperandEvals = driver.vm().treeOperandEvals();
+    out.fastDispatches = driver.vm().fastDispatches();
+    out.fastSuper = driver.vm().fastSuperExecuted();
+    return out;
 }
 
 } // namespace hippo::bench

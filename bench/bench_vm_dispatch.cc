@@ -258,41 +258,32 @@ main(int argc, char **argv)
         apps::PmkvConfig kcfg;
         kcfg.variant = apps::PmkvVariant::Manual;
         auto m = apps::buildPmkv(kcfg);
-        auto kvLeg = [&](vm::VmEngine engine, double &seconds,
-                         uint64_t &units, uint64_t &super) {
-            pmem::PmPool pool(64u << 20);
-            vm::VmConfig vc;
-            vc.engine = engine;
-            apps::KvDriver driver(m.get(), &pool, vc);
-            driver.init();
-            driver.run(ycsb::Workload::Load, records, records, 1);
-            Stopwatch watch;
-            auto res =
-                driver.run(ycsb::Workload::A, records, records, 2);
-            seconds = watch.elapsedSeconds();
-            units = engine == vm::VmEngine::Tree
-                        ? 3 * driver.vm().steps() +
-                              driver.vm().treeOperandEvals()
-                        : driver.vm().fastDispatches();
-            super = driver.vm().fastSuperExecuted();
-            return res;
-        };
-        double treeSec = 0, fastSec = 0;
-        uint64_t tu = 0, fu = 0, ts = 0, fs = 0;
-        auto treeRes = kvLeg(vm::VmEngine::Tree, treeSec, tu, ts);
-        auto fastRes = kvLeg(vm::VmEngine::Bytecode, fastSec, fu, fs);
-        bool same = treeRes.ops == fastRes.ops &&
-                    treeRes.simSeconds == fastRes.simSeconds;
+        // Shared hot-path construction (bench::runKvHotPath), so
+        // this leg measures the same op stream as the fig4 and
+        // flush-opt KV legs.
+        auto tree = bench::runKvHotPath(m.get(), ycsb::Workload::A,
+                                        records, records, 1, 2,
+                                        vm::VmEngine::Tree);
+        auto fast = bench::runKvHotPath(m.get(), ycsb::Workload::A,
+                                        records, records, 1, 2,
+                                        vm::VmEngine::Bytecode);
+        bool same =
+            tree.workload.ops == fast.workload.ops &&
+            tree.workload.simSeconds == fast.workload.simSeconds;
         identical &= same;
+        uint64_t tu = tree.dispatchUnits(vm::VmEngine::Tree);
+        uint64_t fu = fast.dispatchUnits(vm::VmEngine::Bytecode);
         treeUnits += tu;
         fastUnits += fu;
-        superExec += fs;
+        superExec += fast.fastSuper;
         table.addRow({"ycsb-a", format("%llu", (unsigned long long)tu),
                       format("%llu", (unsigned long long)fu),
                       format("%.2fx", (double)tu / fu),
-                      format("%llu", (unsigned long long)fs),
-                      format("%.4fs", treeSec),
-                      format("%.4fs", fastSec), same ? "yes" : "NO"});
+                      format("%llu",
+                             (unsigned long long)fast.fastSuper),
+                      format("%.4fs", tree.wallSeconds),
+                      format("%.4fs", fast.wallSeconds),
+                      same ? "yes" : "NO"});
     }
     table.print();
 

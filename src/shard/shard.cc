@@ -1,0 +1,358 @@
+#include "shard/shard.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/stopwatch.hh"
+
+namespace hippo::shard
+{
+
+namespace
+{
+
+constexpr uint64_t fnvOffset = 1469598103934665603ULL;
+constexpr uint64_t fnvPrime = 1099511628211ULL;
+
+uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; i++) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------
+
+Router::Router(unsigned shards, uint64_t buckets)
+    : shards_(shards), buckets_(buckets)
+{
+    hippo_assert(shards >= 1, "need at least one shard");
+    hippo_assert((shards & (shards - 1)) == 0,
+                 "shard count must be a power of two (got %u)",
+                 shards);
+    hippo_assert((buckets & (buckets - 1)) == 0 && buckets >= shards,
+                 "shards must divide the bucket count (%u vs %llu)",
+                 shards, (unsigned long long)buckets);
+}
+
+uint64_t
+Router::bucketFor(uint64_t key, uint64_t buckets)
+{
+    // The pmkv @hash_key function (src/apps/pmkv.cc), replicated
+    // host-side so routing agrees with the store's chaining. The
+    // determinism tests cross-check this against the VM.
+    uint64_t h = key ^ (key >> 33);
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    return h & (buckets - 1);
+}
+
+unsigned
+Router::shardFor(uint64_t key) const
+{
+    // Whole-bucket ownership: shards_ divides buckets_, so this
+    // assigns every key of one hash chain to the same shard.
+    return (unsigned)(bucketFor(key, buckets_) & (shards_ - 1));
+}
+
+std::vector<std::vector<RoutedOp>>
+Router::route(const std::vector<ycsb::Op> &ops)
+{
+    std::vector<std::vector<RoutedOp>> queues(shards_);
+    for (const ycsb::Op &op : ops) {
+        stats_.ops++;
+        if (op.type == ycsb::OpType::Scan) {
+            // Scans span buckets, so they are ALWAYS decomposed
+            // into single-key Gets — even at shards == 1 — keeping
+            // executed work shard-count invariant.
+            for (uint64_t i = 0; i < op.scanLength; i++) {
+                ycsb::Op get{ycsb::OpType::Read, op.key + i, 0};
+                queues[shardFor(get.key)].push_back(
+                    RoutedOp{get, true});
+                stats_.subOps++;
+                stats_.scanSubOps++;
+            }
+            continue;
+        }
+        queues[shardFor(op.key)].push_back(RoutedOp{op, false});
+        stats_.subOps++;
+    }
+    return queues;
+}
+
+void
+Router::exportMetrics(support::MetricsRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.counter(prefix + ".ops").inc(stats_.ops);
+    reg.counter(prefix + ".subops").inc(stats_.subOps);
+    reg.counter(prefix + ".scan_subops").inc(stats_.scanSubOps);
+}
+
+// ---------------------------------------------------------------
+// ShardedKv
+// ---------------------------------------------------------------
+
+/** One shard: private pool + VM + queue + run accumulators. */
+struct ShardedKv::Shard
+{
+    explicit Shard(ir::Module *m, const ShardConfig &cfg)
+        : pool(cfg.poolBytes)
+    {
+        vm::VmConfig vc;
+        vc.engine = cfg.engine;
+        vm = std::make_unique<vm::Vm>(m, &pool, vc);
+    }
+
+    pmem::PmPool pool;
+    std::unique_ptr<vm::Vm> vm;
+    std::vector<RoutedOp> queue;
+
+    // Per-run accumulators, written only by the worker that owns
+    // this shard, read by the caller after the batch drains.
+    uint64_t subOps = 0;
+    uint64_t opSteps = 0;
+    uint64_t scanHits = 0;
+    double opNanos = 0;
+};
+
+ShardedKv::ShardedKv(ir::Module *module, const ShardConfig &cfg,
+                     support::MetricsRegistry *reg)
+    : cfg_(cfg),
+      module_(module),
+      reg_(reg ? reg : &support::MetricsRegistry::global()),
+      router_(cfg.shards, cfg.kv.buckets)
+{
+    shards_.reserve(cfg.shards);
+    for (unsigned s = 0; s < cfg.shards; s++)
+        shards_.push_back(std::make_unique<Shard>(module, cfg));
+    unsigned workers = std::min(support::resolveJobs(cfg.jobs),
+                                (unsigned)shards_.size());
+    if (workers > 1)
+        pool_ = std::make_unique<support::ThreadPool>(workers);
+}
+
+ShardedKv::~ShardedKv() = default;
+
+void
+ShardedKv::init()
+{
+    for (auto &sh : shards_) {
+        vm::RunResult res = sh->vm->run("kv_init");
+        hippo_assert(res.ok(), "kv_init failed: %s",
+                     res.diag.c_str());
+    }
+}
+
+namespace
+{
+
+/** Execute one routed sub-op; returns the handler's return value. */
+uint64_t
+runOp(vm::Vm &vm, const ycsb::Op &op, uint64_t val_len)
+{
+    using ycsb::OpType;
+    vm::RunResult res;
+    switch (op.type) {
+      case OpType::Insert:
+        res = vm.run("kv_handle_set", {op.key, val_len});
+        break;
+      case OpType::Read:
+        res = vm.run("kv_handle_get", {op.key});
+        break;
+      case OpType::Update:
+        res = vm.run("kv_handle_update", {op.key, val_len});
+        break;
+      case OpType::Scan:
+        hippo_panic("Scan reached a shard queue undecomposed");
+      case OpType::ReadModifyWrite:
+        res = vm.run("kv_handle_rmw", {op.key, val_len});
+        break;
+    }
+    hippo_assert(res.ok(), "kv op failed: %s", res.diag.c_str());
+    return res.returnValue;
+}
+
+} // namespace
+
+ShardRunStats
+ShardedKv::run(const std::vector<ycsb::Op> &ops)
+{
+    Stopwatch wall;
+    auto queues = router_.route(ops);
+    for (unsigned s = 0; s < shards_.size(); s++) {
+        Shard &sh = *shards_[s];
+        sh.queue = std::move(queues[s]);
+        sh.subOps = 0;
+        sh.opSteps = 0;
+        sh.scanHits = 0;
+        sh.opNanos = 0;
+    }
+
+    support::Histogram &lat =
+        reg_->histogram("ycsb.latency.op_ns");
+    uint64_t val_len = cfg_.valLen;
+    auto drain = [&lat, val_len](Shard &sh) {
+        vm::Vm &vm = *sh.vm;
+        for (const RoutedOp &r : sh.queue) {
+            double t0 = vm.simNanos();
+            uint64_t s0 = vm.steps();
+            uint64_t ret = runOp(vm, r.op, val_len);
+            double dt = vm.simNanos() - t0;
+            sh.opSteps += vm.steps() - s0;
+            sh.opNanos += dt;
+            sh.subOps++;
+            if (r.fromScan && ret)
+                sh.scanHits++;
+            // Rounded to integer ns: integer-valued doubles sum
+            // exactly in any order, so the histogram (count, sum,
+            // percentiles) stays byte-identical at every jobs
+            // setting; raw dt sums would drift in the last ulp
+            // with worker interleaving.
+            lat.observe(std::floor(dt + 0.5));
+        }
+        sh.queue.clear();
+    };
+
+    if (pool_) {
+        // One drain closure per shard, published as a single batch
+        // (ThreadPool::submitAll): this is the hot dispatch path.
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards_.size());
+        for (auto &sh : shards_)
+            tasks.push_back([&drain, &sh] { drain(*sh); });
+        pool_->submitAll(tasks);
+    } else {
+        for (auto &sh : shards_)
+            drain(*sh);
+    }
+
+    ShardRunStats stats;
+    stats.ops = ops.size();
+    double busy_max = 0;
+    for (auto &sh : shards_) {
+        stats.subOps += sh->subOps;
+        stats.opSteps += sh->opSteps;
+        stats.scanHits += sh->scanHits;
+        stats.opSimNanos += sh->opNanos;
+        busy_max = std::max(busy_max, sh->opNanos);
+    }
+    stats.simSecondsMax = busy_max * 1e-9;
+    stats.wallSeconds = wall.elapsedSeconds();
+
+    totals_.ops += stats.ops;
+    totals_.subOps += stats.subOps;
+    totals_.opSteps += stats.opSteps;
+    totals_.scanHits += stats.scanHits;
+    totals_.opSimNanos += stats.opSimNanos;
+    totals_.simSecondsMax += stats.simSecondsMax;
+    totals_.wallSeconds += stats.wallSeconds;
+    runs_++;
+    return stats;
+}
+
+uint64_t
+ShardedKv::recoverAll()
+{
+    uint64_t total = 0;
+    for (auto &sh : shards_) {
+        vm::RunResult res = sh->vm->run("kv_recover");
+        hippo_assert(res.ok(), "kv_recover failed: %s",
+                     res.diag.c_str());
+        total += res.returnValue;
+    }
+    return total;
+}
+
+uint64_t
+ShardedKv::stateDigest(uint64_t key_limit)
+{
+    // Probe keys in GLOBAL order on the owning shard: the digest
+    // depends only on the logical store contents, never on the
+    // shard count or drain scheduling.
+    uint64_t h = fnvOffset;
+    for (uint64_t key = 0; key < key_limit; key++) {
+        Shard &sh = *shards_[router_.shardFor(key)];
+        vm::RunResult res = sh.vm->run("kv_handle_get", {key});
+        hippo_assert(res.ok(), "kv_handle_get failed: %s",
+                     res.diag.c_str());
+        h = fnvMix(h, key);
+        h = fnvMix(h, res.returnValue);
+    }
+    return h;
+}
+
+uint64_t
+ShardedKv::mergedRecoveryDigest(uint64_t key_limit)
+{
+    uint64_t h = fnvOffset;
+    h = fnvMix(h, recoverAll());
+    h = fnvMix(h, stateDigest(key_limit));
+    return h;
+}
+
+vm::Vm &
+ShardedKv::vmOf(unsigned shard)
+{
+    hippo_assert(shard < shards_.size(), "shard %u out of range",
+                 shard);
+    return *shards_[shard]->vm;
+}
+
+void
+ShardedKv::exportMetrics(support::MetricsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.counter(prefix + ".shards").inc(shards_.size());
+    reg.counter(prefix + ".runs").inc(runs_);
+    reg.counter(prefix + ".ops").inc(totals_.ops);
+    reg.counter(prefix + ".subops").inc(totals_.subOps);
+    reg.counter(prefix + ".op_steps").inc(totals_.opSteps);
+    reg.counter(prefix + ".scan_hits").inc(totals_.scanHits);
+    reg.doubleSum(prefix + ".op_sim_ns").add(totals_.opSimNanos);
+    router_.exportMetrics(reg, prefix + ".router");
+}
+
+// ---------------------------------------------------------------
+// Per-shard exploration
+// ---------------------------------------------------------------
+
+MergedExploration
+exploreShards(ir::Module *m,
+              const pmcheck::CrashExplorerConfig &cfg,
+              unsigned shards)
+{
+    hippo_assert(shards >= 1, "need at least one shard");
+    MergedExploration merged;
+    merged.shardDigests.reserve(shards);
+    // Shards explore serially — each exploration already fans out
+    // over cfg.jobs internally — and each runs against its own
+    // fresh pool/log (exploreCrashes builds pools per replay), so
+    // the per-shard results are independent.
+    for (unsigned s = 0; s < shards; s++) {
+        pmcheck::ExplorationResult res =
+            pmcheck::exploreCrashes(m, cfg);
+        merged.shardDigests.push_back(
+            pmcheck::recoveryDigest(res));
+        merged.unverified += res.unverifiedCount();
+    }
+    merged.consistent =
+        std::all_of(merged.shardDigests.begin(),
+                    merged.shardDigests.end(),
+                    [&](uint64_t d) {
+                        return d == merged.shardDigests[0];
+                    });
+    if (merged.consistent)
+        merged.digest = merged.shardDigests[0];
+    return merged;
+}
+
+} // namespace hippo::shard

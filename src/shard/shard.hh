@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Shard-per-worker concurrent execution for pmkv: the front-end
+ * request router plus the sharded store it feeds.
+ *
+ * Ownership model (DESIGN.md "Sharded execution"): shard s owns a
+ * private PmPool, a private Vm (Bytecode engine by default), and a
+ * private pmkv hashtable + append log inside that pool. The only
+ * state shared between workers is the ir::Module, which the VM
+ * never mutates. There is NO cross-shard mutable state — workers
+ * never touch each other's pools, VMs, or queues — so the whole
+ * run needs no locks beyond the thread-pool batch handoff.
+ *
+ * Routing invariant (what makes the perf gates possible): pmkv
+ * chains colliding keys per bucket, and the router assigns whole
+ * buckets to shards (shard = bucket & (shards-1), with `shards` a
+ * power of two dividing the bucket count). Every hash chain
+ * therefore lives entirely inside one shard, every shard keeps the
+ * full-size bucket array (identical layout at every shard count),
+ * and the per-shard op sequence is the source sequence filtered to
+ * that shard's buckets. Consequences, relied on by
+ * bench_shard_scale and tests/test_shard.cc:
+ *
+ *  - each op executes the exact same chain walk — hence the same
+ *    VM step count and simulated nanoseconds — at ANY shard count;
+ *  - aggregate integer op/step counters are byte-identical across
+ *    `--shards` x `--jobs`; the per-op latency histogram (rounded
+ *    integer sim-ns, so sums are order-independent) is
+ *    byte-identical across `--jobs` at any fixed shard count;
+ *  - recovery replays each shard's log independently, and the
+ *    merged digest (total valid entries + a key-ordered fold of
+ *    every key's value length) equals the 1-shard digest.
+ *
+ * Scans are the one op class that spans buckets: the router always
+ * decomposes Scan(key, n) into n single-key Get sub-ops — at every
+ * shard count, including 1 — and the driver re-aggregates the hit
+ * count host-side, so scan semantics and step counts stay
+ * shard-count invariant.
+ */
+
+#ifndef HIPPO_SHARD_SHARD_HH
+#define HIPPO_SHARD_SHARD_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/kv_driver.hh"
+#include "pmcheck/crash_explorer.hh"
+#include "support/metrics.hh"
+#include "support/thread_pool.hh"
+#include "ycsb/concurrent.hh"
+
+namespace hippo::shard
+{
+
+/** Geometry and execution knobs of one sharded store. */
+struct ShardConfig
+{
+    /** Shard count: a power of two that divides kv.buckets. */
+    unsigned shards = 1;
+    /** Worker threads draining shard queues; 0 = all cores. The
+     *  effective count is further clamped to `shards`. */
+    unsigned jobs = 1;
+    uint64_t poolBytes = 32u << 20; ///< per-shard pool capacity
+    uint64_t valLen = 100;          ///< value bytes per write op
+    /** Per-worker interpreter; Bytecode is the production path,
+     *  Tree kept for the differential tests. */
+    vm::VmEngine engine = vm::VmEngine::Bytecode;
+    apps::PmkvConfig kv; ///< per-shard store geometry
+};
+
+/** One routed sub-operation in a shard's FIFO queue. */
+struct RoutedOp
+{
+    ycsb::Op op;
+    bool fromScan = false; ///< Get synthesized from a Scan
+};
+
+/**
+ * Deterministic front-end request router: hash-of-key -> bucket ->
+ * shard, with Scan decomposition (see file comment). Stateless per
+ * route() call apart from monotonic counters.
+ */
+class Router
+{
+  public:
+    struct Stats
+    {
+        uint64_t ops = 0;        ///< source ops routed
+        uint64_t subOps = 0;     ///< ops after Scan decomposition
+        uint64_t scanSubOps = 0; ///< Gets synthesized from Scans
+    };
+
+    /** @p buckets must match the pmkv geometry; @p shards must be
+     *  a power of two dividing it. */
+    Router(unsigned shards, uint64_t buckets);
+
+    /** The pmkv @hash_key function, replicated host-side. */
+    static uint64_t bucketFor(uint64_t key, uint64_t buckets);
+
+    unsigned shardFor(uint64_t key) const;
+
+    /** Fan @p ops out into per-shard FIFO queues. */
+    std::vector<std::vector<RoutedOp>>
+    route(const std::vector<ycsb::Op> &ops);
+
+    unsigned shards() const { return shards_; }
+    const Stats &stats() const { return stats_; }
+
+    /** router.* counters (docs/FORMATS.md §5). */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "router") const;
+
+  private:
+    unsigned shards_;
+    uint64_t buckets_;
+    Stats stats_;
+};
+
+/** Aggregate result of one ShardedKv::run call. */
+struct ShardRunStats
+{
+    uint64_t ops = 0;      ///< source ops executed
+    uint64_t subOps = 0;   ///< after Scan decomposition
+    uint64_t opSteps = 0;  ///< VM steps inside op handlers only
+    uint64_t scanHits = 0; ///< live keys touched by Scans
+    double opSimNanos = 0; ///< summed per-op simulated nanos
+    /** Makespan: the largest per-shard simulated busy time — what
+     *  a perfectly parallel run would take. Deterministic. */
+    double simSecondsMax = 0;
+    double wallSeconds = 0; ///< host wall clock (informational)
+
+    /** Simulated ops/s of the parallel run (ops / makespan). */
+    double
+    throughput() const
+    {
+        return simSecondsMax > 0 ? ops / simSecondsMax : 0;
+    }
+};
+
+/**
+ * The sharded store: N private (pool, VM, pmkv log) triples behind
+ * one Router, drained by a ThreadPool. The module is shared
+ * read-only; everything mutable is per-shard (see file comment).
+ */
+class ShardedKv
+{
+  public:
+    /** @p reg defaults to the global registry; tests pass private
+     *  registries for isolation. */
+    ShardedKv(ir::Module *module, const ShardConfig &cfg,
+              support::MetricsRegistry *reg = nullptr);
+    ~ShardedKv();
+
+    ShardedKv(const ShardedKv &) = delete;
+    ShardedKv &operator=(const ShardedKv &) = delete;
+
+    /** Run @kv_init on every shard. */
+    void init();
+
+    /**
+     * Route @p ops and drain every shard queue to completion
+     * (one closed-loop round). Per-op simulated latency lands in
+     * the `ycsb.latency.op_ns` histogram of the registry.
+     */
+    ShardRunStats run(const std::vector<ycsb::Op> &ops);
+
+    /** Replay every shard's log independently; returns the total
+     *  checksum-valid entry count (shard-count invariant). */
+    uint64_t recoverAll();
+
+    /**
+     * FNV-1a over (key, value-length) for every key in
+     * [0, keyLimit), probed in global key order on the owning
+     * shard. Shard-count and jobs invariant.
+     */
+    uint64_t stateDigest(uint64_t key_limit);
+
+    /** Fold of recoverAll() and stateDigest(): the merged recovery
+     *  digest bench_shard_scale compares across shard counts. */
+    uint64_t mergedRecoveryDigest(uint64_t key_limit);
+
+    unsigned shards() const { return (unsigned)shards_.size(); }
+    const Router &router() const { return router_; }
+    vm::Vm &vmOf(unsigned shard);
+    const ShardConfig &config() const { return cfg_; }
+
+    /** shard.* counters (docs/FORMATS.md §5). */
+    void exportMetrics(support::MetricsRegistry &reg,
+                       const std::string &prefix = "shard") const;
+
+  private:
+    struct Shard;
+
+    ShardConfig cfg_;
+    ir::Module *module_;
+    support::MetricsRegistry *reg_;
+    Router router_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::unique_ptr<support::ThreadPool> pool_; ///< null when serial
+    /** Lifetime totals across run() calls (exportMetrics). */
+    ShardRunStats totals_;
+    uint64_t runs_ = 0;
+};
+
+/** Per-shard crash exploration, merged. */
+struct MergedExploration
+{
+    std::vector<uint64_t> shardDigests; ///< recoveryDigest per shard
+    uint64_t unverified = 0;            ///< summed unverified counts
+    /** True when every shard digests identically — the expected
+     *  state, since each shard runs the same exercise against its
+     *  own fresh pool/log. */
+    bool consistent = false;
+    /** The common digest when consistent (shardDigests[0]); this is
+     *  what stays invariant across shard counts. */
+    uint64_t digest = 0;
+};
+
+/**
+ * Run the existing crash explorer once per shard — each exploration
+ * executes cfg.entry against that shard's own fresh pool/log and
+ * replays recovery from every crash point — and merge the digests.
+ * The do-no-harm machinery (detector, static checker, optimizer
+ * verify) applies unchanged per shard because each shard is a
+ * complete pmkv instance. Shards explore serially; each exploration
+ * parallelizes internally over cfg.jobs.
+ */
+MergedExploration
+exploreShards(ir::Module *m, const pmcheck::CrashExplorerConfig &cfg,
+              unsigned shards);
+
+} // namespace hippo::shard
+
+#endif // HIPPO_SHARD_SHARD_HH

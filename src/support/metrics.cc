@@ -105,6 +105,27 @@ Histogram::max() const
     return max_.load(std::memory_order_relaxed);
 }
 
+double
+Histogram::percentile(double q) const
+{
+    uint64_t n = count();
+    if (!n)
+        return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the requested observation, 1-based: p0 is the first
+    // observation, p100 the last.
+    uint64_t target = (uint64_t)std::ceil(q * (double)n);
+    if (target < 1)
+        target = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < numBuckets; i++) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= target)
+            return i == 0 ? 1.0 : std::ldexp(1.0, i);
+    }
+    return std::ldexp(1.0, numBuckets - 1);
+}
+
 json::Value
 Histogram::toJson() const
 {
@@ -114,6 +135,9 @@ Histogram::toJson() const
     v["sum"] = sum();
     v["min"] = min();
     v["max"] = max();
+    v["p50"] = percentile(0.50);
+    v["p95"] = percentile(0.95);
+    v["p99"] = percentile(0.99);
     json::Value buckets = json::Value::makeArray();
     for (int i = 0; i < numBuckets; i++) {
         uint64_t n = buckets_[i].load(std::memory_order_relaxed);
@@ -242,6 +266,9 @@ MetricsRegistry::deterministicSnapshot() const
                 static_cast<const Histogram &>(*metric);
             out[path + ".count"] = (double)h.count();
             out[path + ".sum"] = h.sum();
+            out[path + ".p50"] = h.percentile(0.50);
+            out[path + ".p95"] = h.percentile(0.95);
+            out[path + ".p99"] = h.percentile(0.99);
             break;
           }
           case MetricKind::Gauge:

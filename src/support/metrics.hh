@@ -262,6 +262,19 @@ class Histogram : public Metric
     double min() const;
     double max() const;
 
+    /**
+     * Quantile estimate with fixed log-bucket resolution: the upper
+     * bound of the bucket holding the ceil(q*count)-th observation
+     * (bucket 0 -> 1.0, bucket i -> 2^i). Because the bounds are
+     * fixed and the rank is computed from order-independent bucket
+     * counts, the result is a deterministic, baseline-comparable
+     * value — not a wall-clock measurement — so p50/p95/p99 of the
+     * simulated per-op latency distribution can be gated by
+     * bench_check like any counter. Returns 0 on an empty histogram;
+     * @p q is clamped to [0, 1].
+     */
+    double percentile(double q) const;
+
     json::Value toJson() const override;
     void reset() override;
 
@@ -342,8 +355,15 @@ class MetricsRegistry
  * fixer.clean.*, fig4.opt.*, flushopt.* families) and the fig4
  * bench grew an optimized-Redis leg, shifting its flush/fence
  * counters — v2 baselines are not comparable and were regenerated.
+ *
+ * v3 -> v4: histograms now export deterministic log-bucket
+ * percentiles (p50/p95/p99 in both the JSON leaf and the
+ * deterministic snapshot), the sharded-execution counter families
+ * (shard.*, router.*, ycsb.latency.*, shardscale.*) joined the
+ * tree, and the fig4 bench grew a sharded leg — v3 baselines lack
+ * the new histogram leaves and were regenerated.
  */
-constexpr int statsSchemaVersion = 3;
+constexpr int statsSchemaVersion = 4;
 
 /**
  * Assemble the full stats document: schema version, the build/host

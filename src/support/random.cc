@@ -26,6 +26,13 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+deriveSeed(uint64_t seed, uint64_t stream)
+{
+    uint64_t x = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(x);
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t sm = seed;

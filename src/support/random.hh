@@ -16,6 +16,16 @@ namespace hippo
 {
 
 /**
+ * Derive the seed for sub-stream @p stream of a master @p seed with
+ * one splitmix64 step: deterministic, platform-independent, and far
+ * apart for adjacent streams. This is how every fan-out in the repo
+ * (per-client YCSB streams, per-crash-point fault plans, per-shard
+ * RNGs) turns one user-facing seed into independent per-worker
+ * seeds, so results never depend on which thread runs which stream.
+ */
+uint64_t deriveSeed(uint64_t seed, uint64_t stream);
+
+/**
  * xoshiro256** 1.0 generator (Blackman & Vigna), seeded via splitmix64.
  * Small, fast, and fully deterministic across platforms.
  */

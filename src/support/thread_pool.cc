@@ -69,7 +69,10 @@ ThreadPool::runBatchItems(std::unique_lock<std::mutex> &lock)
         if (i >= b.end)
             break;
         try {
-            (*b.fn)(i);
+            if (b.tasks)
+                (*b.tasks)[i]();
+            else
+                (*b.fn)(i);
         } catch (...) {
             error = std::current_exception();
             b.failed.cancel();
@@ -88,6 +91,22 @@ ThreadPool::parallelForEach(uint64_t begin, uint64_t end,
                             const std::function<void(uint64_t)> &fn,
                             CancelToken *cancel)
 {
+    dispatchBatch(begin, end, &fn, nullptr, cancel);
+}
+
+void
+ThreadPool::submitAll(const std::vector<std::function<void()>> &tasks,
+                      CancelToken *cancel)
+{
+    dispatchBatch(0, tasks.size(), nullptr, &tasks, cancel);
+}
+
+void
+ThreadPool::dispatchBatch(uint64_t begin, uint64_t end,
+                          const std::function<void(uint64_t)> *fn,
+                          const std::vector<std::function<void()>> *tasks,
+                          CancelToken *cancel)
+{
     if (begin >= end)
         return;
     // One batch at a time. Items must not dispatch onto their own
@@ -97,7 +116,8 @@ ThreadPool::parallelForEach(uint64_t begin, uint64_t end,
     std::unique_lock<std::mutex> lock(mu_);
     batch_.next.store(begin, std::memory_order_relaxed);
     batch_.end = end;
-    batch_.fn = &fn;
+    batch_.fn = fn;
+    batch_.tasks = tasks;
     batch_.cancel = cancel;
     batch_.failed.reset();
     batch_.firstError = nullptr;
@@ -118,6 +138,7 @@ ThreadPool::parallelForEach(uint64_t begin, uint64_t end,
     // (fn and cancel dangle once this frame returns).
     batch_.done = true;
     batch_.fn = nullptr;
+    batch_.tasks = nullptr;
     batch_.cancel = nullptr;
     std::exception_ptr error = batch_.firstError;
     batch_.firstError = nullptr;

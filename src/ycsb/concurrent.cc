@@ -1,0 +1,94 @@
+#include "ycsb/concurrent.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hippo::ycsb
+{
+
+namespace
+{
+
+/**
+ * Stripe one insert-range key of client @p c into the merged
+ * keyspace. Keys below recordCount (the loaded records) are shared
+ * by all clients and pass through unchanged.
+ */
+uint64_t
+stripeKey(uint64_t key, uint64_t record_count, unsigned clients,
+          unsigned c)
+{
+    if (key < record_count)
+        return key;
+    return record_count + (key - record_count) * clients + c;
+}
+
+} // namespace
+
+ConcurrentOps
+buildLoadOps(uint64_t record_count, unsigned clients)
+{
+    clients = std::max(clients, 1u);
+    ConcurrentOps out;
+    out.ops.reserve(record_count);
+    out.keySpace = record_count;
+    // Client c owns keys {k : k % clients == c} ascending; the
+    // op-index-major round-robin merge of those streams is the
+    // serial sequence 0, 1, 2, ... at every client count, so we
+    // emit it directly.
+    for (uint64_t k = 0; k < record_count; k++)
+        out.ops.push_back(Op{OpType::Insert, k, 0});
+    return out;
+}
+
+ConcurrentOps
+buildConcurrentOps(const ConcurrentSpec &spec)
+{
+    unsigned clients = std::max(spec.clients, 1u);
+    hippo_assert(spec.workload != Workload::Load,
+                 "use buildLoadOps for the load phase");
+
+    // Per-client op budgets: opCount split as evenly as possible,
+    // low client indices take the remainder.
+    std::vector<uint64_t> budget(clients, spec.opCount / clients);
+    for (unsigned c = 0; c < spec.opCount % clients; c++)
+        budget[c]++;
+
+    // Generate each client's private stream from its derived seed.
+    // This loop is deliberately serial: generation is cheap, and
+    // the merged stream must not depend on scheduling.
+    std::vector<std::vector<Op>> streams(clients);
+    uint64_t key_space = spec.recordCount;
+    for (unsigned c = 0; c < clients; c++) {
+        Generator gen(spec.workload, spec.recordCount, budget[c],
+                      deriveSeed(spec.seed, c));
+        streams[c].reserve(budget[c]);
+        while (gen.hasNext()) {
+            Op op = gen.next();
+            op.key = stripeKey(op.key, spec.recordCount, clients, c);
+            uint64_t top = op.key + 1;
+            if (op.type == OpType::Scan)
+                top = op.key + std::max<uint64_t>(op.scanLength, 1);
+            key_space = std::max(key_space, top);
+            streams[c].push_back(op);
+        }
+    }
+
+    // Deterministic closed-loop merge: round r takes one op from
+    // every client that still has one, client index minor.
+    ConcurrentOps out;
+    out.ops.reserve(spec.opCount);
+    out.keySpace = key_space;
+    uint64_t rounds = clients ? budget[0] : 0;
+    for (uint64_t r = 0; r < rounds; r++)
+        for (unsigned c = 0; c < clients; c++)
+            if (r < streams[c].size())
+                out.ops.push_back(streams[c][r]);
+    hippo_assert(out.ops.size() == spec.opCount,
+                 "merge dropped ops: %zu != %llu", out.ops.size(),
+                 (unsigned long long)spec.opCount);
+    return out;
+}
+
+} // namespace hippo::ycsb

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Closed-loop concurrent YCSB driver front end: builds the merged
+ * operation stream that C independent clients would issue against
+ * the sharded store.
+ *
+ * Determinism contract (the whole point of this file): the merged
+ * stream depends ONLY on (workload, recordCount, opCount, clients,
+ * seed) — never on thread scheduling — so the per-shard op sequence
+ * downstream of the router is byte-identical at any `--jobs`
+ * setting and shard count. Three ingredients make that true:
+ *
+ *  1. per-client RNG streams: client c draws from a Generator
+ *     seeded with deriveSeed(seed, c) (one splitmix64 step), so its
+ *     op sequence is a pure function of the spec;
+ *  2. deterministic merge: ops are interleaved round-robin, op
+ *     index major / client index minor, which models C closed-loop
+ *     clients advancing in lockstep;
+ *  3. insert-key striping: client c remaps every generated
+ *     insert-range key k >= recordCount to
+ *     recordCount + (k - recordCount) * clients + c, so concurrent
+ *     inserters never collide and the merged keyspace stays dense.
+ *
+ * The load phase stripes the same way records are striped in the
+ * reference YCSB client: client c loads keys {k : k % clients == c}
+ * in ascending order, so the round-robin merge is exactly the
+ * serial load order 0, 1, 2, ... at every client count.
+ */
+
+#ifndef HIPPO_YCSB_CONCURRENT_HH
+#define HIPPO_YCSB_CONCURRENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ycsb/ycsb.hh"
+
+namespace hippo::ycsb
+{
+
+/** Spec of one concurrent closed-loop run. */
+struct ConcurrentSpec
+{
+    Workload workload = Workload::A;
+    uint64_t recordCount = 0;
+    uint64_t opCount = 0; ///< total across all clients
+    unsigned clients = 1;
+    uint64_t seed = 1;
+};
+
+/** The merged stream plus the keyspace it touches. */
+struct ConcurrentOps
+{
+    std::vector<Op> ops;
+    /** Exclusive upper bound on every key in @c ops (load keys,
+     *  request keys, and striped insert keys). */
+    uint64_t keySpace = 0;
+};
+
+/**
+ * The load phase for @p recordCount records over @p clients
+ * closed-loop loaders, merged deterministically. The merged order
+ * is the serial order 0..recordCount-1 at every client count.
+ */
+ConcurrentOps buildLoadOps(uint64_t recordCount, unsigned clients);
+
+/**
+ * The merged request stream for @p spec (see file comment for the
+ * determinism contract). Total op count is exactly spec.opCount;
+ * client c issues opCount/clients ops, the first opCount%clients
+ * clients one more.
+ */
+ConcurrentOps buildConcurrentOps(const ConcurrentSpec &spec);
+
+} // namespace hippo::ycsb
+
+#endif // HIPPO_YCSB_CONCURRENT_HH

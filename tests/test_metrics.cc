@@ -81,6 +81,61 @@ TEST(Metrics, HistogramBucketsAndStats)
     EXPECT_DOUBLE_EQ(h.max(), 100.0);
 }
 
+TEST(Metrics, PercentilesOnLogBucketBounds)
+{
+    MetricsRegistry reg;
+    auto &h = reg.histogram("lat");
+    // Empty histogram: every percentile is 0 by definition.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+
+    // A single observation lands every percentile on its bucket's
+    // upper bound (bucket i covers (2^(i-1), 2^i], bound 2^i).
+    h.observe(1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+
+    // {1, 2, 3, 4}: buckets 0, 1, 2, 2. The median rank (2 of 4)
+    // falls in bucket 1 (bound 2), the tail in bucket 2 (bound 4).
+    h.observe(2.0);
+    h.observe(3.0);
+    h.observe(4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+
+    // Out-of-range quantiles clamp instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 4.0);
+
+    // A far observation: 100 lands in bucket 7 (bound 128) and
+    // shifts the median rank (3rd of 5) into bucket 2 (bound 4).
+    h.observe(100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 128.0);
+}
+
+TEST(Metrics, PercentilesExportedAsComparableLeaves)
+{
+    MetricsRegistry reg;
+    auto &h = reg.histogram("lat");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        h.observe(v);
+
+    json::Value v = reg.toJson();
+    const json::Value *lat = v.find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_DOUBLE_EQ(lat->find("p50")->number(), 2.0);
+    EXPECT_DOUBLE_EQ(lat->find("p95")->number(), 4.0);
+    EXPECT_DOUBLE_EQ(lat->find("p99")->number(), 4.0);
+
+    auto snap = reg.deterministicSnapshot();
+    EXPECT_DOUBLE_EQ(snap["lat.p50"], 2.0);
+    EXPECT_DOUBLE_EQ(snap["lat.p95"], 4.0);
+    EXPECT_DOUBLE_EQ(snap["lat.p99"], 4.0);
+}
+
 TEST(Metrics, KindMismatchIsFatal)
 {
     MetricsRegistry reg;
@@ -231,11 +286,13 @@ TEST(Metrics, DeterministicSnapshotSkipsTimersAndGauges)
     reg.gauge("g").set(7);
 
     auto snap = reg.deterministicSnapshot();
-    EXPECT_EQ(snap.size(), 4u); // c, s, h.count, h.sum
+    // c, s, h.{count,sum,p50,p95,p99}
+    EXPECT_EQ(snap.size(), 7u);
     EXPECT_DOUBLE_EQ(snap["c"], 2);
     EXPECT_DOUBLE_EQ(snap["s"], 1.5);
     EXPECT_DOUBLE_EQ(snap["h.count"], 1);
     EXPECT_DOUBLE_EQ(snap["h.sum"], 3);
+    EXPECT_DOUBLE_EQ(snap["h.p50"], 4);
     EXPECT_FALSE(snap.count("t"));
     EXPECT_FALSE(snap.count("g"));
 }

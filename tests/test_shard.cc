@@ -1,0 +1,345 @@
+/**
+ * @file
+ * The sharded execution subsystem (src/shard): router determinism
+ * (host-side hash agrees with the VM's @hash_key, whole-bucket
+ * ownership, Scan decomposition), concurrent YCSB stream
+ * determinism, and the headline invariance contract — identical
+ * aggregate stats and recovery digests across shards {1,4,8} x
+ * jobs {1,4} x engine {Tree,Bytecode}.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/pmkv.hh"
+#include "ir/builder.hh"
+#include "shard/shard.hh"
+#include "support/metrics.hh"
+#include "ycsb/concurrent.hh"
+
+namespace hippo::test
+{
+
+namespace
+{
+
+/** Small geometry shared by every test in this file. */
+constexpr uint64_t kRecords = 64;
+constexpr uint64_t kOps = 64;
+constexpr uint64_t kScanOps = 12;
+constexpr unsigned kClients = 4;
+
+std::unique_ptr<ir::Module>
+buildStore()
+{
+    apps::PmkvConfig cfg;
+    cfg.variant = apps::PmkvVariant::Manual;
+    return apps::buildPmkv(cfg);
+}
+
+/** Load + A mix + E slice, one fixed stream for every leg. */
+struct Streams
+{
+    ycsb::ConcurrentOps load, mix, scans;
+    uint64_t keyLimit = 0;
+};
+
+Streams
+buildStreams()
+{
+    Streams s;
+    s.load = ycsb::buildLoadOps(kRecords, kClients);
+    ycsb::ConcurrentSpec spec;
+    spec.workload = ycsb::Workload::A;
+    spec.recordCount = kRecords;
+    spec.opCount = kOps;
+    spec.clients = kClients;
+    spec.seed = 1234;
+    s.mix = ycsb::buildConcurrentOps(spec);
+    spec.workload = ycsb::Workload::E;
+    spec.opCount = kScanOps;
+    spec.seed = 1235;
+    s.scans = ycsb::buildConcurrentOps(spec);
+    s.keyLimit = std::max(s.mix.keySpace, s.scans.keySpace);
+    return s;
+}
+
+struct LegOutcome
+{
+    shard::ShardRunStats stats;
+    uint64_t digest = 0;
+};
+
+LegOutcome
+runLeg(ir::Module *m, const Streams &s, unsigned shards,
+       unsigned jobs, vm::VmEngine engine,
+       support::MetricsRegistry *reg = nullptr)
+{
+    shard::ShardConfig cfg;
+    cfg.shards = shards;
+    cfg.jobs = jobs;
+    cfg.engine = engine;
+    cfg.kv.variant = apps::PmkvVariant::Manual;
+    shard::ShardedKv kv(m, cfg, reg);
+    kv.init();
+    LegOutcome out;
+    for (const ycsb::ConcurrentOps *phase :
+         {&s.load, &s.mix, &s.scans}) {
+        auto r = kv.run(phase->ops);
+        out.stats.ops += r.ops;
+        out.stats.subOps += r.subOps;
+        out.stats.opSteps += r.opSteps;
+        out.stats.scanHits += r.scanHits;
+    }
+    out.digest = kv.mergedRecoveryDigest(s.keyLimit);
+    return out;
+}
+
+} // namespace
+
+TEST(ShardRouter, HostHashMatchesVmHashKey)
+{
+    auto m = buildStore();
+    apps::PmkvConfig cfg;
+    shard::ShardConfig scfg;
+    scfg.kv.variant = apps::PmkvVariant::Manual;
+    shard::ShardedKv kv(m.get(), scfg);
+    for (uint64_t key : {0ull, 1ull, 7ull, 63ull, 1000ull,
+                         0xdeadbeefull, ~0ull}) {
+        vm::RunResult res = kv.vmOf(0).run("hash_key", {key});
+        ASSERT_TRUE(res.ok()) << res.diag;
+        EXPECT_EQ(shard::Router::bucketFor(key, cfg.buckets),
+                  res.returnValue)
+            << "host hash diverges from @hash_key at key " << key;
+    }
+}
+
+TEST(ShardRouter, WholeBucketOwnership)
+{
+    // Keys in the same bucket must land on the same shard at every
+    // shard count, and shardFor must equal bucket mod shards.
+    constexpr uint64_t buckets = 4096;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        shard::Router router(shards, buckets);
+        std::map<uint64_t, unsigned> bucket_shard;
+        for (uint64_t key = 0; key < 2000; key++) {
+            uint64_t b = shard::Router::bucketFor(key, buckets);
+            unsigned s = router.shardFor(key);
+            EXPECT_EQ(s, (unsigned)(b & (shards - 1)));
+            auto [it, fresh] = bucket_shard.emplace(b, s);
+            if (!fresh) {
+                EXPECT_EQ(it->second, s)
+                    << "bucket " << b << " split across shards";
+            }
+        }
+    }
+}
+
+TEST(ShardRouter, RejectsBadGeometry)
+{
+    // hippo_assert reports the failed expression text.
+    EXPECT_DEATH(shard::Router(3, 4096), "assertion failed");
+    EXPECT_DEATH(shard::Router(8, 4), "assertion failed");
+}
+
+TEST(ShardRouter, ScanDecomposition)
+{
+    shard::Router router(4, 4096);
+    std::vector<ycsb::Op> ops;
+    ops.push_back({ycsb::OpType::Read, 5, 0});
+    ycsb::Op scan{ycsb::OpType::Scan, 10, 0};
+    scan.scanLength = 7;
+    ops.push_back(scan);
+    auto queues = router.route(ops);
+    ASSERT_EQ(queues.size(), 4u);
+
+    size_t total = 0, from_scan = 0;
+    std::set<uint64_t> scan_keys;
+    for (const auto &q : queues)
+        for (const shard::RoutedOp &r : q) {
+            EXPECT_NE(r.op.type, ycsb::OpType::Scan)
+                << "Scans must never reach a shard queue";
+            total++;
+            if (r.fromScan) {
+                from_scan++;
+                EXPECT_EQ(r.op.type, ycsb::OpType::Read);
+                scan_keys.insert(r.op.key);
+            }
+        }
+    EXPECT_EQ(total, 8u);     // 1 Read + 7 scan sub-ops
+    EXPECT_EQ(from_scan, 7u); // keys 10..16
+    EXPECT_EQ(scan_keys, (std::set<uint64_t>{10, 11, 12, 13, 14,
+                                             15, 16}));
+    EXPECT_EQ(router.stats().ops, 2u);
+    EXPECT_EQ(router.stats().subOps, 8u);
+    EXPECT_EQ(router.stats().scanSubOps, 7u);
+}
+
+TEST(ConcurrentYcsb, StreamIsAPureFunctionOfTheSpec)
+{
+    ycsb::ConcurrentSpec spec;
+    spec.workload = ycsb::Workload::A;
+    spec.recordCount = kRecords;
+    spec.opCount = 100;
+    spec.clients = 3; // exercises the uneven budget split
+    spec.seed = 42;
+    auto a = ycsb::buildConcurrentOps(spec);
+    auto b = ycsb::buildConcurrentOps(spec);
+    ASSERT_EQ(a.ops.size(), 100u);
+    EXPECT_EQ(a.keySpace, b.keySpace);
+    for (size_t i = 0; i < a.ops.size(); i++) {
+        EXPECT_EQ(a.ops[i].type, b.ops[i].type) << i;
+        EXPECT_EQ(a.ops[i].key, b.ops[i].key) << i;
+        EXPECT_EQ(a.ops[i].scanLength, b.ops[i].scanLength) << i;
+    }
+    spec.seed = 43;
+    auto c = ycsb::buildConcurrentOps(spec);
+    bool differs = false;
+    for (size_t i = 0; i < c.ops.size(); i++)
+        differs |= c.ops[i].key != a.ops[i].key;
+    EXPECT_TRUE(differs) << "seed must steer the stream";
+}
+
+TEST(ConcurrentYcsb, LoadMergesToSerialOrder)
+{
+    for (unsigned clients : {1u, 2u, 4u}) {
+        auto load = ycsb::buildLoadOps(kRecords, clients);
+        ASSERT_EQ(load.ops.size(), kRecords);
+        for (uint64_t i = 0; i < kRecords; i++) {
+            EXPECT_EQ(load.ops[i].type, ycsb::OpType::Insert);
+            EXPECT_EQ(load.ops[i].key, i)
+                << "clients=" << clients << " op " << i;
+        }
+        EXPECT_EQ(load.keySpace, kRecords);
+    }
+}
+
+TEST(ConcurrentYcsb, InsertKeysAreStripedDisjoint)
+{
+    ycsb::ConcurrentSpec spec;
+    spec.workload = ycsb::Workload::D; // insert-heavy
+    spec.recordCount = kRecords;
+    spec.opCount = 200;
+    spec.clients = 4;
+    spec.seed = 7;
+    auto s = ycsb::buildConcurrentOps(spec);
+    std::set<uint64_t> inserted;
+    for (const ycsb::Op &op : s.ops) {
+        EXPECT_LT(op.key, s.keySpace);
+        if (op.type != ycsb::OpType::Insert)
+            continue;
+        EXPECT_GE(op.key, kRecords) << "insert into the load range";
+        EXPECT_TRUE(inserted.insert(op.key).second)
+            << "two clients inserted key " << op.key;
+    }
+}
+
+TEST(Shard, StatsAndDigestInvariantAcrossShardsJobsEngine)
+{
+    auto m = buildStore();
+    Streams s = buildStreams();
+    for (vm::VmEngine engine :
+         {vm::VmEngine::Tree, vm::VmEngine::Bytecode}) {
+        LegOutcome ref;
+        bool have_ref = false;
+        for (unsigned shards : {1u, 4u, 8u}) {
+            for (unsigned jobs : {1u, 4u}) {
+                LegOutcome leg = runLeg(m.get(), s, shards, jobs,
+                                        engine);
+                if (!have_ref) {
+                    ref = leg;
+                    have_ref = true;
+                    EXPECT_GT(leg.stats.ops, 0u);
+                    EXPECT_GT(leg.stats.opSteps, 0u);
+                    continue;
+                }
+                EXPECT_EQ(leg.stats.ops, ref.stats.ops);
+                EXPECT_EQ(leg.stats.subOps, ref.stats.subOps);
+                EXPECT_EQ(leg.stats.opSteps, ref.stats.opSteps)
+                    << "shards=" << shards << " jobs=" << jobs;
+                EXPECT_EQ(leg.stats.scanHits, ref.stats.scanHits);
+                EXPECT_EQ(leg.digest, ref.digest)
+                    << "shards=" << shards << " jobs=" << jobs;
+            }
+        }
+    }
+}
+
+TEST(Shard, EnginesAgreeOnTheRecoveredState)
+{
+    auto m = buildStore();
+    Streams s = buildStreams();
+    LegOutcome tree =
+        runLeg(m.get(), s, 4, 1, vm::VmEngine::Tree);
+    LegOutcome fast =
+        runLeg(m.get(), s, 4, 1, vm::VmEngine::Bytecode);
+    EXPECT_EQ(tree.digest, fast.digest)
+        << "interpreters disagree on the logical store";
+    EXPECT_EQ(tree.stats.scanHits, fast.stats.scanHits);
+}
+
+TEST(Shard, LatencyHistogramInvariantAcrossJobs)
+{
+    auto m = buildStore();
+    Streams s = buildStreams();
+    // Private registries: the per-op latency histogram (count, sum,
+    // percentiles) must be byte-identical at every jobs setting —
+    // observations are rounded to integer sim-ns, so worker
+    // interleaving cannot shift the sum.
+    std::map<std::string, double> ref;
+    for (unsigned jobs : {1u, 4u}) {
+        support::MetricsRegistry reg;
+        runLeg(m.get(), s, 4, jobs, vm::VmEngine::Bytecode, &reg);
+        auto snap = reg.deterministicSnapshot();
+        ASSERT_TRUE(snap.count("ycsb.latency.op_ns.count"));
+        EXPECT_GT(snap["ycsb.latency.op_ns.count"], 0);
+        if (ref.empty()) {
+            ref = snap;
+            continue;
+        }
+        ASSERT_EQ(snap.size(), ref.size());
+        for (const auto &[path, value] : ref)
+            EXPECT_EQ(snap[path], value)
+                << path << " drifts at jobs=" << jobs;
+    }
+}
+
+TEST(Shard, ExploreShardsIsConsistentAndShardCountInvariant)
+{
+    auto m = buildStore();
+    // A small exercise entry touching the set path twice.
+    ir::Function *f = m->addFunction("kv_exercise", ir::Type::Int);
+    ir::BasicBlock *bb = f->addBlock("entry");
+    ir::IRBuilder b(m.get());
+    b.setInsertPoint(bb);
+    b.setLoc("test_shard.cc", 1);
+    auto call = [&](const char *name,
+                    std::vector<ir::Value *> args) {
+        return b.createCall(m->findFunction(name), std::move(args));
+    };
+    call("kv_init", {});
+    call("kv_handle_set", {b.getInt(3), b.getInt(24)});
+    call("kv_handle_set", {b.getInt(7), b.getInt(24)});
+    b.createRet(call("kv_recover", {}));
+
+    pmcheck::CrashExplorerConfig xc;
+    xc.entry = "kv_exercise";
+    xc.recovery = "kv_recover";
+    xc.maxCrashes = 1u << 20;
+    xc.poolBytes = 32u << 20;
+    xc.vmEngine = vm::VmEngine::Bytecode;
+    auto x1 = shard::exploreShards(m.get(), xc, 1);
+    auto x2 = shard::exploreShards(m.get(), xc, 2);
+    EXPECT_TRUE(x1.consistent);
+    EXPECT_TRUE(x2.consistent);
+    ASSERT_EQ(x1.shardDigests.size(), 1u);
+    ASSERT_EQ(x2.shardDigests.size(), 2u);
+    EXPECT_EQ(x1.digest, x2.digest)
+        << "merged exploration digest depends on the shard count";
+    EXPECT_EQ(x1.unverified + x2.unverified, 0u);
+}
+
+} // namespace hippo::test

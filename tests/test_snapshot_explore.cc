@@ -72,13 +72,29 @@ metricSnapshot()
     return out;
 }
 
-/** Leafwise delta of two metric snapshots (missing key = 0). */
+/** True for histogram percentile leaves (`.p50`/`.p95`/`.p99`):
+ *  order statistics, not additive — a repeated identical workload
+ *  leaves them unchanged, so deltas are meaningless. */
+bool
+isPercentileLeaf(const std::string &k)
+{
+    auto ends = [&](const char *suffix) {
+        size_t n = std::strlen(suffix);
+        return k.size() >= n && k.compare(k.size() - n, n, suffix) == 0;
+    };
+    return ends(".p50") || ends(".p95") || ends(".p99");
+}
+
+/** Leafwise delta of two metric snapshots (missing key = 0),
+ *  restricted to the additive leaves. */
 std::map<std::string, double>
 metricDelta(const std::map<std::string, double> &before,
             const std::map<std::string, double> &after)
 {
     std::map<std::string, double> out;
     for (const auto &[k, v] : after) {
+        if (isPercentileLeaf(k))
+            continue;
         auto it = before.find(k);
         double d = v - (it == before.end() ? 0.0 : it->second);
         if (d != 0)

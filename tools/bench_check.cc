@@ -116,6 +116,11 @@ collectLeaves(const json::Value &node, const std::string &path,
         } else if (kind == "hist") {
             out.push_back({path + ".count", num("count")});
             out.push_back({path + ".sum", num("sum")});
+            // Log-bucket percentiles (schema v4): deterministic
+            // comparable counters, absent from older files.
+            for (const char *p : {"p50", "p95", "p99"})
+                if (node.find(p))
+                    out.push_back({path + "." + p, num(p)});
         } else if (kind == "timer" && check_timers) {
             out.push_back({path + ".total_ns", num("total_ns")});
         }

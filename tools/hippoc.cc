@@ -30,6 +30,10 @@
  *                                         #   execution (sandboxed)
  *   hippoc prog.pmir --recovery rec       # recovery entry for --chaos
  *                                         #   (default: the entry)
+ *   hippoc prog.pmir --chaos 1 --shards 4 # per-shard exploration:
+ *                                         #   run the explorer once
+ *                                         #   per shard, merge the
+ *                                         #   recovery digests
  *   hippoc prog.pmir --engine bytecode    # interpreter engine for
  *                                         #   every execution
  *                                         #   (tree|bytecode|auto)
@@ -68,6 +72,7 @@
 #include "pmcheck/crash_explorer.hh"
 #include "pmcheck/detector.hh"
 #include "pmem/pm_pool.hh"
+#include "shard/shard.hh"
 #include "support/errors.hh"
 #include "support/metrics.hh"
 #include "support/strings.hh"
@@ -91,7 +96,8 @@ usage(const char *argv0)
         "          [--stats OUT.json] [--jobs N] [-o OUT.pmir]\n"
         "          [--chaos SEED] [--torn-chance P]\n"
         "          [--step-budget N] [--time-budget MS]\n"
-        "          [--recovery NAME] [--engine tree|bytecode|auto]\n",
+        "          [--recovery NAME] [--engine tree|bytecode|auto]\n"
+        "          [--shards N]\n",
         argv0);
     std::exit(2);
 }
@@ -117,6 +123,7 @@ struct Options
     bool cleanFlushes = false;
     bool optimize = false;  ///< --optimize: verified flush/fence opt
     bool chaos = false;     ///< --chaos: adversarial exploration
+    unsigned shards = 1;    ///< --shards: per-shard exploration
     std::string recovery;   ///< --recovery (default: the entry)
     core::FixerConfig cfg;  ///< also carries faults + budgets
 };
@@ -323,18 +330,37 @@ processModuleImpl(const std::string &input, const Options &opt,
         cc.heapBudget = opt.cfg.heapBudget;
         cc.timeBudgetMs = opt.cfg.timeBudgetMs;
         cc.vmEngine = opt.cfg.vmEngine;
-        auto res = pmcheck::exploreCrashes(m.get(), cc);
-        metrics.counter("pipeline.chaos_runs").inc();
-        out += format("chaos: seed=%llu torn-chance=%.3f "
-                      "crash-points=%zu unverified=%llu clean=%llu "
-                      "min=%llu max=%llu digest=%016llx\n",
-                      (unsigned long long)opt.cfg.faults.seed,
-                      opt.cfg.faults.tornChance, res.outcomes.size(),
-                      (unsigned long long)res.unverifiedCount(),
-                      (unsigned long long)res.cleanRunRecovered,
-                      (unsigned long long)res.minRecovered(),
-                      (unsigned long long)res.maxRecovered(),
-                      (unsigned long long)outcomeDigest(res));
+        if (opt.shards > 1) {
+            // Per-shard exploration (src/shard): the explorer runs
+            // once per shard against that shard's own fresh pool,
+            // and the merged digest must agree across shard counts.
+            auto merged =
+                shard::exploreShards(m.get(), cc, opt.shards);
+            metrics.counter("pipeline.chaos_runs").inc(opt.shards);
+            out += format("chaos: seed=%llu shards=%u "
+                          "consistent=%s unverified=%llu "
+                          "merged-digest=%016llx\n",
+                          (unsigned long long)opt.cfg.faults.seed,
+                          opt.shards,
+                          merged.consistent ? "yes" : "NO",
+                          (unsigned long long)merged.unverified,
+                          (unsigned long long)merged.digest);
+        } else {
+            auto res = pmcheck::exploreCrashes(m.get(), cc);
+            metrics.counter("pipeline.chaos_runs").inc();
+            out += format("chaos: seed=%llu torn-chance=%.3f "
+                          "crash-points=%zu unverified=%llu "
+                          "clean=%llu min=%llu max=%llu "
+                          "digest=%016llx\n",
+                          (unsigned long long)opt.cfg.faults.seed,
+                          opt.cfg.faults.tornChance,
+                          res.outcomes.size(),
+                          (unsigned long long)res.unverifiedCount(),
+                          (unsigned long long)res.cleanRunRecovered,
+                          (unsigned long long)res.minRecovered(),
+                          (unsigned long long)res.maxRecovered(),
+                          (unsigned long long)outcomeDigest(res));
+        }
     }
 
     if (!opt.output.empty()) {
@@ -422,6 +448,17 @@ main(int argc, char **argv)
                 (uint64_t)std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--recovery" && i + 1 < argc) {
             opt.recovery = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            opt.shards =
+                (unsigned)std::strtoul(argv[++i], nullptr, 10);
+            if (!opt.shards ||
+                (opt.shards & (opt.shards - 1)) != 0) {
+                std::fprintf(stderr,
+                             "hippoc: --shards must be a power of "
+                             "two >= 1 (got '%s')\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "--engine" && i + 1 < argc) {
             if (!vm::parseVmEngine(argv[++i], opt.cfg.vmEngine)) {
                 std::fprintf(stderr,

@@ -13,7 +13,8 @@ CallGraph::CallGraph(const ir::Module &m)
         callees_[f.get()]; // ensure the entry exists
         for (const auto &bb : f->blocks()) {
             for (const auto &instr : *bb) {
-                if (instr->op() != ir::Opcode::Call)
+                if (instr->op() != ir::Opcode::Call &&
+                    instr->op() != ir::Opcode::ThreadSpawn)
                     continue;
                 callSites_[instr->callee()].push_back(instr.get());
                 callees_[f.get()].insert(instr->callee());

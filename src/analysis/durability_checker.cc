@@ -711,9 +711,17 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
     switch (in.op()) {
       case ir::Opcode::Store:
       case ir::Opcode::Memcpy:
-      case ir::Opcode::Memset: {
+      case ir::Opcode::Memset:
+      case ir::Opcode::AtomicStore:
+      case ir::Opcode::AtomicRmw: {
+        // Atomic PM writes dirty their line exactly like plain
+        // stores; ordering only affects scheduler visibility.
         bool is_store = in.op() == ir::Opcode::Store;
-        const ir::Value *ptr = in.operand(is_store ? 1 : 0);
+        bool sized = is_store ||
+                     in.op() == ir::Opcode::AtomicStore ||
+                     in.op() == ir::Opcode::AtomicRmw;
+        const ir::Value *ptr = in.operand(
+            is_store || in.op() == ir::Opcode::AtomicStore ? 1 : 0);
         const std::vector<uint32_t> &pts = pt_.pointsTo(ptr);
         if (!isPmRelevant(pts))
             break;
@@ -722,7 +730,7 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
         r.stack = {frameOf(f, in)};
         r.addrs = resolveAddrs(f, ptr);
         r.objects = pts;
-        if (is_store) {
+        if (sized) {
             r.size = in.accessSize();
         } else if (auto *len = dynamic_cast<const ir::Constant *>(
                        in.operand(2))) {
@@ -887,6 +895,32 @@ Checker::transfer(const ir::Function *f, const ir::Instruction &in,
         }
         // Merge the records that escape from the callee, rebased
         // through this call site's arguments.
+        for (const auto &[id, er] : cs.escaped)
+            mergeRecord(fact.recs, rebase(er, f, in));
+        break;
+      }
+      case ir::Opcode::ThreadSpawn: {
+        // The spawned function runs under an unknown interleaving
+        // relative to this thread, so none of its guaranteed
+        // flush/fence effects can be credited at the spawn point.
+        // Its escaped (unpersisted) records are merged here — the
+        // over-approximation keeps the no-false-negative bias —
+        // and its durability points surface candidates against the
+        // spawner's live records, never fence-guaranteed.
+        auto ts_it = summaries_.find(in.callee());
+        if (ts_it == summaries_.end() || !ts_it->second.computed)
+            break;
+        const Summary &cs = ts_it->second;
+        if (cs.mayDurPoint) {
+            if (sum)
+                sum->mayDurPoint = true;
+            if (out) {
+                std::vector<trace::StackFrame> ds = cs.repDurStack;
+                ds.push_back(frameOf(f, in));
+                truncateStack(ds);
+                emitAt(fact.recs, ds, cs.repDurLabel, false, *out);
+            }
+        }
         for (const auto &[id, er] : cs.escaped)
             mergeRecord(fact.recs, rebase(er, f, in));
         break;
@@ -1120,10 +1154,14 @@ Checker::run()
                     break;
                   case ir::Opcode::Store:
                   case ir::Opcode::Memcpy:
-                  case ir::Opcode::Memset: {
-                    bool is_store = in->op() == ir::Opcode::Store;
+                  case ir::Opcode::Memset:
+                  case ir::Opcode::AtomicStore:
+                  case ir::Opcode::AtomicRmw: {
+                    bool ptr_at_1 =
+                        in->op() == ir::Opcode::Store ||
+                        in->op() == ir::Opcode::AtomicStore;
                     const ir::Value *ptr =
-                        in->operand(is_store ? 1 : 0);
+                        in->operand(ptr_at_1 ? 1 : 0);
                     if (isPmRelevant(pt_.pointsTo(ptr)))
                         rep.storesTracked++;
                     break;

@@ -83,7 +83,11 @@ PointsTo::PointsTo(const ir::Module &m)
                         addEdge(instr->operand(2), instr);
                     }
                     break;
-                  case ir::Opcode::Call: {
+                  case ir::Opcode::Call:
+                  case ir::Opcode::ThreadSpawn: {
+                    // thread_spawn passes arguments exactly like a
+                    // call; the pointee flow into the spawned
+                    // function's parameters is identical.
                     const ir::Function *callee = instr->callee();
                     for (size_t i = 0; i < instr->numOperands();
                          i++) {

@@ -1,0 +1,216 @@
+#include "apps/racekv.hh"
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace hippo::apps
+{
+
+using namespace hippo::ir;
+
+namespace
+{
+
+/** PM layout: slot[i] at i*64, flag[i] at 1024 + i*64, published
+ *  count at 2048 — every field on its own cache line, so a torn
+ *  crash can persist a publication flag without its payload. */
+constexpr uint64_t slotBase = 0;
+constexpr uint64_t flagBase = 1024;
+constexpr uint64_t countOff = 2048;
+constexpr uint64_t lineBytes = 64;
+constexpr uint64_t valueBias = 100; ///< slot i holds valueBias + i
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+buildRaceKv(const RaceKvBuild &cfg)
+{
+    hippo_assert(cfg.slots >= 1 &&
+                     flagBase + cfg.slots * lineBytes <= countOff,
+                 "racekv: slot count out of layout range");
+    auto m = std::make_unique<Module>("racekv");
+    IRBuilder b(m.get());
+
+    // @producer(%pool): fill and publish every slot. One static
+    // publication site (the loop body), so the buggy build seeds
+    // exactly one cross-thread bug however many slots run.
+    Function *producer = m->addFunction("producer", Type::Int);
+    {
+        Argument *pool = producer->addParam(Type::Ptr, "pool");
+        BasicBlock *entry = producer->addBlock("entry");
+        BasicBlock *loop = producer->addBlock("loop");
+        BasicBlock *body = producer->addBlock("body");
+        BasicBlock *done = producer->addBlock("done");
+        b.setInsertPoint(entry);
+        b.setLoc("racekv.c", 10);
+        Instruction *iv = b.createAlloca(8);
+        b.createStore(m->getInt(0), iv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(
+            b.createCmp(CmpPred::Ult, i, m->getInt(cfg.slots)), body,
+            done);
+        b.setInsertPoint(body);
+        Instruction *off = b.createBin(BinOp::Mul, i,
+                                       m->getInt(lineBytes));
+        Instruction *slot =
+            b.createGep(pool, b.createAdd(m->getInt(slotBase), off));
+        b.createStore(b.createAdd(i, m->getInt(valueBias)), slot, 8);
+        if (cfg.flushSlots) {
+            b.createFlush(slot, FlushKind::Clwb);
+            b.createFence(FenceKind::Sfence);
+        }
+        Instruction *flag =
+            b.createGep(pool, b.createAdd(m->getInt(flagBase), off));
+        b.createAtomicStore(m->getInt(1), flag, MemOrder::Release, 8);
+        // The publication itself is made durable either way; the
+        // seeded bug is publishing *before* the payload persists.
+        b.createFlush(flag, FlushKind::Clwb);
+        b.createFence(FenceKind::Sfence);
+        b.createStore(b.createAdd(i, m->getInt(1)), iv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(done);
+        b.createRet(m->getInt(0));
+    }
+
+    // A single non-blocking poll pass over the flags with acquire
+    // loads; shared by the concurrent consumer pass and the
+    // post-join pass. Returns the number of published slots seen.
+    auto emitPollPass = [&](Function *f, Value *pool,
+                            const char *prefix) {
+        BasicBlock *loop = f->addBlock(std::string(prefix) + "_loop");
+        BasicBlock *body = f->addBlock(std::string(prefix) + "_body");
+        BasicBlock *done = f->addBlock(std::string(prefix) + "_done");
+        Instruction *iv = b.createAlloca(8);
+        Instruction *seen = b.createAlloca(8);
+        b.createStore(m->getInt(0), iv, 8);
+        b.createStore(m->getInt(0), seen, 8);
+        b.createBr(loop);
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(
+            b.createCmp(CmpPred::Ult, i, m->getInt(cfg.slots)), body,
+            done);
+        b.setInsertPoint(body);
+        Instruction *off = b.createBin(BinOp::Mul, i,
+                                       m->getInt(lineBytes));
+        Instruction *flag =
+            b.createGep(pool, b.createAdd(m->getInt(flagBase), off));
+        Instruction *pub =
+            b.createAtomicLoad(flag, MemOrder::Acquire, 8);
+        b.createStore(b.createAdd(b.createLoad(seen, 8), pub), seen,
+                      8);
+        b.createStore(b.createAdd(i, m->getInt(1)), iv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(done);
+        return b.createLoad(seen, 8);
+    };
+
+    // @main: spawn the producer, consume concurrently (one poll
+    // pass — non-blocking, so no schedule can livelock it), join,
+    // poll again for the final count, bump the published count in
+    // PM, and declare durability.
+    Function *main_fn = m->addFunction("main", Type::Int);
+    {
+        b.setInsertPoint(main_fn->addBlock("entry"));
+        b.setLoc("racekv.c", 40);
+        Instruction *pool =
+            b.createPmMap("racekv", raceKvPoolBytes);
+        Instruction *tid = b.createThreadSpawn(producer, {pool});
+        emitPollPass(main_fn, pool, "peek");
+        b.createThreadJoin(tid);
+        Instruction *count = emitPollPass(main_fn, pool, "final");
+        Instruction *cnt_ptr =
+            b.createGep(pool, m->getInt(countOff));
+        b.createStore(count, cnt_ptr, 8);
+        if (cfg.flushCount) {
+            b.createFlush(cnt_ptr, FlushKind::Clwb);
+            b.createFence(FenceKind::Sfence);
+        }
+        b.createDurPoint("published");
+        b.createRet(count);
+    }
+
+    // @recover: classify every published slot from the surviving
+    // image. Plain loads — recovery is single-threaded.
+    Function *rec = m->addFunction("recover", Type::Int);
+    {
+        BasicBlock *entry = rec->addBlock("entry");
+        BasicBlock *loop = rec->addBlock("loop");
+        BasicBlock *body = rec->addBlock("body");
+        BasicBlock *pub_bb = rec->addBlock("published");
+        BasicBlock *valid_bb = rec->addBlock("valid");
+        BasicBlock *torn_bb = rec->addBlock("torn");
+        BasicBlock *next = rec->addBlock("next");
+        BasicBlock *done = rec->addBlock("done");
+        b.setInsertPoint(entry);
+        b.setLoc("racekv.c", 70);
+        Instruction *pool =
+            b.createPmMap("racekv", raceKvPoolBytes);
+        Instruction *iv = b.createAlloca(8);
+        Instruction *valid = b.createAlloca(8);
+        Instruction *torn = b.createAlloca(8);
+        b.createStore(m->getInt(0), iv, 8);
+        b.createStore(m->getInt(0), valid, 8);
+        b.createStore(m->getInt(0), torn, 8);
+        b.createBr(loop);
+        b.setInsertPoint(loop);
+        Instruction *i = b.createLoad(iv, 8);
+        b.createCondBr(
+            b.createCmp(CmpPred::Ult, i, m->getInt(cfg.slots)), body,
+            done);
+        b.setInsertPoint(body);
+        Instruction *off = b.createBin(BinOp::Mul, i,
+                                       m->getInt(lineBytes));
+        Instruction *flag =
+            b.createGep(pool, b.createAdd(m->getInt(flagBase), off));
+        b.createCondBr(b.createCmp(CmpPred::Eq,
+                                   b.createLoad(flag, 8),
+                                   m->getInt(1)),
+                       pub_bb, next);
+        b.setInsertPoint(pub_bb);
+        Instruction *slot =
+            b.createGep(pool, b.createAdd(m->getInt(slotBase),
+                                          b.createBin(BinOp::Mul,
+                                                      b.createLoad(
+                                                          iv, 8),
+                                                      m->getInt(
+                                                          lineBytes))));
+        Instruction *want = b.createAdd(b.createLoad(iv, 8),
+                                        m->getInt(valueBias));
+        b.createCondBr(b.createCmp(CmpPred::Eq,
+                                   b.createLoad(slot, 8), want),
+                       valid_bb, torn_bb);
+        b.setInsertPoint(valid_bb);
+        b.createStore(b.createAdd(b.createLoad(valid, 8),
+                                  m->getInt(1)),
+                      valid, 8);
+        b.createBr(next);
+        b.setInsertPoint(torn_bb);
+        b.createStore(b.createAdd(b.createLoad(torn, 8),
+                                  m->getInt(1)),
+                      torn, 8);
+        b.createBr(next);
+        b.setInsertPoint(next);
+        b.createStore(b.createAdd(b.createLoad(iv, 8), m->getInt(1)),
+                      iv, 8);
+        b.createBr(loop);
+        b.setInsertPoint(done);
+        // valid + 100 * torn: a torn publication dominates the
+        // recovered value, so crash digests separate the two cases.
+        Instruction *ret = b.createAdd(
+            b.createLoad(valid, 8),
+            b.createBin(BinOp::Mul, b.createLoad(torn, 8),
+                        m->getInt(100)));
+        b.createRet(ret);
+    }
+
+    auto errs = verifyModule(*m);
+    hippo_assert(errs.empty(), "racekv build invalid: %s",
+                 errs.empty() ? "" : errs.front().c_str());
+    return m;
+}
+
+} // namespace hippo::apps

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * racekv: a racy publisher/consumer KV slab for the interleaving-
+ * bounded explorer (DESIGN.md "Thread model & interleaving-bounded
+ * exploration"). A producer thread fills per-line slots and publishes
+ * each with a release-ordered atomic flag; the main thread consumes
+ * concurrently, joins, and records the published count under a
+ * durability point. Its recovery entry classifies every published
+ * slot as valid or torn, so a crash image in which a publication
+ * became durable before its payload is directly visible in the
+ * recovered value.
+ *
+ * The default build seeds two durability bugs:
+ *  - the slot payload is never flushed before the release publication
+ *    (the cross-thread CROSS bug the interleaving explorer forks at);
+ *  - the published-count bump is never flushed before the final
+ *    durability point (a plain single-thread missing-flush&fence).
+ *
+ * Both knobs on produce the developer-fixed build: detector-clean,
+ * and race-free under every bounded schedule.
+ */
+
+#ifndef HIPPO_APPS_RACEKV_HH
+#define HIPPO_APPS_RACEKV_HH
+
+#include <memory>
+
+#include "ir/module.hh"
+
+namespace hippo::apps
+{
+
+/** Build knobs: which durability steps the build performs. */
+struct RaceKvBuild
+{
+    uint32_t slots = 4;      ///< published slots (one PM line each)
+    bool flushSlots = false; ///< flush+fence payload before publish
+    bool flushCount = false; ///< flush+fence the final count bump
+};
+
+/** PM pool bytes the racekv region needs. */
+constexpr uint64_t raceKvPoolBytes = 4096;
+
+/** Entry / recovery function names (see buildRaceKv). */
+constexpr const char *raceKvEntry = "main";
+constexpr const char *raceKvRecovery = "recover";
+
+/**
+ * Build the module: @c \@producer (spawned thread), @c \@main
+ * (spawn, concurrent poll, join, count bump, durpoint), and
+ * @c \@recover, which returns `valid + 100 * torn` over the
+ * published slots — torn > 0 exactly when a crash image holds a
+ * durable publication flag whose payload did not persist.
+ */
+std::unique_ptr<ir::Module> buildRaceKv(const RaceKvBuild &b = {});
+
+} // namespace hippo::apps
+
+#endif // HIPPO_APPS_RACEKV_HH

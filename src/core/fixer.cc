@@ -26,6 +26,7 @@ fixKindName(FixKind k)
       case FixKind::IntraFence: return "intra-fence";
       case FixKind::IntraFlushFence: return "intra-flush+fence";
       case FixKind::Interprocedural: return "interprocedural";
+      case FixKind::CrossPublish: return "cross-publish";
     }
     return "?";
 }
@@ -101,6 +102,11 @@ struct Fixer::PlannedFix
     /** Unconditional fence (missing-fence plans, anchored at the
      *  existing flush). Flush plans decide fence need per locus. */
     bool addFence = false;
+    /** Cross-thread plan anchored at the publishing atomic: insert
+     *  *before* the anchor and flush @ref flushPtr (the buggy
+     *  store's pointer), not the anchor's own operand. */
+    bool beforeAnchor = false;
+    ir::Value *flushPtr = nullptr;
     std::vector<size_t> bugs;
     const pmcheck::Bug *rep = nullptr; ///< representative bug
 
@@ -186,6 +192,19 @@ class Fixer::Impl
 
     /// @name Phase 1: intraprocedural fixes
     /// @{
+    /** Does @p a execute before @p b within their shared block? */
+    static bool
+    precedesInBlock(const ir::Instruction *a, const ir::Instruction *b)
+    {
+        for (const auto &owned : *a->parent()) {
+            if (owned.get() == a)
+                return true;
+            if (owned.get() == b)
+                return false;
+        }
+        return false;
+    }
+
     void
     planIntraFixes()
     {
@@ -236,6 +255,41 @@ class Fixer::Impl
                 }
                 break;
               }
+              case pmcheck::BugKind::CrossThread: {
+                // Cross-thread publication race: the payload store's
+                // line must be durable before the release-ordered
+                // atomic makes it observable. Preferred locus: flush
+                // the payload pointer + fence immediately BEFORE the
+                // publishing atomic — valid when the publication is
+                // in the same block as the store (program order
+                // guarantees the pointer value dominates the locus).
+                // Fallback: flush+fence right after the store, which
+                // precedes the publication on every same-thread
+                // path. Both are add-only (do-no-harm).
+                ir::Instruction *pub =
+                    bug.durStack.empty()
+                        ? nullptr
+                        : resolveInstr(bug.durStack[0]);
+                ir::Value *ptr = modifiedPointer(store);
+                bool at_pub =
+                    pub &&
+                    (pub->op() == ir::Opcode::AtomicStore ||
+                     pub->op() == ir::Opcode::AtomicRmw) &&
+                    pub->parent() == store->parent() &&
+                    precedesInBlock(store, pub);
+                if (at_pub) {
+                    fix.anchor = pub;
+                    fix.beforeAnchor = true;
+                    fix.addFlush = true;
+                    fix.addFence = true;
+                    fix.flushPtr = ptr;
+                } else {
+                    fix.anchor = store;
+                    fix.addFlush = true;
+                    fix.addFence = true;
+                }
+                break;
+              }
             }
             plans_.push_back(std::move(fix));
         }
@@ -276,6 +330,8 @@ class Fixer::Impl
             for (PlannedFix &dst : reduced) {
                 if (dst.anchor == fix.anchor &&
                     dst.addFlush == fix.addFlush &&
+                    dst.beforeAnchor == fix.beforeAnchor &&
+                    dst.flushPtr == fix.flushPtr &&
                     sameCallPath(*dst.rep, *fix.rep)) {
                     merged = &dst;
                     break;
@@ -335,9 +391,11 @@ class Fixer::Impl
     {
         switch (instr->op()) {
           case ir::Opcode::Store:
+          case ir::Opcode::AtomicStore:
             return instr->operand(1);
           case ir::Opcode::Memcpy:
           case ir::Opcode::Memset:
+          case ir::Opcode::AtomicRmw:
             return instr->operand(0);
           default:
             return nullptr;
@@ -349,6 +407,13 @@ class Fixer::Impl
     {
         for (PlannedFix &fix : plans_) {
             if (!fix.addFlush)
+                continue;
+            // Cross-thread fixes never hoist: the persistent-
+            // subprogram transformation would put the fence after
+            // the hoisted call site, which may fall after the
+            // publishing atomic — re-opening the race window.
+            if (fix.beforeAnchor ||
+                fix.rep->kind == pmcheck::BugKind::CrossThread)
                 continue;
             const pmcheck::Bug &bug = *fix.rep;
             if (bug.durStack.empty() || bug.storeStack.empty())
@@ -596,8 +661,11 @@ class Fixer::Impl
         ir::IRBuilder b(module_);
         b.setInsertPointAfter(mem_op);
         b.setLoc(mem_op->loc());
-        if (mem_op->op() == ir::Opcode::Store) {
+        if (mem_op->op() == ir::Opcode::Store ||
+            mem_op->op() == ir::Opcode::AtomicStore) {
             b.createFlush(mem_op->operand(1), cfg_.flushKind);
+        } else if (mem_op->op() == ir::Opcode::AtomicRmw) {
+            b.createFlush(mem_op->operand(0), cfg_.flushKind);
         } else {
             b.createCall(flushRangeHelper(),
                          {mem_op->operand(0), mem_op->operand(2)});
@@ -656,6 +724,46 @@ class Fixer::Impl
             summary.fixes.push_back(std::move(applied));
         }
 
+        // Cross-thread fixes anchored at the publishing atomic: one
+        // flush per distinct payload pointer plus one fence, all
+        // inserted immediately before the publication so the data
+        // is durable before it becomes observable.
+        struct PublishGroup
+        {
+            std::vector<PlannedFix *> plans;
+        };
+        std::map<ir::Instruction *, PublishGroup> publishes;
+        for (PlannedFix &fix : plans_) {
+            if (fix.beforeAnchor)
+                publishes[fix.anchor].plans.push_back(&fix);
+        }
+        for (auto &[anchor, group] : publishes) {
+            AppliedFix applied;
+            applied.kind = FixKind::CrossPublish;
+            applied.function = anchor->function()->name();
+            applied.anchorInstrId = anchor->id();
+
+            ir::IRBuilder b(module_);
+            b.setInsertPointBefore(anchor);
+            b.setLoc(anchor->loc());
+            std::set<ir::Value *> flushed;
+            for (PlannedFix *p : group.plans) {
+                applied.bugIndexes.insert(applied.bugIndexes.end(),
+                                          p->bugs.begin(),
+                                          p->bugs.end());
+                if (p->flushPtr &&
+                    flushed.insert(p->flushPtr).second) {
+                    b.createFlush(p->flushPtr, cfg_.flushKind);
+                    applied.flushesInserted++;
+                    summary.flushesInserted++;
+                }
+            }
+            b.createFence(cfg_.fenceKind);
+            applied.fencesInserted++;
+            summary.fencesInserted++;
+            summary.fixes.push_back(std::move(applied));
+        }
+
         // Remaining intraprocedural fixes, deduplicated per anchor
         // (plans for the same anchor via distinct call paths that
         // all stayed intra collapse to one insertion).
@@ -667,7 +775,7 @@ class Fixer::Impl
         };
         std::map<ir::Instruction *, AnchorGroup> anchors;
         for (PlannedFix &fix : plans_) {
-            if (fix.interCallSite)
+            if (fix.interCallSite || fix.beforeAnchor)
                 continue;
             AnchorGroup &g = anchors[fix.anchor];
             g.plans.push_back(&fix);

@@ -107,6 +107,10 @@ enum class FixKind : uint8_t
     IntraFence,
     IntraFlushFence,
     Interprocedural,
+    /** Cross-thread repair: flush of the published payload plus a
+     *  fence inserted immediately *before* the release-ordered
+     *  atomic publication (add-only, so still do-no-harm). */
+    CrossPublish,
 };
 
 const char *fixKindName(FixKind k);

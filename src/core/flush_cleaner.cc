@@ -20,6 +20,14 @@ mayWriteMemory(const ir::Instruction &instr)
       case ir::Opcode::Memcpy:
       case ir::Opcode::Memset:
       case ir::Opcode::Call: // conservatively: callees may store
+      // Thread/atomic ops are interleaving points: another VM
+      // thread may store to the flushed line while this thread is
+      // preempted there.
+      case ir::Opcode::ThreadSpawn:
+      case ir::Opcode::ThreadJoin:
+      case ir::Opcode::AtomicLoad:
+      case ir::Opcode::AtomicStore:
+      case ir::Opcode::AtomicRmw:
         return true;
       default:
         return false;

@@ -167,6 +167,28 @@ mayTouchLine(const Instruction &in, const Value *fptr,
 enum class Ev : uint8_t { Cover, Kill, Thru };
 
 /**
+ * Thread and atomic ops are scheduler-visible interleaving points:
+ * another VM thread may store, flush, fence, or observe persistence
+ * while this thread is preempted there, so every event model treats
+ * them as opaque barriers — no flush or fence may be elided, merged,
+ * or moved across one.
+ */
+bool
+isSchedBarrier(Opcode op)
+{
+    switch (op) {
+      case Opcode::ThreadSpawn:
+      case Opcode::ThreadJoin:
+      case Opcode::AtomicLoad:
+      case Opcode::AtomicStore:
+      case Opcode::AtomicRmw:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
  * Pass A (dominated-flush elision) event model, walking *backward*
  * from a flush F of line L: is L provably clean when F executes?
  *  - a must-same-line flush cleans L (any kind): Cover;
@@ -183,6 +205,8 @@ Ev
 classifyElide(const Instruction &in, const Value *fptr,
               const FoldedPtr &ff, const analysis::PointsTo &pts)
 {
+    if (isSchedBarrier(in.op()))
+        return Ev::Kill;
     switch (in.op()) {
       case Opcode::Flush:
         return mustSameLine(foldPtr(in.operand(0)), ff) ? Ev::Cover
@@ -222,6 +246,8 @@ classifyElide(const Instruction &in, const Value *fptr,
 Ev
 classifyDedup(const Instruction &in, const FoldedPtr &ff)
 {
+    if (isSchedBarrier(in.op()))
+        return Ev::Kill;
     switch (in.op()) {
       case Opcode::Flush:
         return in.flushKind() != FlushKind::Clflush &&
@@ -254,6 +280,8 @@ classifyDedup(const Instruction &in, const FoldedPtr &ff)
 Ev
 classifyFenceForward(const Instruction &in)
 {
+    if (isSchedBarrier(in.op()))
+        return Ev::Kill;
     switch (in.op()) {
       case Opcode::Fence:
         return Ev::Cover;
@@ -286,6 +314,8 @@ classifyFenceForward(const Instruction &in)
 Ev
 classifyFenceBackward(const Instruction &in)
 {
+    if (isSchedBarrier(in.op()))
+        return Ev::Kill;
     switch (in.op()) {
       case Opcode::Fence:
         return Ev::Cover;
@@ -304,6 +334,8 @@ classifyFenceBackward(const Instruction &in)
 bool
 isPoolVisible(const Instruction &in)
 {
+    if (isSchedBarrier(in.op()))
+        return true;
     switch (in.op()) {
       case Opcode::Store:
       case Opcode::Memcpy:
@@ -855,6 +887,8 @@ passSinkMerge(Function *f, const Cfg &cfg, FlushOptStats &stats)
                 finalize(bb, chain);
                 break;
               default:
+                if (isSchedBarrier(in->op()))
+                    finalize(bb, chain);
                 break;
             }
         }
@@ -954,6 +988,7 @@ passLoopRange(Function *f, const Cfg &cfg, FlushOptStats &stats)
                     clean = false;
                     break;
                   default:
+                    clean &= !isSchedBarrier(in.op());
                     break;
                 }
             }

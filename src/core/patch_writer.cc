@@ -115,6 +115,12 @@ renderPatchPlan(const ir::Module &m, const FixSummary &summary)
             }
             break;
           }
+          case FixKind::CrossPublish:
+            os << "    " << locOf(anchor) << " in " << fix.function
+               << "(): insert CLWB for the published payload, then "
+                  "SFENCE, immediately before the release-ordered "
+                  "atomic publication\n";
+            break;
         }
         os << format("    (covers %zu reported bug(s))\n\n",
                      fix.bugIndexes.size());

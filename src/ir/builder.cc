@@ -232,4 +232,68 @@ IRBuilder::createPrint(std::string label, Value *value)
     return i;
 }
 
+Instruction *
+IRBuilder::createThreadSpawn(Function *callee,
+                             std::vector<Value *> args)
+{
+    hippo_assert(callee, "null spawn callee");
+    hippo_assert(args.size() == callee->numParams(),
+                 "thread_spawn arity mismatch");
+    Instruction *i = make(Opcode::ThreadSpawn, Type::Int);
+    for (Value *a : args)
+        i->addOperand(a);
+    i->setCallee(callee);
+    return i;
+}
+
+Instruction *
+IRBuilder::createThreadJoin(Value *tid)
+{
+    hippo_assert(tid->type() == Type::Int, "join of non-int tid");
+    Instruction *i = make(Opcode::ThreadJoin, Type::Int);
+    i->addOperand(tid);
+    return i;
+}
+
+Instruction *
+IRBuilder::createAtomicLoad(Value *ptr, MemOrder order, uint64_t size)
+{
+    hippo_assert(ptr->type() == Type::Ptr,
+                 "atomic load from non-pointer");
+    Instruction *i = make(Opcode::AtomicLoad, Type::Int);
+    i->addOperand(ptr);
+    i->setAccessSize(size);
+    i->setMemOrder(order);
+    return i;
+}
+
+Instruction *
+IRBuilder::createAtomicStore(Value *value, Value *ptr, MemOrder order,
+                             uint64_t size)
+{
+    hippo_assert(ptr->type() == Type::Ptr,
+                 "atomic store to non-pointer");
+    Instruction *i = make(Opcode::AtomicStore, Type::Void);
+    i->addOperand(value);
+    i->addOperand(ptr);
+    i->setAccessSize(size);
+    i->setMemOrder(order);
+    return i;
+}
+
+Instruction *
+IRBuilder::createAtomicRmw(BinOp op, Value *ptr, Value *value,
+                           MemOrder order, uint64_t size)
+{
+    hippo_assert(ptr->type() == Type::Ptr,
+                 "atomic rmw of non-pointer");
+    Instruction *i = make(Opcode::AtomicRmw, Type::Int);
+    i->addOperand(ptr);
+    i->addOperand(value);
+    i->setBinOp(op);
+    i->setAccessSize(size);
+    i->setMemOrder(order);
+    return i;
+}
+
 } // namespace hippo::ir

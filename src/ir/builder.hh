@@ -105,6 +105,26 @@ class IRBuilder
 
     /** Emit (@p label, value) to the program output log. */
     Instruction *createPrint(std::string label, Value *value);
+
+    /** Start a VM thread running @p callee; yields its thread id. */
+    Instruction *createThreadSpawn(Function *callee,
+                                   std::vector<Value *> args);
+
+    /** Wait for @p tid; yields the thread's return value (0 if the
+     *  spawned function returns void). */
+    Instruction *createThreadJoin(Value *tid);
+
+    /** Ordered load of @p size bytes from @p ptr. */
+    Instruction *createAtomicLoad(Value *ptr, MemOrder order,
+                                  uint64_t size = 8);
+
+    /** Ordered store of the low @p size bytes of @p value. */
+    Instruction *createAtomicStore(Value *value, Value *ptr,
+                                   MemOrder order, uint64_t size = 8);
+
+    /** Ordered read-modify-write; yields the OLD value. */
+    Instruction *createAtomicRmw(BinOp op, Value *ptr, Value *value,
+                                 MemOrder order, uint64_t size = 8);
     /// @}
 
     /// @name Common shorthands

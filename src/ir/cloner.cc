@@ -39,6 +39,7 @@ cloneFunction(Function *src, const std::string &new_name,
             ni->setAccessSize(instr->accessSize());
             switch (instr->op()) {
               case Opcode::Bin:
+              case Opcode::AtomicRmw:
                 ni->setBinOp(instr->binOp());
                 break;
               case Opcode::Cmp:
@@ -53,6 +54,7 @@ cloneFunction(Function *src, const std::string &new_name,
               default:
                 break;
             }
+            ni->setMemOrder(instr->memOrder());
             ni->setNonTemporal(instr->nonTemporal());
             ni->setSymbol(instr->symbol());
             ni->setLoc(instr->loc());

@@ -44,6 +44,12 @@ enum class Opcode : uint8_t
     Memset,   ///< byte fill (dst, byteval, len)
     DurPoint, ///< durability point: prior PM stores must be durable
     Print,    ///< emit a labelled value to the program's output log
+
+    ThreadSpawn, ///< start a VM thread running a Function; result: tid
+    ThreadJoin,  ///< wait for a spawned thread; result: its return value
+    AtomicLoad,  ///< ordered load (scheduler-visible); result: int
+    AtomicStore, ///< ordered store (scheduler-visible)
+    AtomicRmw,   ///< ordered read-modify-write; result: the OLD value
 };
 
 /** Printable mnemonic of an opcode. */
@@ -67,10 +73,28 @@ enum class CmpPred : uint8_t
     Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge
 };
 
+/** Atomic memory orderings (C11 subset; no consume). */
+enum class MemOrder : uint8_t
+{
+    Relaxed, Acquire, Release, AcqRel, SeqCst
+};
+
+/** True when @p o publishes prior writes (release semantics). */
+inline bool
+isReleaseOrder(MemOrder o)
+{
+    return o == MemOrder::Release || o == MemOrder::AcqRel ||
+           o == MemOrder::SeqCst;
+}
+
 const char *flushKindName(FlushKind k);
 const char *fenceKindName(FenceKind k);
 const char *binOpName(BinOp op);
 const char *cmpPredName(CmpPred p);
+const char *memOrderName(MemOrder o);
+
+/** Parse a textual ordering token ("acquire", "seq_cst", ...). */
+bool parseMemOrder(const std::string &word, MemOrder &out);
 
 /** A source-file location attached to an instruction (`!loc`). */
 struct SourceLoc
@@ -139,6 +163,11 @@ class Instruction : public Value
     /** Store: true when this is a non-temporal (streaming) store. */
     bool nonTemporal() const { return flag_; }
     void setNonTemporal(bool nt) { flag_ = nt; }
+
+    /** AtomicLoad/AtomicStore/AtomicRmw: the memory ordering.
+     *  Kept out of sub_, which AtomicRmw uses for its BinOp. */
+    MemOrder memOrder() const { return (MemOrder)ord_; }
+    void setMemOrder(MemOrder o) { ord_ = (uint8_t)o; }
     /// @}
 
     /** Call: the callee. */
@@ -171,6 +200,7 @@ class Instruction : public Value
     std::vector<Value *> operands_;
     uint64_t imm_ = 0;
     uint8_t sub_ = 0;
+    uint8_t ord_ = 0;
     bool flag_ = false;
     Function *callee_ = nullptr;
     BasicBlock *targets_[2] = {nullptr, nullptr};

@@ -45,8 +45,40 @@ opcodeName(Opcode op)
       case Opcode::Memset: return "memset";
       case Opcode::DurPoint: return "durpoint";
       case Opcode::Print: return "print";
+      case Opcode::ThreadSpawn: return "thread_spawn";
+      case Opcode::ThreadJoin: return "thread_join";
+      case Opcode::AtomicLoad: return "atomic_load";
+      case Opcode::AtomicStore: return "atomic_store";
+      case Opcode::AtomicRmw: return "atomic_rmw";
     }
     return "?";
+}
+
+const char *
+memOrderName(MemOrder o)
+{
+    switch (o) {
+      case MemOrder::Relaxed: return "relaxed";
+      case MemOrder::Acquire: return "acquire";
+      case MemOrder::Release: return "release";
+      case MemOrder::AcqRel: return "acq_rel";
+      case MemOrder::SeqCst: return "seq_cst";
+    }
+    return "?";
+}
+
+bool
+parseMemOrder(const std::string &word, MemOrder &out)
+{
+    for (auto o : {MemOrder::Relaxed, MemOrder::Acquire,
+                   MemOrder::Release, MemOrder::AcqRel,
+                   MemOrder::SeqCst}) {
+        if (word == memOrderName(o)) {
+            out = o;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *

@@ -300,6 +300,8 @@ class ParserImpl
         Type rt = Type::Void;
         uint64_t imm = 0;
         uint8_t sub = 0;
+        MemOrder ord = MemOrder::Relaxed;
+        bool has_ord = false;
         bool nt = false;
         std::string symbol;
         std::vector<std::string> opnd_tokens;
@@ -439,6 +441,73 @@ class ParserImpl
             opnd_tokens = operandsAfter(1);
             if (opnd_tokens.size() != 3)
                 fail(mn + " wants three operands");
+        } else if (mn == "thread_spawn") {
+            // thread_spawn @worker(args...) — call syntax; the
+            // result is the spawned thread's id, always i64.
+            op = Opcode::ThreadSpawn;
+            rt = Type::Int;
+            size_t at = line.find('@');
+            size_t lp = line.find('(', at);
+            size_t rp = line.rfind(')');
+            if (at == std::string::npos || lp == std::string::npos ||
+                rp == std::string::npos)
+                fail("malformed thread_spawn");
+            callee_name = line.substr(at + 1, lp - at - 1);
+            std::string args = line.substr(lp + 1, rp - lp - 1);
+            if (!trim(args).empty()) {
+                for (auto &t : split(args, ','))
+                    opnd_tokens.emplace_back(trim(t));
+            }
+        } else if (mn == "thread_join") {
+            op = Opcode::ThreadJoin;
+            rt = Type::Int;
+            opnd_tokens = operandsAfter(1);
+            if (opnd_tokens.size() != 1)
+                fail("thread_join wants one thread id");
+        } else if (mn == "atomic_load") {
+            op = Opcode::AtomicLoad;
+            rt = Type::Int;
+            if (words.size() < 2 || !parseMemOrder(words[1], ord))
+                fail("atomic_load wants an ordering "
+                     "(relaxed|acquire|release|acq_rel|seq_cst)");
+            has_ord = true;
+            auto toks = operandsAfter(2);
+            if (toks.size() != 2 || !parseUint(toks[1], imm))
+                fail("atomic_load wants ptr, size");
+            opnd_tokens = {toks[0]};
+        } else if (mn == "atomic_store") {
+            op = Opcode::AtomicStore;
+            if (words.size() < 2 || !parseMemOrder(words[1], ord))
+                fail("atomic_store wants an ordering "
+                     "(relaxed|acquire|release|acq_rel|seq_cst)");
+            has_ord = true;
+            auto toks = operandsAfter(2);
+            if (toks.size() != 3 || !parseUint(toks[2], imm))
+                fail("atomic_store wants value, ptr, size");
+            opnd_tokens = {toks[0], toks[1]};
+        } else if (mn == "atomic_rmw") {
+            // atomic_rmw <binop> <ordering> ptr, value, size
+            op = Opcode::AtomicRmw;
+            rt = Type::Int;
+            static const std::map<std::string, BinOp> rmw_ops = {
+                {"add", BinOp::Add}, {"sub", BinOp::Sub},
+                {"and", BinOp::And}, {"or", BinOp::Or},
+                {"xor", BinOp::Xor},
+            };
+            if (words.size() < 2)
+                fail("atomic_rmw wants an operator");
+            auto rit = rmw_ops.find(words[1]);
+            if (rit == rmw_ops.end())
+                fail("unknown atomic_rmw operator: " + words[1]);
+            sub = (uint8_t)rit->second;
+            if (words.size() < 3 || !parseMemOrder(words[2], ord))
+                fail("atomic_rmw wants an ordering "
+                     "(relaxed|acquire|release|acq_rel|seq_cst)");
+            has_ord = true;
+            auto toks = operandsAfter(3);
+            if (toks.size() != 3 || !parseUint(toks[2], imm))
+                fail("atomic_rmw wants ptr, value, size");
+            opnd_tokens = {toks[0], toks[1]};
         } else if (mn == "durpoint") {
             op = Opcode::DurPoint;
             symbol = parseQuoted(line).first;
@@ -473,7 +542,7 @@ class ParserImpl
         auto owned = std::make_unique<Instruction>(op, rt, id);
         Instruction *instr = owned.get();
         instr->setAccessSize(imm);
-        if (op == Opcode::Bin)
+        if (op == Opcode::Bin || op == Opcode::AtomicRmw)
             instr->setBinOp((BinOp)sub);
         else if (op == Opcode::Cmp)
             instr->setCmpPred((CmpPred)sub);
@@ -481,6 +550,8 @@ class ParserImpl
             instr->setFlushKind((FlushKind)sub);
         else if (op == Opcode::Fence)
             instr->setFenceKind((FenceKind)sub);
+        if (has_ord)
+            instr->setMemOrder(ord);
         instr->setNonTemporal(nt);
         instr->setSymbol(symbol);
         instr->setLoc(loc);
@@ -549,8 +620,9 @@ class ParserImpl
                 fail("unknown callee: @" + c.name);
             c.instr->setCallee(callee);
             // A call's result type comes from its (late-bound)
-            // callee.
-            c.instr->setResultType(callee->returnType());
+            // callee. thread_spawn keeps its i64 tid result.
+            if (c.instr->op() == Opcode::Call)
+                c.instr->setResultType(callee->returnType());
         }
         pendingCallees_.clear();
     }

@@ -110,6 +110,34 @@ instructionToString(const Instruction &instr)
         s += format("print \"%s\", %s", instr.symbol().c_str(),
                     operandRef(instr.operand(0)).c_str());
         break;
+      case Opcode::ThreadSpawn:
+        s += "thread_spawn @" + instr.callee()->name() + "(" +
+             operandList(instr) + ")";
+        break;
+      case Opcode::ThreadJoin:
+        s += "thread_join " + operandList(instr);
+        break;
+      case Opcode::AtomicLoad:
+        s += format("atomic_load %s %s, %llu",
+                    memOrderName(instr.memOrder()),
+                    operandRef(instr.operand(0)).c_str(),
+                    (unsigned long long)instr.accessSize());
+        break;
+      case Opcode::AtomicStore:
+        s += format("atomic_store %s %s, %s, %llu",
+                    memOrderName(instr.memOrder()),
+                    operandRef(instr.operand(0)).c_str(),
+                    operandRef(instr.operand(1)).c_str(),
+                    (unsigned long long)instr.accessSize());
+        break;
+      case Opcode::AtomicRmw:
+        s += format("atomic_rmw %s %s %s, %s, %llu",
+                    binOpName(instr.binOp()),
+                    memOrderName(instr.memOrder()),
+                    operandRef(instr.operand(0)).c_str(),
+                    operandRef(instr.operand(1)).c_str(),
+                    (unsigned long long)instr.accessSize());
+        break;
     }
 
     if (!instr.hasResult())

@@ -230,6 +230,59 @@ class FunctionVerifier
           case Opcode::Print:
             checkOperandCount(instr, 1);
             break;
+          case Opcode::ThreadSpawn: {
+            const Function *callee = instr.callee();
+            if (!callee) {
+                problemAt(instr, "thread_spawn without callee");
+                break;
+            }
+            if (instr.numOperands() != callee->numParams()) {
+                problemAt(instr, "thread_spawn arity mismatch");
+                break;
+            }
+            for (size_t i = 0; i < instr.numOperands(); i++)
+                checkType(instr, i, callee->param(i)->type());
+            break;
+          }
+          case Opcode::ThreadJoin: {
+            checkOperandCount(instr, 1);
+            checkType(instr, 0, Type::Int);
+            if (instr.numOperands() != 1)
+                break;
+            // Thread ids are only ever produced by thread_spawn (or
+            // passed in as arguments); joining anything else — a
+            // constant, an arithmetic result, the join itself — is
+            // statically ill-formed. This also rejects the direct
+            // self-join `%r = thread_join %r`.
+            const Value *t = instr.operand(0);
+            if (t == &instr) {
+                problemAt(instr, "thread_join of its own result");
+            } else if (t->kind() == ValueKind::Constant) {
+                problemAt(instr, "thread_join of a constant");
+            } else if (t->kind() == ValueKind::Instruction &&
+                       static_cast<const Instruction *>(t)->op() !=
+                           Opcode::ThreadSpawn) {
+                problemAt(instr,
+                          "thread_join of a non-thread value");
+            }
+            break;
+          }
+          case Opcode::AtomicLoad:
+            checkOperandCount(instr, 1);
+            checkType(instr, 0, Type::Ptr);
+            checkAccessSize(instr);
+            break;
+          case Opcode::AtomicStore:
+            checkOperandCount(instr, 2);
+            checkType(instr, 1, Type::Ptr);
+            checkAccessSize(instr);
+            break;
+          case Opcode::AtomicRmw:
+            checkOperandCount(instr, 2);
+            checkType(instr, 0, Type::Ptr);
+            checkType(instr, 1, Type::Int);
+            checkAccessSize(instr);
+            break;
         }
     }
 

@@ -150,10 +150,47 @@ struct CrashExplorerConfig
      * ladder: one legacy-engine retry with budgets tightened to
      * half, then the crash point is recorded as unverified instead
      * of aborting the exploration.
+     *
+     * Wall-clock timeouts never decide an outcome: a run cut short
+     * by `timeBudgetMs` is retried under a deterministic step cap
+     * (with only a generous hang backstop on the clock), so every
+     * comparable `explorer.*` aggregate — and the recovery digest —
+     * is a pure function of the module and this config, identical
+     * on any host. Only the uncomparable
+     * `explorer.wallclock.retries` gauge records how often the
+     * clock fired.
      */
     uint64_t stepBudget = 0;   ///< recovery instruction cap (0 = off)
     uint64_t heapBudget = 0;   ///< recovery volatile-heap cap (0 = off)
     uint64_t timeBudgetMs = 0; ///< recovery wall-clock cap (0 = off)
+
+    /**
+     * @name Interleaving-bounded exploration (threaded modules)
+     *
+     * When the module contains thread/atomic instructions
+     * (moduleIsThreaded) the explorer explores the schedule space
+     * instead of the single-schedule crash plan: enumerate
+     * vm::SchedulePlans with up to `preemptBound` forced
+     * preemptions (Chess-style), in lexicographic order over the
+     * baseline run's visible-op indices, truncated to the
+     * `schedules` budget; execute each plan on a private pool; fork
+     * a COW pool snapshot at every cross-thread durability race the
+     * scheduler reports (a release-ordered atomic PM publication
+     * with unpersisted payload lines — capped at `maxRaceCrashes`
+     * per schedule) and run recovery against the forked pre-
+     * publication image. Durpoint crashes are explored under the
+     * baseline (empty) plan only. The plan set, the race forks, and
+     * the outcome order are pure functions of this config, so the
+     * result is byte-identical across `jobs`, both VM engines, and
+     * shard counts. A plan whose entry run the watchdog cuts short
+     * degrades to a single unverified outcome (never a crash),
+     * counted in `explorer.sched.degraded`.
+     */
+    /// @{
+    uint64_t schedules = 64;      ///< schedule-plan budget (>= 1)
+    uint32_t preemptBound = 2;    ///< max forced preemptions per plan
+    uint64_t maxRaceCrashes = 16; ///< race forks per schedule
+    /// @}
 };
 
 /** One explored crash. */
@@ -161,6 +198,13 @@ struct CrashOutcome
 {
     bool atStep = false;      ///< step-based (vs durpoint-based)
     uint64_t crashPoint = 0;  ///< durpoint index or step count
+
+    /** Interleaving exploration: the crash image was forked at a
+     *  cross-thread race point (crashPoint is then the race ordinal
+     *  within the schedule's run). */
+    bool atRace = false;
+    uint64_t scheduleId = 0;  ///< plan index (0 = baseline schedule)
+
     uint64_t recovered = 0;   ///< recovery entry's return value
 
     /** Recovery exhausted its watchdog budgets (or trapped) on both
@@ -179,7 +223,19 @@ struct ExplorationResult
     uint64_t stepsInRun = 0;
     uint64_t cleanRunRecovered = 0; ///< recovery after no crash
 
+    /** @name Interleaving exploration census (threaded modules) */
+    /// @{
+    uint64_t visibleOpsInRun = 0;   ///< baseline scheduler-visible ops
+    uint64_t schedulesPlanned = 0;  ///< bounded-enumeration size
+    uint64_t schedulesExecuted = 0; ///< plans run (post-budget)
+    uint64_t schedulesDegraded = 0; ///< plans the watchdog cut short
+    uint64_t racesObserved = 0;     ///< race points across all plans
+    /// @}
+
     bool operator==(const ExplorationResult &o) const = default;
+
+    /** Outcomes forked at cross-thread race points. */
+    uint64_t raceCrashCount() const;
 
     /** Recovered values at successive durpoints never decrease
      *  (the natural invariant of append/insert workloads). */
@@ -193,10 +249,16 @@ struct ExplorationResult
     uint64_t unverifiedCount() const;
 };
 
+/** True when @p m contains thread or atomic instructions — the
+ *  explorer then runs interleaving-bounded exploration. */
+bool moduleIsThreaded(const ir::Module &m);
+
 /**
  * Run the exploration. The module is not modified; with `jobs > 1`
  * it is shared read-only across the replay workers (see the
- * "Threading model" section of DESIGN.md).
+ * "Threading model" section of DESIGN.md). Threaded modules take
+ * the interleaving-bounded path (see the schedules knobs above);
+ * everything else runs the single-schedule crash plan.
  */
 ExplorationResult exploreCrashes(ir::Module *m,
                                  const CrashExplorerConfig &cfg);
@@ -206,10 +268,11 @@ ExplorationResult exploreCrashes(ir::Module *m,
  * compare across `jobs` settings, engines, and (for the flush
  * optimizer's differential harness) across semantics-preserving
  * module transformations. Mixes cleanRunRecovered and every
- * outcome's (atStep, crashPoint, recovered, unverified); does NOT
- * mix durPointsInRun or stepsInRun, so two modules that differ only
- * in instruction count but reach the same durability points with the
- * same recovery behavior digest identically.
+ * outcome's (atStep, crashPoint, atRace, scheduleId, recovered,
+ * unverified); does NOT mix durPointsInRun or stepsInRun, so two
+ * modules that differ only in instruction count but reach the same
+ * durability points with the same recovery behavior digest
+ * identically.
  */
 uint64_t recoveryDigest(const ExplorationResult &res);
 

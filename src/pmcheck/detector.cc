@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "ir/instruction.hh"
 #include "pmem/pm_pool.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -18,6 +19,7 @@ bugKindName(BugKind k)
       case BugKind::MissingFlush: return "missing-flush";
       case BugKind::MissingFence: return "missing-fence";
       case BugKind::MissingFlushFence: return "missing-flush&fence";
+      case BugKind::CrossThread: return "cross-thread";
     }
     return "?";
 }
@@ -32,6 +34,7 @@ bugKindFromName(const std::string &s, bool &ok)
     if (s == "missing-flush") return BugKind::MissingFlush;
     if (s == "missing-fence") return BugKind::MissingFence;
     if (s == "missing-flush&fence") return BugKind::MissingFlushFence;
+    if (s == "cross-thread") return BugKind::CrossThread;
     ok = false;
     return BugKind::MissingFlushFence;
 }
@@ -131,6 +134,11 @@ class OnlineDetector::Engine
         std::vector<trace::StackFrame> firstFenceStack;
         /** Bug this store was folded into; reported once. */
         size_t reportedBug = SIZE_MAX;
+        /** CrossThread bug this store was folded into. Separate
+         *  slot: the same store can be both published-while-dirty
+         *  (cross-thread) and unpersisted at a later durpoint. */
+        size_t reportedCross = SIZE_MAX;
+        uint32_t tid = 0;
 
         bool
         allDone() const
@@ -153,18 +161,76 @@ class OnlineDetector::Engine
         }
     };
 
+    /**
+     * A release-ordered atomic PM store publishes prior writes to
+     * other threads. Any outstanding store whose line is not yet
+     * persisted — except a store to the publication's own line,
+     * which the pool persists atomically with the publication —
+     * becomes observable-before-durable: a CrossThread bug.
+     */
+    void
+    onPublish(const trace::Event &ev)
+    {
+        uint64_t pubLine = lineOf(ev.addr);
+        for (OutstandingStore &os : outstanding_) {
+            if (os.allDone())
+                continue;
+            bool racy = false;
+            for (size_t i = 0; i < os.lines.size(); i++) {
+                if (os.lines[i] != LineState::Done &&
+                    os.firstLine + i != pubLine) {
+                    racy = true;
+                    break;
+                }
+            }
+            if (!racy)
+                continue;
+            if (os.reportedCross != SIZE_MAX) {
+                report_.bugs[os.reportedCross].dynCount++;
+                continue;
+            }
+            std::pair<std::string, int> key{
+                stackSignature(os.stack),
+                (int)BugKind::CrossThread};
+            auto it = dedup_.find(key);
+            if (it != dedup_.end()) {
+                report_.bugs[it->second].dynCount++;
+                os.reportedCross = it->second;
+                continue;
+            }
+            Bug bug;
+            bug.kind = BugKind::CrossThread;
+            bug.storeEventSeq = os.eventSeq;
+            bug.storeStack = os.stack;
+            bug.addr = os.addr;
+            bug.size = os.size;
+            bug.objectId = os.objectId;
+            bug.durEventSeq = ev.seq;
+            bug.durStack = ev.stack;
+            bug.durLabel = "release-publish";
+            bug.dynCount = 1;
+            os.reportedCross = report_.bugs.size();
+            dedup_[key] = report_.bugs.size();
+            report_.bugs.push_back(std::move(bug));
+        }
+    }
+
     void
     onStore(const trace::Event &ev)
     {
         if (!ev.isPm)
             return;
         report_.pmStoresSeen++;
+        if (ev.atomic &&
+            ir::isReleaseOrder((ir::MemOrder)ev.sub))
+            onPublish(ev);
         OutstandingStore os;
         os.eventSeq = ev.seq;
         os.addr = ev.addr;
         os.size = ev.size;
         os.objectId = ev.objectId;
         os.stack = ev.stack;
+        os.tid = ev.tid;
         os.firstLine = lineOf(ev.addr);
         uint64_t nlines =
             lineOf(ev.addr + ev.size - 1) - os.firstLine + 1;

@@ -32,12 +32,20 @@ class MetricsRegistry;
 namespace hippo::pmcheck
 {
 
-/** The paper's three durability-bug classes. */
+/**
+ * The paper's three durability-bug classes, plus the cross-thread
+ * class added by the interleaving-bounded explorer: a PM store whose
+ * line is still unflushed (or unfenced) when a release-ordered atomic
+ * PM store publishes it to other threads. A crash after a consumer
+ * observes the publication but before the line persists loses data
+ * the consumer already acted on.
+ */
 enum class BugKind : uint8_t
 {
     MissingFlush,
     MissingFence,
     MissingFlushFence,
+    CrossThread,
 };
 
 const char *bugKindName(BugKind k);
@@ -56,7 +64,9 @@ struct Bug
     uint32_t objectId = ~0u;
     /// @}
 
-    /// @name The durability point I
+    /// @name The durability point I. For CrossThread bugs this is
+    /// the publishing release-ordered atomic store, and durLabel is
+    /// "release-publish".
     /// @{
     uint64_t durEventSeq = 0;
     std::vector<trace::StackFrame> durStack;

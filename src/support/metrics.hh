@@ -362,8 +362,16 @@ class MetricsRegistry
  * (shard.*, router.*, ycsb.latency.*, shardscale.*) joined the
  * tree, and the fig4 bench grew a sharded leg — v3 baselines lack
  * the new histogram leaves and were regenerated.
+ *
+ * v4 -> v5: the thread model landed: the scheduler counters
+ * (vm.sched.*), the interleaving-bounded exploration families
+ * (explorer.sched.*, interleave.*), and the
+ * explorer.wallclock.retries gauge joined the tree, and wall-clock-
+ * cut recovery attempts no longer feed explorer.recovery.steps (they
+ * are retried under a deterministic step cap instead) — v4 baselines
+ * predate those leaves and were regenerated.
  */
-constexpr int statsSchemaVersion = 4;
+constexpr int statsSchemaVersion = 5;
 
 /**
  * Assemble the full stats document: schema version, the build/host

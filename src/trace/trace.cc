@@ -145,6 +145,12 @@ Trace::writeText() const
                      (unsigned long long)e.addr,
                      (unsigned long long)e.size, e.isPm ? 1 : 0,
                      e.nonTemporal ? 1 : 0, e.sub);
+        // tid/at are omitted when default so single-threaded traces
+        // stay byte-identical to the pre-thread format.
+        if (e.tid != 0)
+            os << " tid=" << e.tid;
+        if (e.atomic)
+            os << " at=1";
         if (e.objectId != ~0u)
             os << " obj=" << e.objectId;
         if (!e.symbol.empty())
@@ -234,6 +240,10 @@ Trace::readText(const std::string &text, Trace &out, std::string *error)
                 e.nonTemporal = v != 0;
             else if (kv[0] == "sub")
                 e.sub = (uint8_t)v;
+            else if (kv[0] == "tid")
+                e.tid = (uint32_t)v;
+            else if (kv[0] == "at")
+                e.atomic = v != 0;
             else if (kv[0] == "obj")
                 e.objectId = (uint32_t)v;
             else if (kv[0] == "val")

@@ -59,7 +59,9 @@ struct Event
     uint64_t size = 0;
     bool isPm = false;
     bool nonTemporal = false;
-    uint8_t sub = 0;       ///< FlushOp / fence kind ordinal
+    bool atomic = false;   ///< store/load from an atomic_* op
+    uint8_t sub = 0;       ///< FlushOp / fence kind / MemOrder ordinal
+    uint32_t tid = 0;      ///< VM thread id (0 = the main thread)
     uint32_t objectId = ~0u; ///< index into Trace::objects()
     std::string symbol;    ///< region / durpoint label / print label
     uint64_t value = 0;    ///< print value

@@ -33,6 +33,11 @@ bcOpName(BcOp op)
       case BcOp::Memset: return "memset";
       case BcOp::DurPoint: return "durpoint";
       case BcOp::Print: return "print";
+      case BcOp::ThreadSpawn: return "thread.spawn";
+      case BcOp::ThreadJoin: return "thread.join";
+      case BcOp::AtomicLoad: return "atomic.load";
+      case BcOp::AtomicStore: return "atomic.store";
+      case BcOp::AtomicRmw: return "atomic.rmw";
       case BcOp::StoreFlush: return "store.flush";
       case BcOp::StoreFlushFence: return "store.flush.fence";
       case BcOp::GepLoad: return "gep.load";
@@ -201,6 +206,42 @@ FunctionCompiler::lower(const ir::Instruction &instr)
         break;
       case Opcode::Print:
         bc.a = slotOf(instr.operand(0));
+        break;
+      case Opcode::ThreadSpawn: {
+        auto cit = prog_.indexOf.find(instr.callee());
+        hippo_assert(cit != prog_.indexOf.end(),
+                     "spawn of a function outside the module");
+        bc.a = cit->second;
+        bc.b = (uint32_t)out_.callArgs.size();
+        bc.imm = instr.numOperands();
+        for (size_t i = 0; i < instr.numOperands(); i++)
+            out_.callArgs.push_back(slotOf(instr.operand(i)));
+        bc.dst = instr.id();
+        break;
+      }
+      case Opcode::ThreadJoin:
+        bc.a = slotOf(instr.operand(0));
+        bc.dst = instr.id();
+        break;
+      case Opcode::AtomicLoad:
+        bc.a = slotOf(instr.operand(0));
+        bc.dst = instr.id();
+        bc.imm = instr.accessSize();
+        bc.sub = (uint8_t)instr.memOrder();
+        break;
+      case Opcode::AtomicStore:
+        bc.a = slotOf(instr.operand(0));
+        bc.b = slotOf(instr.operand(1));
+        bc.imm = instr.accessSize();
+        bc.sub = (uint8_t)instr.memOrder();
+        break;
+      case Opcode::AtomicRmw:
+        bc.a = slotOf(instr.operand(0));
+        bc.b = slotOf(instr.operand(1));
+        bc.dst = instr.id();
+        bc.imm = instr.accessSize();
+        bc.sub = (uint8_t)instr.binOp();
+        bc.sub2 = (uint8_t)instr.memOrder();
         break;
     }
     return bc;
@@ -542,6 +583,44 @@ disassemble(const BcProgram &prog)
                 out += format(" \"%s\", %s",
                               bc.src->symbol().c_str(),
                               slot(bc.a).c_str());
+                break;
+              case BcOp::ThreadSpawn: {
+                const BcFunction &callee = prog.funcs[bc.a];
+                out += format(" %s, @%s(", slot(bc.dst).c_str(),
+                              callee.irFunc->name().c_str());
+                for (uint64_t i = 0; i < bc.imm; i++)
+                    out += format("%s%s", i ? ", " : "",
+                                  slot(bf.callArgs[bc.b + i])
+                                      .c_str());
+                out += ")";
+                break;
+              }
+              case BcOp::ThreadJoin:
+                out += format(" %s, %s", slot(bc.dst).c_str(),
+                              slot(bc.a).c_str());
+                break;
+              case BcOp::AtomicLoad:
+                out += format(" %s, %s [%s], %llu",
+                              slot(bc.dst).c_str(),
+                              ir::memOrderName((ir::MemOrder)bc.sub),
+                              slot(bc.a).c_str(),
+                              (unsigned long long)bc.imm);
+                break;
+              case BcOp::AtomicStore:
+                out += format(" %s [%s], %s, %llu",
+                              ir::memOrderName((ir::MemOrder)bc.sub),
+                              slot(bc.b).c_str(),
+                              slot(bc.a).c_str(),
+                              (unsigned long long)bc.imm);
+                break;
+              case BcOp::AtomicRmw:
+                out += format(" %s, %s %s [%s], %s, %llu",
+                              slot(bc.dst).c_str(),
+                              ir::binOpName((ir::BinOp)bc.sub),
+                              ir::memOrderName((ir::MemOrder)bc.sub2),
+                              slot(bc.a).c_str(),
+                              slot(bc.b).c_str(),
+                              (unsigned long long)bc.imm);
                 break;
               case BcOp::FallOff:
                 out += format(" \"%s\"",

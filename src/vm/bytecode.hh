@@ -45,7 +45,7 @@ namespace hippo::vm
 {
 
 /** Number of PMIR opcodes (flat-array sizing for hot-path counters). */
-constexpr unsigned numIrOpcodes = (unsigned)ir::Opcode::Print + 1;
+constexpr unsigned numIrOpcodes = (unsigned)ir::Opcode::AtomicRmw + 1;
 
 /**
  * Bytecode opcodes: the PMIR set one-to-one, then the
@@ -55,6 +55,7 @@ enum class BcOp : uint8_t
 {
     Alloca, Load, Store, Flush, Fence, Gep, Bin, Cmp, Select,
     Br, CondBr, Call, Ret, PmMap, Memcpy, Memset, DurPoint, Print,
+    ThreadSpawn, ThreadJoin, AtomicLoad, AtomicStore, AtomicRmw,
 
     StoreFlush,      ///< store + flush of the same address value
     StoreFlushFence, ///< store + flush + fence (the durability idiom)
@@ -99,6 +100,11 @@ constexpr uint32_t bcNoSlot = ~0u;
  *   Memset   a=dst b=byte c=len
  *   DurPoint                       (symbol via src)
  *   Print    a=value               (label via src)
+ *   ThreadSpawn a=callee index b=callArgs offset imm=#args dst=tid
+ *   ThreadJoin  a=tid dst=result
+ *   AtomicLoad  a=ptr dst=result   imm=accessSize sub=MemOrder
+ *   AtomicStore a=value b=ptr      imm=accessSize sub=MemOrder
+ *   AtomicRmw   a=ptr b=value dst=old imm=size sub=BinOp sub2=MemOrder
  *   StoreFlush       a=value b=ptr imm=size flags&1=nt sub=FlushKind
  *   StoreFlushFence  as StoreFlush + sub2=FenceKind
  *   GepLoad  a=base b=off dst=gep dst2=load imm=accessSize

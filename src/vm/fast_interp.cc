@@ -154,8 +154,10 @@ FastInterp::flushBody(const Frame &frame, const ir::Instruction &in,
     vm.simNanos_ += kind == ir::FlushKind::Clflush
                         ? vm.cfg_.costs.clflushNs
                         : vm.cfg_.costs.flushNs;
-    if (pm)
+    if (pm) {
         vm.pool_->flush(addr, (pmem::FlushOp)kind);
+        vm.noteFlushLine(addr);
+    }
     if (vm.cfg_.traceEnabled) {
         trace::Event ev;
         ev.kind = trace::EventKind::Flush;
@@ -182,6 +184,7 @@ FastInterp::fenceBody(const Frame &frame, const ir::Instruction &in,
                         vm.cfg_.costs.fencePerLineNs * (pending - 1);
     }
     vm.pool_->fence();
+    vm.noteFenceDrain();
     if (vm.cfg_.traceEnabled) {
         trace::Event ev;
         ev.kind = trace::EventKind::Fence;
@@ -276,6 +279,8 @@ FastInterp::execFunc(const BcFunction &bf, const uint64_t *args,
         &&lbl_Fence, &&lbl_Gep, &&lbl_Bin, &&lbl_Cmp, &&lbl_Select,
         &&lbl_Br, &&lbl_CondBr, &&lbl_Call, &&lbl_Ret, &&lbl_PmMap,
         &&lbl_Memcpy, &&lbl_Memset, &&lbl_DurPoint, &&lbl_Print,
+        &&lbl_ThreadSpawn, &&lbl_ThreadJoin, &&lbl_AtomicLoad,
+        &&lbl_AtomicStore, &&lbl_AtomicRmw,
         &&lbl_StoreFlush, &&lbl_StoreFlushFence, &&lbl_GepLoad,
         &&lbl_GepStore, &&lbl_CmpBr, &&lbl_FallOff,
     };
@@ -310,13 +315,14 @@ FastInterp::execFunc(const BcFunction &bf, const uint64_t *args,
         stepPre(Opcode::Alloca);
         uint64_t bytes = (pc->imm + 15) & ~15ULL;
         if (cfg.heapBudget &&
-            vm.volatileSp_ + bytes > cfg.heapBudget) {
+            vm.volatileSp_ - vm.volatileSpBase_ + bytes >
+                cfg.heapBudget) {
             throw Vm::WatchdogSignal{
                 ExecOutcome::BudgetExceeded,
                 format("volatile heap budget exceeded (%llu bytes)",
                        (unsigned long long)cfg.heapBudget)};
         }
-        if (vm.volatileSp_ + bytes > vm.volatileMem_.size())
+        if (vm.volatileSp_ + bytes > vm.volatileLimit_)
             vm.trapOrFatal("volatile arena exhausted");
         uint64_t addr = volatileBaseAddr + vm.volatileSp_;
         vm.volatileSp_ += bytes;
@@ -583,6 +589,57 @@ FastInterp::execFunc(const BcFunction &bf, const uint64_t *args,
             ev.stack = captureStack(frame, in);
             vm.emit(std::move(ev));
         }
+        NEXT();
+    }
+
+    CASE(ThreadSpawn)
+    {
+        stepPre(Opcode::ThreadSpawn);
+        size_t n = (size_t)pc->imm;
+        std::vector<uint64_t> spawn_args(n);
+        for (size_t i = 0; i < n; i++)
+            spawn_args[i] = regs[bf.callArgs[pc->b + i]];
+        vm.simNanos_ += costs.callNs;
+        // The spawned thread runs its own FastInterp; this one's
+        // register arena stays private, so `regs` remains valid
+        // across the context switches inside the body.
+        regs[pc->dst] =
+            vm.threadSpawnBody(*pc->src, std::move(spawn_args));
+        NEXT();
+    }
+
+    CASE(ThreadJoin)
+    {
+        stepPre(Opcode::ThreadJoin);
+        uint64_t tid = regs[pc->a];
+        vm.simNanos_ += costs.callNs;
+        regs[pc->dst] = vm.threadJoinBody(tid);
+        NEXT();
+    }
+
+    CASE(AtomicLoad)
+    {
+        stepPre(Opcode::AtomicLoad);
+        regs[pc->dst] = vm.atomicLoadBody(*pc->src, regs[pc->a]);
+        NEXT();
+    }
+
+    CASE(AtomicStore)
+    {
+        stepPre(Opcode::AtomicStore);
+        vm.atomicStoreBody(*pc->src, regs[pc->a], regs[pc->b], [&] {
+            return captureStack(frame, *pc->src);
+        });
+        NEXT();
+    }
+
+    CASE(AtomicRmw)
+    {
+        stepPre(Opcode::AtomicRmw);
+        regs[pc->dst] =
+            vm.atomicRmwBody(*pc->src, regs[pc->a], regs[pc->b], [&] {
+                return captureStack(frame, *pc->src);
+            });
         NEXT();
     }
 

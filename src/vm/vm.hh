@@ -93,6 +93,22 @@ const char *vmEngineName(VmEngine e);
 /** Parse "tree" / "bytecode" / "auto"; false on anything else. */
 bool parseVmEngine(const std::string &s, VmEngine &out);
 
+/**
+ * A deterministic thread schedule for one run (DESIGN.md "Thread
+ * model & interleaving-bounded exploration"). The scheduler is
+ * cooperative round-robin: a switch happens when a thread blocks on a
+ * join or finishes, plus a forced preemption before the visible op
+ * (thread_spawn / thread_join / atomic_*) whose global index appears
+ * in preemptAt. A plan is pure data, so the same plan replays the
+ * same interleaving on either engine at any host parallelism — the
+ * schedule is a pure function of the plan, never of wall clock.
+ */
+struct SchedulePlan
+{
+    uint64_t id = 0;                 ///< plan index within a bound
+    std::vector<uint64_t> preemptAt; ///< sorted visible-op indices
+};
+
 /** VM configuration. */
 struct VmConfig
 {
@@ -131,6 +147,31 @@ struct VmConfig
         durPointProbe;
     uint64_t stepProbeStride = 0;
     std::function<void(uint64_t in_run_step)> stepProbe;
+
+    /**
+     * Deterministic thread schedule for this run. Null runs without
+     * forced preemptions (switches still happen at joins and thread
+     * exits). See SchedulePlan.
+     */
+    const SchedulePlan *schedule = nullptr;
+
+    /** Volatile-stack slice per spawned thread, carved from the top
+     *  of the arena (the main thread keeps the rest). */
+    uint64_t threadStackBytes = 1ULL << 20;
+    uint32_t maxThreads = 8; ///< spawned threads per run (cap)
+
+    /**
+     * Fires at each cross-thread durability race: a release-ordered
+     * atomic PM store that publishes while the storing thread still
+     * has earlier PM stores on unpersisted cache lines. The probe
+     * observes the pool at exactly the pre-publication boundary, so
+     * the interleaving explorer can fork a crash image in which the
+     * publication became durable before its payload. race_index is
+     * the 0-based race ordinal within the run.
+     */
+    std::function<void(uint64_t race_index, uint64_t in_run_step,
+                       uint32_t tid, uint64_t addr)>
+        racePointProbe;
 
     uint64_t maxSteps = 1ULL << 33; ///< runaway guard
     uint64_t volatileBytes = 16ULL << 20;
@@ -183,9 +224,19 @@ struct RunResult
     uint64_t steps = 0;
     double simNanos = 0;
 
+    /** Scheduler-visible ops executed (spawn/join/atomic_*); the
+     *  interleaving explorer sizes its preemption space from this. */
+    uint64_t visibleOps = 0;
+
     /** Watchdog verdict; anything but Ok voids returnValue. */
     ExecOutcome outcome = ExecOutcome::Ok;
     std::string diag; ///< human-readable reason when outcome != Ok
+
+    /** The Timeout came from the wall-clock budget. Wall-clock
+     *  verdicts are host-dependent; determinism-sensitive callers
+     *  (the crash explorer) retry such runs under step budgets so
+     *  comparable aggregates never depend on host speed. */
+    bool wallClockTimeout = false;
 
     bool ok() const { return outcome == ExecOutcome::Ok; }
 };
@@ -321,6 +372,8 @@ class Vm
 
   private:
     struct Frame;
+    struct ThreadCtx;
+    struct SchedState;
 
     /** The fast interpreter shares all execution state. */
     friend class FastInterp;
@@ -334,6 +387,50 @@ class Vm
     void execMemcpy(Frame &frame, const ir::Instruction &instr);
     void execMemset(Frame &frame, const ir::Instruction &instr);
     uint64_t execPmMap(Frame &frame, const ir::Instruction &instr);
+
+    /// @name Thread/atomic bodies shared by both engines
+    ///
+    /// Both interpreters funnel the five scheduler-visible opcodes
+    /// through these, so visible-op counting, preemption placement,
+    /// and race detection are identical by construction (the same
+    /// argument as the differential trace suite).
+    /// @{
+    using StackCapture =
+        std::function<std::vector<trace::StackFrame>()>;
+
+    uint64_t threadSpawnBody(const ir::Instruction &instr,
+                             std::vector<uint64_t> args);
+    uint64_t threadJoinBody(uint64_t tid);
+    uint64_t atomicLoadBody(const ir::Instruction &instr,
+                            uint64_t addr);
+    void atomicStoreBody(const ir::Instruction &instr, uint64_t value,
+                         uint64_t addr, const StackCapture &capture);
+    uint64_t atomicRmwBody(const ir::Instruction &instr,
+                           uint64_t addr, uint64_t operand,
+                           const StackCapture &capture);
+    /// @}
+
+    /// @name Deterministic scheduler internals (defined in vm.cc)
+    /// @{
+    /** How a yielding thread parks. */
+    enum class Park : uint8_t { Ready, Blocked, Finished };
+
+    /** Thrown into parked threads during teardown to unwind them. */
+    struct ThreadAbort {};
+
+    void schedPoint();
+    void schedYield(Park park);
+    void saveCurrentCtx(ThreadCtx &t);
+    void loadCtx(ThreadCtx &t);
+    void threadEntry(uint32_t tid);
+    void waitThreadFinished(uint32_t target);
+    void joinAllSpawned();
+    void teardownThreads();
+    void checkPublishRace(uint64_t addr);
+    void noteStoreLines(uint64_t addr, uint64_t size);
+    void noteFlushLine(uint64_t addr);
+    void noteFenceDrain();
+    /// @}
 
     bool isPmAddr(uint64_t addr) const;
 
@@ -370,6 +467,7 @@ class Vm
     {
         ExecOutcome outcome;
         std::string diag;
+        bool wallClock = false; ///< wall-clock (not step) timeout
     };
 
     /** Throw a sandboxed Trap, or hippo_fatal without the sandbox. */
@@ -384,6 +482,11 @@ class Vm
 
     std::vector<uint8_t> volatileMem_;
     uint64_t volatileSp_ = 0; ///< bump allocator offset
+    /** Current thread's arena slice [base, limit). The main thread
+     *  owns [0, limit) with limit lowered as spawns carve slices
+     *  from the top; spawned threads get fixed slices. */
+    uint64_t volatileSpBase_ = 0;
+    uint64_t volatileLimit_ = 0;
 
     /** Live allocation ranges (LIFO, for addr -> object lookup). */
     struct LiveAlloc
@@ -434,6 +537,28 @@ class Vm
     /** Dynamic call-chain bookkeeping for stack capture. */
     const Frame *curParent_ = nullptr;
     const ir::Instruction *curCallSite_ = nullptr;
+
+    /// @name Scheduler state (vm.sched.* counters)
+    /// @{
+    std::unique_ptr<SchedState> sched_; ///< null until first spawn
+    uint32_t curTid_ = 0;     ///< running VM thread (0 = main)
+    int lineTracking_ = -1;   ///< module has threads/atomics (lazy)
+    bool lineTrackingEnabled_ = false;
+    /** Current thread's PM lines with a store not yet flushed /
+     *  flushed but not yet fenced (swapped at context switches). */
+    std::set<uint64_t> curDirtyLines_;
+    std::set<uint64_t> curFlushedLines_;
+    uint64_t runVisibleOps_ = 0; ///< visible ops this run
+    size_t planCursor_ = 0;      ///< next preemptAt entry this run
+    uint64_t raceSeq_ = 0;       ///< race ordinal this run
+    uint64_t schedSpawns_ = 0;
+    uint64_t schedJoins_ = 0;
+    uint64_t schedSwitches_ = 0;
+    uint64_t schedPreemptions_ = 0;
+    uint64_t schedVisibleOps_ = 0;
+    uint64_t schedRaces_ = 0;
+    uint64_t schedDeadlocks_ = 0;
+    /// @}
 };
 
 } // namespace hippo::vm

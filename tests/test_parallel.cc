@@ -147,6 +147,125 @@ TEST(ThreadPool, FaultingChaosBatchCancelsCleanly)
     EXPECT_EQ(clean.load(), 16);
 }
 
+TEST(ThreadPool, SubmitAllRunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(500);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(hits.size());
+    for (size_t i = 0; i < hits.size(); i++)
+        tasks.push_back([&hits, i] {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+    pool.submitAll(tasks);
+    for (size_t i = 0; i < hits.size(); i++)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPool, SubmitAllFaultingBatchRethrowsAfterDrain)
+{
+    // submitAll shares parallelForEach's exception contract: the
+    // first error is rethrown in the caller only after every
+    // dispatched task returned, sibling tasks running faulted pool
+    // replicas included — no task may still be in flight when the
+    // caller sees the exception.
+    pmem::PmPool master(1 << 16);
+    uint64_t base = master.mapRegion("r", 4096);
+    uint64_t v = 0x1122334455667788ULL;
+    master.store(base, (const uint8_t *)&v, 8);
+    master.flush(base, pmem::FlushOp::Clflush);
+    master.fence();
+    auto snap = master.snapshot();
+
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::atomic<int> inFlight{0};
+    std::vector<std::function<void()>> tasks;
+    for (uint64_t i = 0; i < 128; i++)
+        tasks.push_back([&, i] {
+            inFlight.fetch_add(1, std::memory_order_relaxed);
+            ran.fetch_add(1, std::memory_order_relaxed);
+            pmem::PmPool replica(snap);
+            pmem::FaultPlan plan;
+            plan.seed = i + 1;
+            plan.tornChance = 1.0;
+            replica.setFaultPlan(plan);
+            uint64_t junk = i;
+            replica.store(base + 64, (const uint8_t *)&junk, 8);
+            replica.crash();
+            inFlight.fetch_sub(1, std::memory_order_relaxed);
+            if (i == 5)
+                support::throwResourceError("task %llu died",
+                                            (unsigned long long)i);
+        });
+    try {
+        pool.submitAll(tasks);
+        FAIL() << "exception not propagated";
+    } catch (const support::HippoError &e) {
+        EXPECT_EQ(e.kind(), support::ErrorKind::Resource);
+    }
+    // Drained: nothing still running, undispatched tasks abandoned.
+    EXPECT_EQ(inFlight.load(), 0);
+    EXPECT_LT(ran.load(), 128);
+
+    // Snapshot pages survived; the pool accepts the next batch.
+    pmem::PmPool after(snap);
+    uint64_t got = 0;
+    after.loadPersisted(base, (uint8_t *)&got, 8);
+    EXPECT_EQ(got, v);
+    std::atomic<int> clean{0};
+    std::vector<std::function<void()>> again(
+        16, std::function<void()>([&clean] { clean++; }));
+    pool.submitAll(again);
+    EXPECT_EQ(clean.load(), 16);
+}
+
+TEST(ThreadPool, SubmitAllCancelBetweenPublishAndDrain)
+{
+    // Cancellation arriving from outside the batch, after publish
+    // but before drain: a single-worker pool makes the schedule
+    // deterministic — task 0 parks until the driver thread cancels,
+    // every later task was undispatched at that point and must never
+    // start. The call returns without error (cancel is not failure).
+    ThreadPool pool(1);
+    CancelToken cancel;
+    std::atomic<bool> started{false};
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&] {
+        ran++;
+        started.store(true, std::memory_order_release);
+        while (!cancel.cancelled())
+            std::this_thread::yield();
+    });
+    for (int i = 0; i < 64; i++)
+        tasks.push_back([&ran] { ran++; });
+
+    std::thread driver([&] {
+        while (!started.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        cancel.cancel();
+    });
+    pool.submitAll(tasks, &cancel);
+    driver.join();
+    EXPECT_EQ(ran.load(), 1);
+
+    // A token cancelled before publish skips the whole batch.
+    std::atomic<int> skipped{0};
+    std::vector<std::function<void()>> never(
+        8, std::function<void()>([&skipped] { skipped++; }));
+    pool.submitAll(never, &cancel);
+    EXPECT_EQ(skipped.load(), 0);
+
+    // Re-armed, the same pool and token run a full batch again.
+    cancel.reset();
+    std::atomic<int> full{0};
+    std::vector<std::function<void()>> all(
+        8, std::function<void()>([&full] { full++; }));
+    pool.submitAll(all, &cancel);
+    EXPECT_EQ(full.load(), 8);
+}
+
 TEST(ThreadPool, ResolveJobs)
 {
     EXPECT_EQ(support::resolveJobs(3), 3u);

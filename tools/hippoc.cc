@@ -97,7 +97,7 @@ usage(const char *argv0)
         "          [--chaos SEED] [--torn-chance P]\n"
         "          [--step-budget N] [--time-budget MS]\n"
         "          [--recovery NAME] [--engine tree|bytecode|auto]\n"
-        "          [--shards N]\n",
+        "          [--shards N] [--schedules N] [--preempt-bound N]\n",
         argv0);
     std::exit(2);
 }
@@ -124,6 +124,8 @@ struct Options
     bool optimize = false;  ///< --optimize: verified flush/fence opt
     bool chaos = false;     ///< --chaos: adversarial exploration
     unsigned shards = 1;    ///< --shards: per-shard exploration
+    uint64_t schedules = 64;   ///< --schedules (threaded modules)
+    uint32_t preemptBound = 2; ///< --preempt-bound (threaded modules)
     std::string recovery;   ///< --recovery (default: the entry)
     core::FixerConfig cfg;  ///< also carries faults + budgets
 };
@@ -330,6 +332,8 @@ processModuleImpl(const std::string &input, const Options &opt,
         cc.heapBudget = opt.cfg.heapBudget;
         cc.timeBudgetMs = opt.cfg.timeBudgetMs;
         cc.vmEngine = opt.cfg.vmEngine;
+        cc.schedules = opt.schedules;
+        cc.preemptBound = opt.preemptBound;
         if (opt.shards > 1) {
             // Per-shard exploration (src/shard): the explorer runs
             // once per shard against that shard's own fresh pool,
@@ -360,6 +364,16 @@ processModuleImpl(const std::string &input, const Options &opt,
                           (unsigned long long)res.minRecovered(),
                           (unsigned long long)res.maxRecovered(),
                           (unsigned long long)outcomeDigest(res));
+            if (res.schedulesExecuted)
+                out += format(
+                    "interleave: schedules=%llu/%llu degraded=%llu "
+                    "races=%llu race-crashes=%llu visible-ops=%llu\n",
+                    (unsigned long long)res.schedulesExecuted,
+                    (unsigned long long)res.schedulesPlanned,
+                    (unsigned long long)res.schedulesDegraded,
+                    (unsigned long long)res.racesObserved,
+                    (unsigned long long)res.raceCrashCount(),
+                    (unsigned long long)res.visibleOpsInRun);
         }
     }
 
@@ -459,6 +473,19 @@ main(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+        } else if (arg == "--schedules" && i + 1 < argc) {
+            opt.schedules =
+                (uint64_t)std::strtoull(argv[++i], nullptr, 10);
+            if (!opt.schedules) {
+                std::fprintf(stderr,
+                             "hippoc: --schedules must be >= 1 "
+                             "(got '%s')\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--preempt-bound" && i + 1 < argc) {
+            opt.preemptBound =
+                (uint32_t)std::strtoul(argv[++i], nullptr, 10);
         } else if (arg == "--engine" && i + 1 < argc) {
             if (!vm::parseVmEngine(argv[++i], opt.cfg.vmEngine)) {
                 std::fprintf(stderr,
